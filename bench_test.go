@@ -1,0 +1,350 @@
+package kbtable
+
+// One testing.B benchmark per table/figure of the paper (Figures 6-16,
+// Exp-IV), wrapping the drivers in internal/bench at a reduced scale so
+// `go test -bench=.` completes on a laptop, plus micro-benchmarks of the
+// individual components and ablation benches for the design choices
+// DESIGN.md calls out. cmd/kbbench runs the full-scale suite.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kbtable/internal/bench"
+	"kbtable/internal/core"
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+	"kbtable/internal/rank"
+	"kbtable/internal/search"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *bench.Env
+)
+
+// env returns the shared reduced-scale experiment environment.
+func env() *bench.Env {
+	benchEnvOnce.Do(func() {
+		benchEnv = bench.NewEnv(bench.Config{
+			WikiEntities: 4000,
+			WikiTypes:    60,
+			IMDBMovies:   1500,
+			PerM:         5,
+			MaxM:         8,
+			K:            100,
+			Ds:           []int{2, 3},
+		})
+	})
+	return benchEnv
+}
+
+func BenchmarkFig6IndexConstruction(b *testing.B) {
+	e := env()
+	g := e.Wiki()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := index.Build(g, index.Options{D: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ix.Stats()
+	}
+}
+
+func BenchmarkFig7TimeVsPatternsWiki(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		tabs := bench.RunFig7(e)
+		if len(tabs) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+func BenchmarkFig8TimeVsPatternsIMDB(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		t := bench.RunFig8(e)
+		if len(t.Header) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig9TimeVsSubtrees(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		tabs := bench.RunFig9(e)
+		if len(tabs) != 2 {
+			b.Fatal("want 2 tables")
+		}
+	}
+}
+
+func BenchmarkFig10Scalability(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		t := bench.RunFig10(e)
+		if len(t.Rows) != 10 {
+			b.Fatal("want 10 rows")
+		}
+	}
+}
+
+func BenchmarkExpKVaryK(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		t := bench.RunExpK(e)
+		if len(t.Rows) != 4 {
+			b.Fatal("want 4 rows")
+		}
+	}
+}
+
+func BenchmarkFig11SamplingThreshold(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		tabs := bench.RunFig11(e)
+		if len(tabs) != 2 {
+			b.Fatal("want time+precision tables")
+		}
+	}
+}
+
+func BenchmarkFig12SamplingRate(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		tabs := bench.RunFig12(e)
+		if len(tabs) != 2 {
+			b.Fatal("want time+precision tables")
+		}
+	}
+}
+
+func BenchmarkFig13Coverage(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		t := bench.RunFig13(e)
+		if len(t.Header) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig14_15CaseStudy(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		out := bench.RunCaseStudy(e, "washington city")
+		if len(out) == 0 {
+			b.Fatal("empty case study")
+		}
+	}
+}
+
+func BenchmarkFig16VaryKeywords(b *testing.B) {
+	e := env()
+	for i := 0; i < b.N; i++ {
+		t := bench.RunFig16(e)
+		if len(t.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- micro-benchmarks of the individual components ---
+
+// benchQueries picks a few answerable workload queries per keyword count.
+func benchQueries(e *bench.Env) []string {
+	ix := e.WikiIndex(3)
+	var out []string
+	for _, q := range e.WikiQueries() {
+		if p, _ := search.CountAll(ix, q.Text); p > 0 {
+			out = append(out, q.Text)
+		}
+		if len(out) == 8 {
+			break
+		}
+	}
+	return out
+}
+
+func BenchmarkQueryPETopK(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchQueries(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := search.PETopK(ix, qs[i%len(qs)], search.Options{K: 100, SkipTrees: true})
+		_ = res.Stats.PatternsFound
+	}
+}
+
+func BenchmarkQueryLETopK(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchQueries(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := search.LETopK(ix, qs[i%len(qs)], search.Options{K: 100, SkipTrees: true})
+		_ = res.Stats.PatternsFound
+	}
+}
+
+func BenchmarkQueryLETopKSampled(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchQueries(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := search.LETopK(ix, qs[i%len(qs)], search.Options{
+			K: 100, SkipTrees: true, Lambda: 1000, Rho: 0.1,
+		})
+		_ = res.Stats.PatternsFound
+	}
+}
+
+func BenchmarkQueryBaseline(b *testing.B) {
+	e := env()
+	bl := e.WikiBaseline(3)
+	qs := benchQueries(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := bl.Search(qs[i%len(qs)], search.Options{K: 100, SkipTrees: true, MaxTreesPerPattern: 8})
+		_ = res.Stats.PatternsFound
+	}
+}
+
+func BenchmarkQueryTopTrees(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchQueries(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trees, _ := search.TopTrees(ix, qs[i%len(qs)], 100, search.Options{})
+		_ = trees
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	g := env().Wiki()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := rank.PageRank(g, rank.Options{})
+		_ = pr[0]
+	}
+}
+
+func BenchmarkComposeTable(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchQueries(e)
+	res := search.LETopK(ix, qs[0], search.Options{K: 1})
+	if len(res.Patterns) == 0 {
+		b.Skip("query has no answers")
+	}
+	rp := res.Patterns[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := core.ComposeTable(ix.Graph(), ix.PatternTable(), rp.Pattern, rp.Trees)
+		_ = t.Rows
+	}
+}
+
+// --- ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationTreeShape compares tuple semantics (the paper's
+// counting) against strict tree-shape filtering.
+func BenchmarkAblationTreeShape(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchQueries(e)
+	for _, strict := range []bool{false, true} {
+		b.Run(fmt.Sprintf("requireTree=%v", strict), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := search.LETopK(ix, qs[i%len(qs)], search.Options{
+					K: 100, SkipTrees: true, RequireTreeShape: strict,
+				})
+				_ = res.Stats.TreesFound
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAggregation compares the four pattern-score
+// aggregation functions of Section 2.2.3.
+func BenchmarkAblationAggregation(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchQueries(e)
+	for _, agg := range []core.Agg{core.AggSum, core.AggCount, core.AggAvg, core.AggMax} {
+		b.Run(agg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := search.PETopK(ix, qs[i%len(qs)], search.Options{
+					K: 100, SkipTrees: true, Agg: agg,
+				})
+				_ = res.Stats.PatternsFound
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndexWorkers measures parallel index construction.
+func BenchmarkAblationIndexWorkers(b *testing.B) {
+	g := env().Wiki()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix, err := index.Build(g, index.Options{D: 3, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = ix.Stats()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHeightThreshold shows query cost growth with d on a
+// fixed query set (the driver behind Figure 7's per-d panels).
+func BenchmarkAblationHeightThreshold(b *testing.B) {
+	e := env()
+	qs := benchQueries(e)
+	for _, d := range []int{2, 3} {
+		ix := e.WikiIndex(d)
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := search.PETopK(ix, qs[i%len(qs)], search.Options{K: 100, SkipTrees: true})
+				_ = res.Stats.PatternsFound
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndEngine measures the public API path including table
+// composition, per answerable query.
+func BenchmarkEndToEndEngine(b *testing.B) {
+	gd, _ := dataset.Fig1()
+	_ = gd
+	bld := NewBuilder()
+	sql := bld.Entity("Software", "SQL Server")
+	ms := bld.Entity("Company", "Microsoft")
+	bld.Attr(sql, "Developer", ms)
+	bld.TextAttr(ms, "Revenue", "US$ 77 billion")
+	g, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(g, EngineOptions{D: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		answers, err := eng.Search("software company revenue", 5)
+		if err != nil || len(answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}

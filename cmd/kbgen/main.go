@@ -1,0 +1,48 @@
+// Command kbgen generates a synthetic knowledge base and writes it to a
+// gob file loadable by kbsearch and kbindex.
+//
+// Usage:
+//
+//	kbgen -kind wiki -entities 20000 -types 150 -seed 1 -o wiki.kb
+//	kbgen -kind imdb -movies 8000 -o imdb.kb
+//	kbgen -kind fig1 -o fig1.kb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"kbtable/internal/dataset"
+	"kbtable/internal/kg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbgen: ")
+	kind := flag.String("kind", "wiki", "dataset kind: wiki, imdb, or fig1")
+	entities := flag.Int("entities", 20000, "wiki: number of entities")
+	types := flag.Int("types", 150, "wiki: number of entity types")
+	movies := flag.Int("movies", 8000, "imdb: number of movies")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "kb.gob", "output file")
+	flag.Parse()
+
+	var g *kg.Graph
+	switch *kind {
+	case "wiki":
+		g = dataset.SynthWiki(dataset.WikiConfig{Entities: *entities, Types: *types, Seed: *seed})
+	case "imdb":
+		g = dataset.SynthIMDB(dataset.IMDBConfig{Movies: *movies, Seed: *seed})
+	case "fig1":
+		g, _ = dataset.Fig1()
+	default:
+		log.Fatalf("unknown kind %q (want wiki, imdb, or fig1)", *kind)
+	}
+	if err := g.SaveFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	s := g.Stats()
+	fmt.Printf("wrote %s: %d entities, %d edges, %d types, %d attribute types\n",
+		*out, s.Nodes, s.Edges, s.Types, s.Attrs)
+}

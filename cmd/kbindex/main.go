@@ -1,0 +1,49 @@
+// Command kbindex builds the path-pattern indexes for a knowledge base at
+// one or more height thresholds and reports construction cost — the
+// quantities of the paper's Figure 6.
+//
+// Usage:
+//
+//	kbindex -kb wiki.kb -d 2,3,4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbindex: ")
+	kbPath := flag.String("kb", "kb.gob", "knowledge base file written by kbgen")
+	ds := flag.String("d", "3", "comma-separated height thresholds")
+	workers := flag.Int("workers", 0, "construction workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	g, err := kg.LoadFile(*kbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := g.Stats()
+	fmt.Printf("graph: %d entities, %d edges, %d types\n", s.Nodes, s.Edges, s.Types)
+	fmt.Printf("%-4s %-10s %-10s %-12s %-10s\n", "d", "time", "size(MB)", "entries", "patterns")
+	for _, part := range strings.Split(*ds, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("bad -d value %q: %v", part, err)
+		}
+		ix, err := index.Build(g, index.Options{D: d, Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := ix.Stats()
+		fmt.Printf("%-4d %-10s %-10.1f %-12d %-10d\n",
+			d, st.BuildTime.Round(1e6), float64(st.Bytes)/(1<<20), st.NumEntries, st.NumPatterns)
+	}
+}

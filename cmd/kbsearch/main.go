@@ -1,0 +1,131 @@
+// Command kbsearch answers keyword queries over a knowledge base with
+// ranked table answers, interactively or one-shot.
+//
+// Usage:
+//
+//	kbsearch -kb wiki.kb -k 5 "washington city population"
+//	kbsearch -kb imdb.kb            # interactive: one query per line
+//	kbsearch -kind fig1 "database software company revenue"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/search"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbsearch: ")
+	kbPath := flag.String("kb", "", "knowledge base file written by kbgen")
+	kind := flag.String("kind", "", "generate instead of loading: wiki, imdb, or fig1")
+	d := flag.Int("d", 3, "height threshold for tree patterns")
+	k := flag.Int("k", 5, "number of table answers")
+	algo := flag.String("algo", "pe", "algorithm: pe (PATTERNENUM), le (LINEARENUM), baseline")
+	rows := flag.Int("rows", 8, "max table rows to print per answer")
+	format := flag.String("format", "table", "output format: table, csv, json, md")
+	lambda := flag.Int64("lambda", 0, "LETopK sampling threshold Λ (0 = exact)")
+	rho := flag.Float64("rho", 0.1, "LETopK sampling rate ρ")
+	flag.Parse()
+
+	var g *kg.Graph
+	var err error
+	switch {
+	case *kbPath != "":
+		g, err = kg.LoadFile(*kbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *kind == "wiki":
+		g = dataset.SynthWiki(dataset.WikiConfig{})
+	case *kind == "imdb":
+		g = dataset.SynthIMDB(dataset.IMDBConfig{})
+	case *kind == "fig1":
+		g, _ = dataset.Fig1()
+	default:
+		log.Fatal("provide -kb FILE or -kind {wiki,imdb,fig1}")
+	}
+	s := g.Stats()
+	fmt.Printf("graph: %d entities, %d edges, %d types\n", s.Nodes, s.Edges, s.Types)
+
+	t0 := time.Now()
+	ix, err := index.Build(g, index.Options{D: *d})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: built in %v (%s)\n", time.Since(t0).Round(time.Millisecond), ix.Stats())
+
+	var bl *search.BaselineIndex
+	if *algo == "baseline" {
+		if bl, err = search.NewBaseline(g, search.BaselineOptions{D: *d}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(q string) {
+		opts := search.Options{K: *k, Lambda: *lambda, Rho: *rho, MaxTreesPerPattern: *rows}
+		var patterns []search.RankedPattern
+		var surfaces []string
+		var elapsed time.Duration
+		var pt *core.PatternTable
+		switch *algo {
+		case "pe":
+			res := search.PETopK(ix, q, opts)
+			patterns, surfaces, elapsed, pt = res.Patterns, res.Stats.Surfaces, res.Stats.Elapsed, ix.PatternTable()
+		case "le":
+			res := search.LETopK(ix, q, opts)
+			patterns, surfaces, elapsed, pt = res.Patterns, res.Stats.Surfaces, res.Stats.Elapsed, ix.PatternTable()
+		case "baseline":
+			res := bl.Search(q, opts)
+			patterns, surfaces, elapsed, pt = res.Patterns, res.Stats.Surfaces, res.Stats.Elapsed, res.Table
+		default:
+			log.Fatalf("unknown -algo %q", *algo)
+		}
+		fmt.Printf("\n%d pattern answers in %v\n", len(patterns), elapsed.Round(time.Microsecond))
+		for i, rp := range patterns {
+			tab := core.ComposeTable(g, pt, rp.Pattern, rp.Trees)
+			fmt.Printf("\n#%d  score=%.4f  rows=%d\n%s\n", i+1, rp.Score, rp.Agg.Count,
+				rp.Pattern.Render(g, pt, surfaces))
+			switch *format {
+			case "table":
+				fmt.Print(tab.Render(*rows))
+			case "csv":
+				if err := tab.WriteCSV(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+			case "json":
+				if err := tab.WriteJSON(os.Stdout); err != nil {
+					log.Fatal(err)
+				}
+			case "md":
+				fmt.Print(tab.Markdown(*rows))
+			default:
+				log.Fatalf("unknown -format %q", *format)
+			}
+		}
+	}
+
+	if flag.NArg() > 0 {
+		run(strings.Join(flag.Args(), " "))
+		return
+	}
+	fmt.Println("enter keyword queries, one per line (ctrl-D to exit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		run(q)
+	}
+}

@@ -1,0 +1,107 @@
+// Company revenue research: the paper's opening motivation — "an analyst
+// wants a list of companies that produce database software along with
+// their annual revenues". This example builds a small tech-industry
+// knowledge base and shows how one keyword query assembles that list as a
+// table, including how different interpretations (tree patterns) rank.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kbtable"
+)
+
+type product struct {
+	name, genre, lang string
+}
+
+type company struct {
+	name, revenue, hq string
+	founders          []string
+	products          []product
+}
+
+var companies = []company{
+	{
+		name: "Microsoft", revenue: "US$ 77 billion", hq: "Redmond",
+		founders: []string{"Bill Gates", "Paul Allen"},
+		products: []product{
+			{"SQL Server", "Relational database", "C++"},
+			{"Access", "Desktop database", "C++"},
+			{"Windows", "Operating system", "C"},
+		},
+	},
+	{
+		name: "Oracle Corp", revenue: "US$ 37 billion", hq: "Austin",
+		founders: []string{"Larry Ellison"},
+		products: []product{
+			{"Oracle DB", "Relational database", "C"},
+			{"MySQL", "Relational database", "C++"},
+		},
+	},
+	{
+		name: "SAP", revenue: "US$ 23 billion", hq: "Walldorf",
+		founders: []string{"Hasso Plattner"},
+		products: []product{
+			{"HANA", "In-memory database", "C++"},
+		},
+	},
+	{
+		name: "MongoDB Inc", revenue: "US$ 1.3 billion", hq: "New York",
+		founders: []string{"Dwight Merriman"},
+		products: []product{
+			{"MongoDB", "Document database", "C++"},
+		},
+	},
+	{
+		name: "Adobe", revenue: "US$ 19 billion", hq: "San Jose",
+		founders: []string{"John Warnock"},
+		products: []product{
+			{"Photoshop", "Image editor", "C++"},
+		},
+	},
+}
+
+func main() {
+	b := kbtable.NewBuilder()
+	for _, c := range companies {
+		cid := b.Entity("Company", c.name)
+		b.TextAttr(cid, "Revenue", c.revenue)
+		b.TextAttr(cid, "Headquarters", c.hq)
+		for _, f := range c.founders {
+			fid := b.Entity("Person", f)
+			b.Attr(cid, "Founder", fid)
+		}
+		for _, p := range c.products {
+			pid := b.Entity("Software", p.name)
+			b.Attr(pid, "Developer", cid)
+			b.TextAttr(pid, "Genre", p.genre)
+			lid := b.Entity("Programming Language", p.lang)
+			b.Attr(pid, "Written in", lid)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := kbtable.NewEngine(g, kbtable.EngineOptions{D: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, q := range []string{
+		"database software company revenue",
+		"company founder",
+		"relational database developer headquarters",
+	} {
+		answers, err := eng.Search(q, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== query: %q (%d interpretations) ===\n\n", q, len(answers))
+		for _, a := range answers {
+			fmt.Println(a.Render(6))
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: build the paper's Figure 1 mini knowledge base through the
+// public API, then ask the running example query "database software
+// company revenue" and print the composed table answers (Figure 3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kbtable"
+)
+
+func main() {
+	b := kbtable.NewBuilder()
+
+	// Entities from Figure 1(a)-(c).
+	sqlServer := b.Entity("Software", "SQL Server")
+	relDB := b.Entity("Model", "Relational database")
+	microsoft := b.Entity("Company", "Microsoft")
+	gates := b.Entity("Person", "Bill Gates")
+	oracleDB := b.Entity("Software", "Oracle DB")
+	orDB := b.Entity("Model", "O-R database")
+	oracle := b.Entity("Company", "Oracle Corp")
+	book := b.Entity("Book", "Handbook of Database Software")
+	springer := b.Entity("Company", "Springer")
+
+	// Attributes; plain-text values become literal entities automatically.
+	b.Attr(sqlServer, "Genre", relDB)
+	b.Attr(sqlServer, "Developer", microsoft)
+	b.Attr(sqlServer, "Reference", book)
+	b.TextAttr(microsoft, "Revenue", "US$ 77 billion")
+	b.Attr(microsoft, "Founder", gates)
+	b.Attr(oracleDB, "Genre", orDB)
+	b.Attr(oracleDB, "Developer", oracle)
+	b.TextAttr(oracle, "Revenue", "US$ 37 billion")
+	b.Attr(book, "Publisher", springer)
+	b.TextAttr(springer, "Revenue", "US$ 1 billion")
+
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng, err := kbtable.NewEngine(g, kbtable.EngineOptions{D: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := "database software company revenue"
+	answers, err := eng.Search(query, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %q — %d table answers\n\n", query, len(answers))
+	for _, a := range answers {
+		fmt.Println(a.Render(5))
+	}
+}

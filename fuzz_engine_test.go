@@ -1,0 +1,67 @@
+package kbtable
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	fuzzEngOnce sync.Once
+	fuzzEng     *Engine
+)
+
+func fuzzEngine(t testing.TB) *Engine {
+	fuzzEngOnce.Do(func() {
+		b := NewBuilder()
+		sql := b.Entity("Software", "SQL Server")
+		ms := b.Entity("Company", "Microsoft")
+		model := b.Entity("Model", "Relational database")
+		b.Attr(sql, "Developer", ms)
+		b.Attr(sql, "Genre", model)
+		b.TextAttr(ms, "Revenue", "US$ 77 billion")
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		fuzzEng, _ = NewEngine(g, EngineOptions{D: 3, UniformPageRank: true})
+	})
+	if fuzzEng == nil {
+		t.Fatal("engine build failed")
+	}
+	return fuzzEng
+}
+
+// FuzzSearchNeverPanics: arbitrary query strings (any bytes) must never
+// panic any of the three algorithms, and results must be rank-consistent.
+func FuzzSearchNeverPanics(f *testing.F) {
+	f.Add("database software", int64(0))
+	f.Add("", int64(1))
+	f.Add("revenue revenue revenue", int64(2))
+	f.Add("\x00\xff\xfe", int64(3))
+	f.Add("a b c d e f g h i j k l m n o p q r s", int64(4))
+	f.Fuzz(func(t *testing.T, q string, mode int64) {
+		eng := fuzzEngine(t)
+		algo := Algorithm(uint64(mode) % 3)
+		answers, err := eng.SearchOpts(q, SearchOptions{K: 5, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("SearchOpts(%q, %v) errored: %v", q, algo, err)
+		}
+		for i, a := range answers {
+			if a.Rank != i+1 {
+				t.Fatalf("rank %d mislabeled as %d", i+1, a.Rank)
+			}
+			if i > 0 && a.Score > answers[i-1].Score {
+				t.Fatalf("answers not sorted at %d", i)
+			}
+			for _, row := range a.Rows {
+				if len(row) != len(a.Columns) {
+					t.Fatalf("ragged table for %q", q)
+				}
+			}
+		}
+		if _, err := eng.SearchTrees(q, 3); err != nil {
+			t.Fatalf("SearchTrees(%q): %v", q, err)
+		}
+		_ = eng.Explain(q)
+	})
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"kbtable/internal/index"
+	"kbtable/internal/search"
+)
+
+// heavyQueries returns the n workload queries with the most valid subtrees
+// on the Wiki index — the paper selects three such queries for the
+// sampling study (Section 5.2 lists their subtree/pattern counts).
+func heavyQueries(e *Env, n int) []queryCost {
+	ix := e.WikiIndex(3)
+	cs := costs(e, ix, e.WikiQueries())
+	sort.Slice(cs, func(i, j int) bool { return cs[i].trees > cs[j].trees })
+	if len(cs) > n {
+		cs = cs[:n]
+	}
+	return cs
+}
+
+// exactTopKeys runs exact LETopK and returns the top-k pattern identity set.
+func exactTopKeys(ix *index.Index, q string, k int) map[string]bool {
+	res := search.LETopK(ix, q, search.Options{K: k, SkipTrees: true})
+	keys := make(map[string]bool, len(res.Patterns))
+	for _, rp := range res.Patterns {
+		keys[rp.Pattern.ContentKey(ix.PatternTable())] = true
+	}
+	return keys
+}
+
+// precision computes |sampled ∩ exact| / min(k, |exact|), the paper's
+// precision of Section 5.2 (denominator adjusted when fewer than k
+// patterns exist at all).
+func precision(ix *index.Index, exact map[string]bool, res *search.Result, k int) float64 {
+	if len(exact) == 0 {
+		return 1
+	}
+	denom := k
+	if len(exact) < denom {
+		denom = len(exact)
+	}
+	hit := 0
+	for _, rp := range res.Patterns {
+		if exact[rp.Pattern.ContentKey(ix.PatternTable())] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(denom)
+}
+
+// RunFig11 reproduces Figure 11: LETopK execution time and precision for
+// different sampling thresholds Λ at sampling rates 0.01 and 0.1, on the
+// three subtree-heaviest workload queries; PETopK's time is reported for
+// reference.
+func RunFig11(e *Env) []Table {
+	ix := e.WikiIndex(3)
+	qs := heavyQueries(e, 3)
+	lambdas := []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+	rhos := []float64{0.01, 0.1}
+	k := e.Cfg.K
+
+	timeTab := Table{Title: "Figure 11 (time): LETopK execution time (ms) vs sampling threshold Λ"}
+	precTab := Table{Title: "Figure 11 (precision): LETopK precision vs sampling threshold Λ"}
+	hdr := []string{"Λ"}
+	for qi := range qs {
+		for _, rho := range rhos {
+			hdr = append(hdr, fmt.Sprintf("q%d ρ=%.2f", qi+1, rho))
+		}
+	}
+	timeTab.Header = hdr
+	precTab.Header = append([]string(nil), hdr...)
+
+	exact := make([]map[string]bool, len(qs))
+	for i, c := range qs {
+		exact[i] = exactTopKeys(ix, c.q.Text, k)
+	}
+
+	for _, lam := range lambdas {
+		tr := []string{fmt.Sprintf("%.0e", float64(lam))}
+		pr := []string{fmt.Sprintf("%.0e", float64(lam))}
+		for qi, c := range qs {
+			for _, rho := range rhos {
+				res := search.LETopK(ix, c.q.Text, search.Options{
+					K: k, Lambda: lam, Rho: rho, Seed: e.Cfg.Seed, SkipTrees: true,
+				})
+				tr = append(tr, fmtMs(float64(res.Stats.Elapsed.Microseconds())/1000))
+				pr = append(pr, fmt.Sprintf("%.2f", precision(ix, exact[qi], res, k)))
+			}
+		}
+		timeTab.Rows = append(timeTab.Rows, tr)
+		precTab.Rows = append(precTab.Rows, pr)
+	}
+	for qi, c := range qs {
+		pe := search.PETopK(ix, c.q.Text, search.Options{K: k, SkipTrees: true})
+		note := fmt.Sprintf("q%d=%q: %d subtrees, %d patterns, PETopK %s",
+			qi+1, c.q.Text, c.trees, c.patterns, fmtMs(float64(pe.Stats.Elapsed.Microseconds())/1000))
+		timeTab.Notes = append(timeTab.Notes, note)
+	}
+	return []Table{timeTab, precTab}
+}
+
+// RunFig12 reproduces Figure 12: LETopK execution time and precision vs
+// sampling rate ρ at a fixed threshold Λ, on the same three heavy queries;
+// PETopK marked for comparison.
+func RunFig12(e *Env) []Table {
+	ix := e.WikiIndex(3)
+	qs := heavyQueries(e, 3)
+	rhos := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}
+	k := e.Cfg.K
+	// The paper fixes Λ=1e5 against millions of subtrees; scale the
+	// threshold to our workload so sampling actually engages.
+	var lambda int64 = 10_000
+
+	timeTab := Table{Title: fmt.Sprintf("Figure 12(a): LETopK execution time (ms) vs sampling rate ρ (Λ=%d)", lambda)}
+	precTab := Table{Title: fmt.Sprintf("Figure 12(b): LETopK precision vs sampling rate ρ (Λ=%d)", lambda)}
+	hdr := []string{"ρ"}
+	for qi := range qs {
+		hdr = append(hdr, fmt.Sprintf("q%d", qi+1))
+	}
+	timeTab.Header = hdr
+	precTab.Header = append([]string(nil), hdr...)
+
+	exact := make([]map[string]bool, len(qs))
+	for i, c := range qs {
+		exact[i] = exactTopKeys(ix, c.q.Text, k)
+	}
+	for _, rho := range rhos {
+		tr := []string{fmt.Sprintf("%.2f", rho)}
+		pr := []string{fmt.Sprintf("%.2f", rho)}
+		for qi, c := range qs {
+			res := search.LETopK(ix, c.q.Text, search.Options{
+				K: k, Lambda: lambda, Rho: rho, Seed: e.Cfg.Seed, SkipTrees: true,
+			})
+			tr = append(tr, fmtMs(float64(res.Stats.Elapsed.Microseconds())/1000))
+			pr = append(pr, fmt.Sprintf("%.2f", precision(ix, exact[qi], res, k)))
+		}
+		timeTab.Rows = append(timeTab.Rows, tr)
+		precTab.Rows = append(precTab.Rows, pr)
+	}
+	for qi, c := range qs {
+		pe := search.PETopK(ix, c.q.Text, search.Options{K: k, SkipTrees: true})
+		timeTab.Notes = append(timeTab.Notes, fmt.Sprintf("q%d=%q: PETopK %s",
+			qi+1, c.q.Text, fmtMs(float64(pe.Stats.Elapsed.Microseconds())/1000)))
+	}
+	return []Table{timeTab, precTab}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes the table as RFC-4180 CSV with a header row.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	head := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		head[i] = c.Name
+	}
+	if err := cw.Write(head); err != nil {
+		return fmt.Errorf("core: write csv header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the JSON shape of a table answer.
+type tableJSON struct {
+	Columns     []string   `json:"columns"`
+	FullColumns []string   `json:"fullColumns"`
+	Rows        [][]string `json:"rows"`
+}
+
+// WriteJSON writes the table as a JSON object with columns, formal column
+// names and rows.
+func (t Table) WriteJSON(w io.Writer) error {
+	out := tableJSON{Rows: t.Rows}
+	if out.Rows == nil {
+		out.Rows = [][]string{}
+	}
+	for _, c := range t.Columns {
+		out.Columns = append(out.Columns, c.Name)
+		out.FullColumns = append(out.FullColumns, c.Full)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("core: write json: %w", err)
+	}
+	return nil
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table with at
+// most maxRows rows (negative = all). Pipe characters in cells are escaped.
+func (t Table) Markdown(maxRows int) string {
+	if len(t.Columns) == 0 {
+		return "*(empty table)*\n"
+	}
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	var sb strings.Builder
+	sb.WriteByte('|')
+	for _, c := range t.Columns {
+		sb.WriteString(" " + esc(c.Name) + " |")
+	}
+	sb.WriteByte('\n')
+	sb.WriteByte('|')
+	for range t.Columns {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	n := len(t.Rows)
+	if maxRows >= 0 && n > maxRows {
+		n = maxRows
+	}
+	for _, row := range t.Rows[:n] {
+		sb.WriteByte('|')
+		for _, cell := range row {
+			sb.WriteString(" " + esc(cell) + " |")
+		}
+		sb.WriteByte('\n')
+	}
+	if n < len(t.Rows) {
+		fmt.Fprintf(&sb, "\n*(%d more rows)*\n", len(t.Rows)-n)
+	}
+	return sb.String()
+}

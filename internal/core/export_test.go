@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportFixture() Table {
+	return Table{
+		Columns: []Column{
+			{Name: "Software", Full: "Software"},
+			{Name: "Company", Full: "Software.Developer.Company"},
+		},
+		Rows: [][]string{
+			{"SQL Server", "Microsoft"},
+			{"Oracle DB", "Oracle, Corp"}, // embedded comma exercises quoting
+		},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	r := csv.NewReader(&buf)
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("want header + 2 rows, got %d", len(recs))
+	}
+	if recs[0][0] != "Software" || recs[2][1] != "Oracle, Corp" {
+		t.Errorf("csv content wrong: %v", recs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := exportFixture().WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got struct {
+		Columns     []string   `json:"columns"`
+		FullColumns []string   `json:"fullColumns"`
+		Rows        [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(got.Columns) != 2 || got.FullColumns[1] != "Software.Developer.Company" {
+		t.Errorf("columns wrong: %+v", got)
+	}
+	if len(got.Rows) != 2 || got.Rows[0][0] != "SQL Server" {
+		t.Errorf("rows wrong: %+v", got.Rows)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Table{}).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON empty: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"rows":[]`) {
+		t.Errorf("empty table should serialize rows as [], got %s", buf.String())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tab := exportFixture()
+	tab.Rows = append(tab.Rows, []string{"Post|greSQL", "none"})
+	md := tab.Markdown(-1)
+	if !strings.Contains(md, "| Software | Company |") {
+		t.Errorf("header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "|---|---|") {
+		t.Errorf("separator wrong:\n%s", md)
+	}
+	if !strings.Contains(md, `Post\|greSQL`) {
+		t.Errorf("pipe not escaped:\n%s", md)
+	}
+	// Truncation note.
+	short := tab.Markdown(1)
+	if !strings.Contains(short, "2 more rows") {
+		t.Errorf("truncation note missing:\n%s", short)
+	}
+	if got := (Table{}).Markdown(5); !strings.Contains(got, "empty") {
+		t.Errorf("empty markdown wrong: %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"kbtable/internal/kg"
+)
+
+// randomTreesFixture builds a random graph plus a set of subtrees sharing
+// one tree pattern, to property-test table composition.
+func randomTreesFixture(seed int64) (*kg.Graph, *PatternTable, TreePattern, []Subtree, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	b := kg.NewBuilder()
+	nRoots := 2 + rng.Intn(4)
+	depth := 1 + rng.Intn(2)
+	var roots []kg.NodeID
+	for i := 0; i < nRoots; i++ {
+		r := b.Entity("Root", "root entity")
+		roots = append(roots, r)
+		cur := r
+		for dep := 0; dep < depth; dep++ {
+			nxt := b.Entity("Mid", "mid entity")
+			b.Attr(cur, "step", nxt)
+			cur = nxt
+		}
+	}
+	g := b.MustFreeze()
+	pt := NewPatternTable()
+	var trees []Subtree
+	var tp TreePattern
+	for _, r := range roots {
+		// Two keyword paths: the root itself and the chain to the leaf.
+		var edges []kg.EdgeID
+		cur := r
+		for dep := 0; dep < depth; dep++ {
+			first, n := g.OutEdges(cur)
+			if n == 0 {
+				return nil, nil, TreePattern{}, nil, false
+			}
+			edges = append(edges, first)
+			cur = g.Edge(first).Dst
+		}
+		st := Subtree{
+			Root: r,
+			Paths: []Path{
+				{Root: r},
+				{Root: r, Edges: edges},
+			},
+			Terms: []ScoreTerms{{Len: 1, PR: 1, Sim: 1}, {Len: depth + 1, PR: 1, Sim: 0.5}},
+		}
+		if tp.Paths == nil {
+			tp = TreePattern{Paths: []PatternID{
+				pt.Intern(st.Paths[0].Pattern(g)),
+				pt.Intern(st.Paths[1].Pattern(g)),
+			}}
+		}
+		trees = append(trees, st)
+	}
+	return g, pt, tp, trees, true
+}
+
+// TestComposeTableInvariants: for any generated pattern, every row has
+// exactly one cell per column, the root column is first, and the number
+// of rows equals the number of subtrees.
+func TestComposeTableInvariants(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		g, pt, tp, trees, ok := randomTreesFixture(seed)
+		if !ok {
+			continue
+		}
+		tab := ComposeTable(g, pt, tp, trees)
+		if len(tab.Rows) != len(trees) {
+			t.Fatalf("seed %d: rows %d != trees %d", seed, len(tab.Rows), len(trees))
+		}
+		if len(tab.Columns) == 0 {
+			t.Fatalf("seed %d: no columns", seed)
+		}
+		if tab.Columns[0].Name != "Root" {
+			t.Errorf("seed %d: first column should be the root type, got %q", seed, tab.Columns[0].Name)
+		}
+		for ri, row := range tab.Rows {
+			if len(row) != len(tab.Columns) {
+				t.Fatalf("seed %d row %d: %d cells for %d columns", seed, ri, len(row), len(tab.Columns))
+			}
+			for ci, cell := range row {
+				if cell == "" {
+					t.Errorf("seed %d row %d col %d: empty cell", seed, ri, ci)
+				}
+			}
+		}
+		// Column names unique.
+		seen := map[string]bool{}
+		for _, c := range tab.Columns {
+			if seen[c.Name] {
+				t.Errorf("seed %d: duplicate column name %q", seed, c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+}
+
+// TestSubtreeSizeVsPathLens: the union size of a subtree never exceeds
+// the sum of its path lengths and is at least the longest path.
+func TestSubtreeSizeVsPathLens(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, _, _, trees, ok := randomTreesFixture(seed)
+		if !ok {
+			continue
+		}
+		for _, st := range trees {
+			sum, max := 0, 0
+			for _, p := range st.Paths {
+				sum += p.Len()
+				if p.Len() > max {
+					max = p.Len()
+				}
+			}
+			size := st.Size(g)
+			if size > sum || size < max {
+				t.Errorf("seed %d: size %d outside [%d, %d]", seed, size, max, sum)
+			}
+			if !st.IsTreeShaped(g) {
+				t.Errorf("seed %d: chain fixture must be tree shaped", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"kbtable/internal/kg"
+)
+
+// Column describes one column of a table answer. Name is a short,
+// deduplicated header like Figure 3's ("Software", "Revenue"); Full is the
+// paper's formal name τ(v_{i-1}) α(e_i) τ(v_i) (Section 2.2.2).
+type Column struct {
+	Name string
+	Full string
+}
+
+// Table is a table answer: one row per valid subtree of a tree pattern
+// (Figure 3).
+type Table struct {
+	Columns []Column
+	Rows    [][]string
+}
+
+// columnSlot identifies a pre-merge column: the dep-th node on keyword
+// word's path (dep 0 is the shared root).
+type columnSlot struct {
+	word, dep int
+}
+
+// ComposeTable converts the valid subtrees of one tree pattern into a table
+// answer. For each keyword path v1 e1 … vl it creates one column per node;
+// when an edge appears in more than one root-leaf path the column is
+// created once (Section 2.2.2). Because two paths with equal *patterns* may
+// still bind different concrete edges, columns are merged only when the
+// concrete prefixes agree in every row, which keeps the scheme uniform.
+func ComposeTable(g *kg.Graph, pt *PatternTable, tp TreePattern, trees []Subtree) Table {
+	if len(trees) == 0 || len(tp.Paths) == 0 {
+		return Table{}
+	}
+	m := len(tp.Paths)
+	pats := make([]PathPattern, m)
+	depths := make([]int, m) // column count per word = Len (nodes incl. root)
+	for i, pid := range tp.Paths {
+		pats[i] = pt.Get(pid)
+		depths[i] = pats[i].Len()
+	}
+
+	// mergeDepth[i][j] = deepest column depth at which word i's and word
+	// j's paths provably share concrete edges across all trees.
+	mergeDepth := make([][]int, m)
+	for i := range mergeDepth {
+		mergeDepth[i] = make([]int, m)
+		for j := range mergeDepth[i] {
+			if i == j {
+				mergeDepth[i][j] = depths[i] - 1
+				continue
+			}
+			maxShared := min(depths[i], depths[j]) - 1
+			for _, t := range trees {
+				shared := commonEdgePrefix(t.Paths[i].Edges, t.Paths[j].Edges)
+				if shared < maxShared {
+					maxShared = shared
+				}
+				if maxShared == 0 {
+					break
+				}
+			}
+			mergeDepth[i][j] = maxShared
+		}
+	}
+
+	// Union-find over slots; slots (i,dep) and (j,dep) merge when
+	// dep <= mergeDepth[i][j]. Depth 0 (the root) always merges.
+	slotID := func(w, dep int) int { return w*16 + dep } // dep < 16 given d bounds
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // smaller id wins: earliest (word, depth)
+		}
+	}
+	for i := 0; i < m; i++ {
+		for dep := 0; dep < depths[i]; dep++ {
+			find(slotID(i, dep))
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			for dep := 0; dep <= mergeDepth[i][j]; dep++ {
+				union(slotID(i, dep), slotID(j, dep))
+			}
+		}
+	}
+
+	// Collect representative slots in (word, depth) order.
+	var reps []columnSlot
+	seen := map[int]bool{}
+	for i := 0; i < m; i++ {
+		for dep := 0; dep < depths[i]; dep++ {
+			r := find(slotID(i, dep))
+			if !seen[r] {
+				seen[r] = true
+				reps = append(reps, columnSlot{word: r / 16, dep: r % 16})
+			}
+		}
+	}
+
+	cols := make([]Column, len(reps))
+	shortCount := map[string]int{}
+	for ci, rep := range reps {
+		name, full := columnNames(g, pats[rep.word], rep.dep)
+		shortCount[name]++
+		if n := shortCount[name]; n > 1 {
+			name = fmt.Sprintf("%s #%d", name, n)
+		}
+		cols[ci] = Column{Name: name, Full: full}
+	}
+
+	rows := make([][]string, 0, len(trees))
+	for _, t := range trees {
+		row := make([]string, len(reps))
+		for ci, rep := range reps {
+			row[ci] = g.Text(nodeAtDepth(g, t.Paths[rep.word], rep.dep))
+		}
+		rows = append(rows, row)
+	}
+	return Table{Columns: cols, Rows: rows}
+}
+
+// commonEdgePrefix returns how many leading EdgeIDs a and b share.
+func commonEdgePrefix(a, b []kg.EdgeID) int {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// nodeAtDepth returns the dep-th node on the path (0 = root). For an edge
+// match the deepest column (dep = len(Edges)) is the matched edge's target.
+func nodeAtDepth(g *kg.Graph, p Path, dep int) kg.NodeID {
+	if dep == 0 {
+		return p.Root
+	}
+	return g.Edge(p.Edges[dep-1]).Dst
+}
+
+// columnNames derives the short header and the paper's formal column name
+// for the dep-th column of a path with the given pattern.
+func columnNames(g *kg.Graph, pat PathPattern, dep int) (name, full string) {
+	if dep == 0 {
+		n := g.TypeName(pat.Types[0])
+		return n, n
+	}
+	attr := g.AttrName(pat.Attrs[dep-1])
+	prevType := g.TypeName(pat.Types[dep-1])
+	edgeTarget := pat.EdgeEnd && dep == len(pat.Attrs)
+	var targetType string
+	if !edgeTarget {
+		targetType = g.TypeName(pat.Types[dep])
+	}
+	switch {
+	case edgeTarget:
+		// Column holds the matched edge's target (often a Literal); name it
+		// after the attribute, like Figure 3's "Revenue".
+		return attr, prevType + "." + attr
+	case pat.Types[dep] == kg.LiteralType:
+		return attr, prevType + "." + attr
+	default:
+		return targetType, prevType + "." + attr + "." + targetType
+	}
+}
+
+// Render prints the table in a fixed-width ASCII layout for examples and
+// the kbsearch CLI. maxRows < 0 prints all rows.
+func (t Table) Render(maxRows int) string {
+	if len(t.Columns) == 0 {
+		return "(empty table)\n"
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c.Name)
+	}
+	n := len(t.Rows)
+	if maxRows >= 0 && n > maxRows {
+		n = maxRows
+	}
+	for _, row := range t.Rows[:n] {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	head := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		head[i] = c.Name
+	}
+	writeRow(head)
+	total := 0
+	for i := range widths {
+		total += widths[i]
+		if i > 0 {
+			total += 3
+		}
+	}
+	sb.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows[:n] {
+		writeRow(row)
+	}
+	if n < len(t.Rows) {
+		fmt.Fprintf(&sb, "... (%d more rows)\n", len(t.Rows)-n)
+	}
+	return sb.String()
+}

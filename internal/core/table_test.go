@@ -1,0 +1,225 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kbtable/internal/kg"
+)
+
+// buildP1Trees builds the pattern P1 of Figure 2(a) and its two valid
+// subtrees T1, T2 of Figure 1(d) against the fig1 graph, for the query
+// "database software company revenue".
+func buildP1Trees(t *testing.T) (*kg.Graph, *PatternTable, TreePattern, []Subtree) {
+	t.Helper()
+	g, ids := fig1(t)
+	pt := NewPatternTable()
+
+	mkTree := func(root kg.NodeID, genreE, devE, revE kg.EdgeID) Subtree {
+		return Subtree{
+			Root: root,
+			Paths: []Path{
+				{Root: root, Edges: []kg.EdgeID{genreE}},                    // database -> Model node
+				{Root: root},                                                // software -> root type
+				{Root: root, Edges: []kg.EdgeID{devE}},                      // company -> Company node
+				{Root: root, Edges: []kg.EdgeID{devE, revE}, EdgeEnd: true}, // revenue -> attribute
+			},
+			Terms: []ScoreTerms{{Len: 2, PR: 1, Sim: 0.5}, {Len: 1, PR: 1, Sim: 1}, {Len: 2, PR: 1, Sim: 1}, {Len: 3, PR: 1, Sim: 1}},
+		}
+	}
+	t1 := mkTree(ids["sqlserver"],
+		edgeFrom(t, g, ids["sqlserver"], "Genre"),
+		edgeFrom(t, g, ids["sqlserver"], "Developer"),
+		edgeFrom(t, g, ids["microsoft"], "Revenue"))
+	t2 := mkTree(ids["oracledb"],
+		edgeFrom(t, g, ids["oracledb"], "Genre"),
+		edgeFrom(t, g, ids["oracledb"], "Developer"),
+		edgeFrom(t, g, ids["oracle"], "Revenue"))
+
+	tp := TreePattern{Paths: make([]PatternID, 4)}
+	for i, p := range t1.Paths {
+		tp.Paths[i] = pt.Intern(p.Pattern(g))
+	}
+	// Sanity: T2 must have the same pattern.
+	for i, p := range t2.Paths {
+		if pt.Intern(p.Pattern(g)) != tp.Paths[i] {
+			t.Fatalf("T2 pattern mismatch at path %d", i)
+		}
+	}
+	return g, pt, tp, []Subtree{t1, t2}
+}
+
+func TestComposeTableFigure3(t *testing.T) {
+	g, pt, tp, trees := buildP1Trees(t)
+	tab := ComposeTable(g, pt, tp, trees)
+
+	// Figure 3: Software | Genre->Model | Company | Revenue. The root
+	// column is shared; the Developer edge appears in both the "company"
+	// and "revenue" paths and must yield ONE Company column.
+	if len(tab.Columns) != 4 {
+		names := []string{}
+		for _, c := range tab.Columns {
+			names = append(names, c.Name)
+		}
+		t.Fatalf("columns = %v, want 4 (Software, Model, Company, Revenue)", names)
+	}
+	wantCols := []string{"Software", "Model", "Company", "Revenue"}
+	for i, w := range wantCols {
+		if tab.Columns[i].Name != w {
+			t.Errorf("column %d = %q, want %q", i, tab.Columns[i].Name, w)
+		}
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	row1 := tab.Rows[0]
+	want1 := []string{"SQL Server", "Relational database", "Microsoft", "US$ 77 billion"}
+	for i := range want1 {
+		if row1[i] != want1[i] {
+			t.Errorf("row1[%d] = %q, want %q", i, row1[i], want1[i])
+		}
+	}
+	row2 := tab.Rows[1]
+	want2 := []string{"Oracle DB", "O-R database", "Oracle Corp", "US$ 37 billion"}
+	for i := range want2 {
+		if row2[i] != want2[i] {
+			t.Errorf("row2[%d] = %q, want %q", i, row2[i], want2[i])
+		}
+	}
+}
+
+func TestComposeTableFullNames(t *testing.T) {
+	g, pt, tp, trees := buildP1Trees(t)
+	tab := ComposeTable(g, pt, tp, trees)
+	if tab.Columns[0].Full != "Software" {
+		t.Errorf("root full name = %q", tab.Columns[0].Full)
+	}
+	if tab.Columns[2].Full != "Software.Developer.Company" {
+		t.Errorf("company full name = %q", tab.Columns[2].Full)
+	}
+	if tab.Columns[3].Full != "Company.Revenue" {
+		t.Errorf("revenue full name = %q", tab.Columns[3].Full)
+	}
+}
+
+func TestComposeTableNoMergeOnDivergentEdges(t *testing.T) {
+	// Two words whose patterns share a prefix but bind different concrete
+	// edges must NOT merge beyond the root: company1/company2 via two
+	// different Products edges of the same attribute type.
+	b := kg.NewBuilder()
+	ms := b.Entity("Company", "Microsoft")
+	w := b.Entity("Software", "Windows Database")
+	bing := b.Entity("Software", "Bing Search")
+	b.Attr(ms, "Products", w)
+	b.Attr(ms, "Products", bing)
+	g := b.MustFreeze()
+	first, _ := g.OutEdges(ms)
+	e1, e2 := first, first+1
+
+	pt := NewPatternTable()
+	tree := Subtree{
+		Root: ms,
+		Paths: []Path{
+			{Root: ms, Edges: []kg.EdgeID{e1}},
+			{Root: ms, Edges: []kg.EdgeID{e2}},
+		},
+		Terms: []ScoreTerms{{Len: 2, PR: 1, Sim: 1}, {Len: 2, PR: 1, Sim: 1}},
+	}
+	tp := TreePattern{Paths: []PatternID{
+		pt.Intern(tree.Paths[0].Pattern(g)),
+		pt.Intern(tree.Paths[1].Pattern(g)),
+	}}
+	tab := ComposeTable(g, pt, tp, []Subtree{tree})
+	// Root merges; the two Software columns stay separate: 3 columns.
+	if len(tab.Columns) != 3 {
+		t.Fatalf("columns = %d, want 3", len(tab.Columns))
+	}
+	if tab.Rows[0][1] == tab.Rows[0][2] {
+		t.Errorf("divergent product columns should differ: %v", tab.Rows[0])
+	}
+	// Duplicate short names get disambiguated.
+	if tab.Columns[1].Name == tab.Columns[2].Name {
+		t.Errorf("duplicate column names should be disambiguated: %v", tab.Columns)
+	}
+}
+
+func TestComposeTableEmpty(t *testing.T) {
+	g, _ := fig1(t)
+	pt := NewPatternTable()
+	tab := ComposeTable(g, pt, TreePattern{}, nil)
+	if len(tab.Columns) != 0 || len(tab.Rows) != 0 {
+		t.Errorf("empty input should give empty table")
+	}
+	if !strings.Contains(tab.Render(-1), "empty") {
+		t.Errorf("empty table render should say so")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	g, pt, tp, trees := buildP1Trees(t)
+	tab := ComposeTable(g, pt, tp, trees)
+	out := tab.Render(-1)
+	for _, want := range []string{"Software", "Microsoft", "US$ 37 billion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// maxRows truncation note.
+	out1 := tab.Render(1)
+	if !strings.Contains(out1, "1 more rows") {
+		t.Errorf("truncated render should count remaining rows:\n%s", out1)
+	}
+}
+
+func TestIsTreeShaped(t *testing.T) {
+	g, ids := fig1(t)
+	devE := edgeFrom(t, g, ids["sqlserver"], "Developer")
+	revE := edgeFrom(t, g, ids["microsoft"], "Revenue")
+	tree := Subtree{
+		Root: ids["sqlserver"],
+		Paths: []Path{
+			{Root: ids["sqlserver"], Edges: []kg.EdgeID{devE}},
+			{Root: ids["sqlserver"], Edges: []kg.EdgeID{devE, revE}},
+		},
+	}
+	if !tree.IsTreeShaped(g) {
+		t.Errorf("shared-prefix paths form a tree")
+	}
+	if n := tree.Size(g); n != 3 {
+		t.Errorf("Size = %d, want 3 (root, microsoft, revenue)", n)
+	}
+}
+
+func TestIsTreeShapedDiamond(t *testing.T) {
+	// r -> a -> x and r -> b -> x re-converge at x: not a tree.
+	b := kg.NewBuilder()
+	r := b.Entity("T", "r")
+	a := b.Entity("T", "a")
+	bb := b.Entity("T", "b")
+	x := b.Entity("T", "x")
+	b.Attr(r, "p", a)
+	b.Attr(r, "q", bb)
+	b.Attr(a, "p", x)
+	b.Attr(bb, "q", x)
+	g := b.MustFreeze()
+	pa := Path{Root: r, Edges: []kg.EdgeID{edgeFrom(t, g, r, "p"), edgeFrom(t, g, a, "p")}}
+	pb := Path{Root: r, Edges: []kg.EdgeID{edgeFrom(t, g, r, "q"), edgeFrom(t, g, bb, "q")}}
+	tree := Subtree{Root: r, Paths: []Path{pa, pb}}
+	if tree.IsTreeShaped(g) {
+		t.Errorf("diamond should not be tree-shaped")
+	}
+}
+
+func TestIsTreeShapedCycleToRoot(t *testing.T) {
+	b := kg.NewBuilder()
+	r := b.Entity("T", "r")
+	a := b.Entity("T", "a")
+	b.Attr(r, "p", a)
+	b.Attr(a, "p", r)
+	g := b.MustFreeze()
+	p := Path{Root: r, Edges: []kg.EdgeID{edgeFrom(t, g, r, "p"), edgeFrom(t, g, a, "p")}}
+	tree := Subtree{Root: r, Paths: []Path{p}}
+	if tree.IsTreeShaped(g) {
+		t.Errorf("path cycling back to root is not a tree")
+	}
+}

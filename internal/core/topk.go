@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// TopK keeps the k highest-scoring items seen so far. Ranking is by score
+// descending with ties broken by key ascending, so results are
+// deterministic across runs regardless of insertion order. Insertion is
+// O(log k) per the paper's Exp-IV analysis.
+type TopK[T any] struct {
+	k     int
+	items topkHeap[T]
+}
+
+type topkItem[T any] struct {
+	score float64
+	key   string
+	val   T
+}
+
+// topkHeap is a min-heap: the root is the *worst* retained item.
+type topkHeap[T any] []topkItem[T]
+
+func (h topkHeap[T]) Len() int { return len(h) }
+func (h topkHeap[T]) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score < h[j].score
+	}
+	return h[i].key > h[j].key // larger key = worse on ties
+}
+func (h topkHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap[T]) Push(x any)   { *h = append(*h, x.(topkItem[T])) }
+func (h *topkHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewTopK returns a TopK retaining at most k items; k <= 0 retains none.
+func NewTopK[T any](k int) *TopK[T] {
+	return &TopK[T]{k: k}
+}
+
+// Offer considers an item. It returns true if the item was retained.
+func (t *TopK[T]) Offer(score float64, key string, val T) bool {
+	if t.k <= 0 {
+		return false
+	}
+	it := topkItem[T]{score: score, key: key, val: val}
+	if len(t.items) < t.k {
+		heap.Push(&t.items, it)
+		return true
+	}
+	worst := t.items[0]
+	if worst.score > score || (worst.score == score && worst.key <= key) {
+		return false
+	}
+	t.items[0] = it
+	heap.Fix(&t.items, 0)
+	return true
+}
+
+// WouldAccept reports whether an item with the given score could enter the
+// queue, letting callers skip expensive materialization for hopeless items.
+func (t *TopK[T]) WouldAccept(score float64) bool {
+	if t.k <= 0 {
+		return false
+	}
+	if len(t.items) < t.k {
+		return true
+	}
+	return score >= t.items[0].score
+}
+
+// Len returns the number of retained items.
+func (t *TopK[T]) Len() int { return len(t.items) }
+
+// Results returns the retained items sorted best-first.
+func (t *TopK[T]) Results() []T {
+	sorted := make([]topkItem[T], len(t.items))
+	copy(sorted, t.items)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].score != sorted[j].score {
+			return sorted[i].score > sorted[j].score
+		}
+		return sorted[i].key < sorted[j].key
+	})
+	out := make([]T, len(sorted))
+	for i, it := range sorted {
+		out[i] = it.val
+	}
+	return out
+}
+
+// ResultScores returns the retained scores sorted best-first, parallel to
+// Results.
+func (t *TopK[T]) ResultScores() []float64 {
+	sorted := make([]topkItem[T], len(t.items))
+	copy(sorted, t.items)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].score != sorted[j].score {
+			return sorted[i].score > sorted[j].score
+		}
+		return sorted[i].key < sorted[j].key
+	})
+	out := make([]float64, len(sorted))
+	for i, it := range sorted {
+		out[i] = it.score
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/search"
+	"kbtable/internal/text"
+)
+
+func TestFig1Shape(t *testing.T) {
+	g, n := Fig1()
+	if g.NumNodes() != 15 { // 12 entities + 3 revenue literals
+		t.Errorf("nodes = %d, want 15", g.NumNodes())
+	}
+	if g.Type(n.MSRevenue) != kg.LiteralType {
+		t.Errorf("revenue node should be a literal")
+	}
+	if g.TypeName(g.Type(n.SQLServer)) != "Software" {
+		t.Errorf("SQL Server type wrong")
+	}
+	if !strings.Contains(strings.ToLower(g.Text(n.Book)), "software") {
+		t.Errorf("book title must contain 'software' for pattern P2")
+	}
+	// Deterministic: two builds identical.
+	g2, _ := Fig1()
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Errorf("Fig1 not deterministic")
+	}
+}
+
+func TestSynthWikiShape(t *testing.T) {
+	cfg := WikiConfig{Entities: 1500, Types: 40, Seed: 7}
+	g := SynthWiki(cfg)
+	if g.NumNodes() < 1500 {
+		t.Errorf("nodes = %d, want >= 1500 (entities plus literals)", g.NumNodes())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatalf("no edges")
+	}
+	if g.NumTypes() < 10 {
+		t.Errorf("too few types: %d", g.NumTypes())
+	}
+	// Deterministic for equal seeds, different for different seeds.
+	g2 := SynthWiki(cfg)
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Errorf("SynthWiki not deterministic")
+	}
+	g3 := SynthWiki(WikiConfig{Entities: 1500, Types: 40, Seed: 8})
+	if g3.NumEdges() == g.NumEdges() && g3.NumNodes() == g.NumNodes() {
+		t.Logf("warning: different seeds produced identical sizes (possible but unlikely)")
+	}
+}
+
+func TestSynthWikiQueryable(t *testing.T) {
+	g := SynthWiki(WikiConfig{Entities: 1200, Types: 30, Seed: 3})
+	ix, err := index.Build(g, index.Options{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := Workload(g, WorkloadConfig{PerM: 4, MaxM: 4, Seed: 3})
+	answered := 0
+	for _, q := range qs {
+		res := search.PETopK(ix, q.Text, search.Options{K: 10, SkipTrees: true})
+		if len(res.Patterns) > 0 {
+			answered++
+		}
+	}
+	if answered < len(qs)/3 {
+		t.Errorf("only %d/%d workload queries have answers; workload too disconnected", answered, len(qs))
+	}
+}
+
+func TestSynthIMDBShape(t *testing.T) {
+	g := SynthIMDB(IMDBConfig{Movies: 800, Seed: 5})
+	// Exactly 7 non-literal types + Literal = 8 registered type names.
+	if g.NumTypes() != 8 {
+		t.Errorf("types = %d, want 8 (7 IMDB types + Literal)", g.NumTypes())
+	}
+	for _, want := range []string{"Movie", "Person", "Character", "Company", "Genre", "Country"} {
+		if g.LookupType(want) < 0 {
+			t.Errorf("missing type %s", want)
+		}
+	}
+}
+
+// TestSynthIMDBMaxPathLength verifies the defining property: no directed
+// path has more than 3 nodes, so d=3 captures every tree pattern (the
+// paper's rationale for fixing d=3 on IMDB).
+func TestSynthIMDBMaxPathLength(t *testing.T) {
+	g := SynthIMDB(IMDBConfig{Movies: 300, Seed: 2})
+	// longest path from each node via DFS with memoization (graph is a DAG
+	// by construction; a cycle would overflow the recursion guard).
+	memo := make([]int, g.NumNodes())
+	for i := range memo {
+		memo[i] = -1
+	}
+	var depth func(v kg.NodeID, guard int) int
+	depth = func(v kg.NodeID, guard int) int {
+		if guard > 10 {
+			t.Fatalf("cycle detected at node %d", v)
+		}
+		if memo[v] >= 0 {
+			return memo[v]
+		}
+		best := 1
+		for _, e := range g.OutEdgeSlice(v) {
+			if d := 1 + depth(e.Dst, guard+1); d > best {
+				best = d
+			}
+		}
+		memo[v] = best
+		return best
+	}
+	maxLen := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := depth(kg.NodeID(v), 0); d > maxLen {
+			maxLen = d
+		}
+	}
+	if maxLen != 3 {
+		t.Errorf("longest directed path has %d nodes, want exactly 3", maxLen)
+	}
+}
+
+func TestSynthIMDBQueryable(t *testing.T) {
+	g := SynthIMDB(IMDBConfig{Movies: 500, Seed: 4})
+	ix, err := index.Build(g, index.Options{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := search.PETopK(ix, "gibson movie", search.Options{K: 10})
+	if len(res.Patterns) == 0 {
+		t.Errorf("'gibson movie' should have table answers on SynthIMDB")
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	g := SynthWiki(WikiConfig{Entities: 800, Types: 20, Seed: 1})
+	qs := Workload(g, WorkloadConfig{PerM: 5, MaxM: 6, Seed: 1})
+	if len(qs) != 30 {
+		t.Fatalf("got %d queries, want 30", len(qs))
+	}
+	counts := map[int]int{}
+	for _, q := range qs {
+		counts[q.M]++
+		words := strings.Fields(q.Text)
+		if len(words) != q.M {
+			t.Errorf("query %q labeled m=%d", q.Text, q.M)
+		}
+		for _, w := range words {
+			if toks := text.Tokenize(w); len(toks) != 1 || toks[0] != w {
+				t.Errorf("keyword %q is not a clean token", w)
+			}
+		}
+	}
+	for m := 1; m <= 6; m++ {
+		if counts[m] != 5 {
+			t.Errorf("m=%d has %d queries, want 5", m, counts[m])
+		}
+	}
+	// Deterministic.
+	qs2 := Workload(g, WorkloadConfig{PerM: 5, MaxM: 6, Seed: 1})
+	for i := range qs {
+		if qs[i] != qs2[i] {
+			t.Fatalf("workload not deterministic at %d", i)
+		}
+	}
+}
+
+func TestWorkloadEmptyGraph(t *testing.T) {
+	g := kg.NewBuilder().MustFreeze()
+	if qs := Workload(g, WorkloadConfig{PerM: 2, MaxM: 2}); qs != nil {
+		t.Errorf("empty graph should yield no workload")
+	}
+}
+
+func TestRandomEntitySubset(t *testing.T) {
+	g := SynthWiki(WikiConfig{Entities: 500, Types: 10, Seed: 1})
+	sub := RandomEntitySubset(g, 0.25, 42)
+	want := g.NumNodes() / 4
+	if len(sub) != want {
+		t.Errorf("subset size = %d, want %d", len(sub), want)
+	}
+	seen := map[kg.NodeID]bool{}
+	for _, v := range sub {
+		if seen[v] {
+			t.Fatalf("duplicate node in subset")
+		}
+		seen[v] = true
+		if int(v) >= g.NumNodes() {
+			t.Fatalf("node out of range")
+		}
+	}
+	// Deterministic by seed.
+	sub2 := RandomEntitySubset(g, 0.25, 42)
+	for i := range sub {
+		if sub[i] != sub2[i] {
+			t.Fatalf("subset not deterministic")
+		}
+	}
+	// Induced graph works end-to-end.
+	ind, _ := kg.Induce(g, sub)
+	if ind.NumNodes() != len(sub) {
+		t.Errorf("induced nodes = %d, want %d", ind.NumNodes(), len(sub))
+	}
+}

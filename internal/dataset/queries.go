@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// Query is one workload query.
+type Query struct {
+	Text string
+	M    int // number of keywords
+}
+
+// WorkloadConfig parameterizes query generation, standing in for the
+// paper's 500 Bing-log queries (Wiki) and 500 vocabulary-sampled queries
+// (IMDB): 1..MaxM keywords, PerM queries each.
+type WorkloadConfig struct {
+	// PerM is the number of queries per keyword count; default 50.
+	PerM int
+	// MaxM is the largest keyword count; default 10.
+	MaxM int
+	// D bounds the random walks that harvest co-occurring keywords;
+	// default 3.
+	D int
+	// RandomFrac is the fraction of keywords drawn uniformly from the
+	// graph vocabulary instead of a grounded walk (such words often make
+	// the query empty or selective, diversifying the workload); default 0.2.
+	RandomFrac float64
+	// Seed drives generation; default 1.
+	Seed int64
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.PerM == 0 {
+		c.PerM = 50
+	}
+	if c.MaxM == 0 {
+		c.MaxM = 10
+	}
+	if c.D == 0 {
+		c.D = 3
+	}
+	if c.RandomFrac == 0 {
+		c.RandomFrac = 0.2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Workload generates PerM queries for each keyword count 1..MaxM. Grounded
+// keywords are harvested from random forward walks out of a shared root, so
+// most queries have valid subtrees (a root reaching every keyword), with
+// result sizes spread over orders of magnitude — the x-axes of Figures 7–9.
+func Workload(g *kg.Graph, cfg WorkloadConfig) []Query {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	if g.NumNodes() == 0 {
+		return nil
+	}
+	vocab := graphVocabulary(g)
+	if len(vocab) == 0 {
+		return nil
+	}
+	var out []Query
+	for m := 1; m <= c.MaxM; m++ {
+		for q := 0; q < c.PerM; q++ {
+			words := groundedKeywords(g, rng, m, c)
+			for len(words) < m { // top up from the vocabulary
+				words = append(words, vocab[rng.Intn(len(vocab))])
+			}
+			out = append(out, Query{Text: strings.Join(words[:m], " "), M: m})
+		}
+	}
+	return out
+}
+
+// groundedKeywords picks a random root and harvests up to m keywords from
+// random paths of at most cfg.D nodes out of it.
+func groundedKeywords(g *kg.Graph, rng *rand.Rand, m int, cfg WorkloadConfig) []string {
+	if g.NumNodes() == 0 {
+		return nil
+	}
+	root := kg.NodeID(rng.Intn(g.NumNodes()))
+	// Prefer roots with some fan-out so multi-keyword queries can ground.
+	for tries := 0; tries < 10 && g.OutDegree(root) == 0; tries++ {
+		root = kg.NodeID(rng.Intn(g.NumNodes()))
+	}
+	seen := map[string]bool{}
+	var words []string
+	add := func(w string) {
+		if w != "" && !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	vocab := graphVocabulary(g)
+	// At most one uniformly-random keyword per query (probability
+	// RandomFrac): injecting it per keyword would make almost every
+	// large-m query empty, while the paper's log queries mostly have
+	// answers at every m.
+	randomAt := -1
+	if rng.Float64() < cfg.RandomFrac {
+		randomAt = rng.Intn(m)
+	}
+	for i := 0; len(words) < m && i < m*8; i++ {
+		if len(words) == randomAt && len(vocab) > 0 {
+			add(vocab[rng.Intn(len(vocab))])
+			continue
+		}
+		// Random walk of up to D-1 edges; harvest from the stop position.
+		cur := root
+		steps := rng.Intn(cfg.D)
+		var lastAttr string
+		for s := 0; s < steps; s++ {
+			deg := g.OutDegree(cur)
+			if deg == 0 {
+				break
+			}
+			first, _ := g.OutEdges(cur)
+			e := g.Edge(first + kg.EdgeID(rng.Intn(deg)))
+			lastAttr = g.AttrName(e.Attr)
+			cur = e.Dst
+		}
+		var src string
+		switch rng.Intn(3) {
+		case 0:
+			src = g.Text(cur)
+		case 1:
+			src = g.TypeName(g.Type(cur))
+		default:
+			if lastAttr != "" {
+				src = lastAttr
+			} else {
+				src = g.Text(cur)
+			}
+		}
+		toks := text.Tokenize(src)
+		if len(toks) > 0 {
+			add(toks[rng.Intn(len(toks))])
+		}
+	}
+	return words
+}
+
+// graphVocabulary collects the distinct tokens of all node texts, type
+// names and attribute names (the paper's "IMDB vocabulary" sampling pool).
+// Deterministic order: first occurrence during the scan.
+func graphVocabulary(g *kg.Graph) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		for _, t := range text.Tokenize(s) {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	for t := 0; t < g.NumTypes(); t++ {
+		add(g.TypeName(kg.TypeID(t)))
+	}
+	for a := 0; a < g.NumAttrs(); a++ {
+		add(g.AttrName(kg.AttrID(a)))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		add(g.Text(kg.NodeID(v)))
+	}
+	return out
+}
+
+// RandomEntitySubset picks a fraction of the nodes uniformly at random,
+// for the induced-subgraph scalability experiment (Figure 10 / Exp-III).
+func RandomEntitySubset(g *kg.Graph, frac float64, seed int64) []kg.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	k := int(float64(n) * frac)
+	perm := rng.Perm(n)
+	out := make([]kg.NodeID, 0, k)
+	for _, v := range perm[:k] {
+		out = append(out, kg.NodeID(v))
+	}
+	return out
+}

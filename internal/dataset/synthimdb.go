@@ -1,0 +1,156 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kbtable/internal/kg"
+)
+
+// IMDBConfig parameterizes SynthIMDB, the stand-in for the paper's IMDB
+// knowledge base (7 types, 6.58M entities, 79.42M edges). The two
+// IMDB-specific properties Section 5 relies on hold by construction:
+// exactly 7 entity types, and directed paths of at most 3 nodes (so d=3
+// covers every tree pattern and larger d changes nothing).
+type IMDBConfig struct {
+	// Movies is the number of movie entities; other types scale with it.
+	// Default 8000.
+	Movies int
+	// Seed drives all randomness; default 1.
+	Seed int64
+}
+
+func (c IMDBConfig) withDefaults() IMDBConfig {
+	if c.Movies == 0 {
+		c.Movies = 8000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+var (
+	imdbTitleWords = []string{
+		"dark", "night", "love", "war", "return", "king", "star", "dead",
+		"city", "girl", "man", "story", "last", "first", "blood", "house",
+		"game", "summer", "winter", "ghost", "dragon", "lost", "blue",
+		"red", "black", "white", "secret", "dream", "fire", "moon",
+	}
+	imdbFirstNames = []string{
+		"mel", "tom", "julia", "brad", "emma", "james", "mary", "robert",
+		"linda", "michael", "susan", "david", "karen", "john", "nancy",
+	}
+	imdbLastNames = []string{
+		"gibson", "hanks", "roberts", "pitt", "stone", "dean", "smith",
+		"jones", "brown", "davis", "miller", "wilson", "moore", "taylor",
+	}
+	imdbGenres = []string{
+		"action", "comedy", "drama", "thriller", "romance", "horror",
+		"western", "animation", "documentary", "crime", "fantasy", "war",
+	}
+	imdbCompanies = []string{
+		"paramount", "universal", "warner", "columbia", "fox", "mgm",
+		"lionsgate", "miramax", "dreamworks", "pixar",
+	}
+	imdbCountries = []string{
+		"usa", "uk", "france", "germany", "italy", "japan", "canada",
+		"australia", "spain", "india",
+	}
+	imdbTags = []string{
+		"revenge", "heist", "sequel", "superhero", "space", "robot",
+		"vampire", "detective", "road trip", "time travel", "zombie",
+		"courtroom", "boxing", "chess", "prison",
+	}
+)
+
+// SynthIMDB generates the IMDB-like knowledge graph with the 7-type schema
+//
+//	Movie -> starring/director/writer -> Person -> role -> Character
+//	Movie -> genre -> Genre, Movie -> producedBy -> Company,
+//	Movie -> country -> Country, Movie -> tag -> KeywordTag,
+//	Movie -> year -> (Literal)
+//
+// Person/Character/Genre/Company/Country/KeywordTag are sinks or one hop
+// from one, so every directed path has at most 3 nodes. Including the
+// reserved Literal type this gives exactly the paper's 7 entity types.
+func SynthIMDB(cfg IMDBConfig) *kg.Graph {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	b := kg.NewBuilder()
+
+	nPersons := c.Movies / 2
+	if nPersons < 10 {
+		nPersons = 10
+	}
+	nChars := c.Movies / 3
+	if nChars < 10 {
+		nChars = 10
+	}
+
+	persons := make([]kg.NodeID, nPersons)
+	for i := range persons {
+		persons[i] = b.Entity("Person", fmt.Sprintf("%s %s",
+			imdbFirstNames[rng.Intn(len(imdbFirstNames))],
+			imdbLastNames[rng.Intn(len(imdbLastNames))]))
+	}
+	chars := make([]kg.NodeID, nChars)
+	for i := range chars {
+		chars[i] = b.Entity("Character", fmt.Sprintf("%s %s",
+			imdbTitleWords[rng.Intn(len(imdbTitleWords))],
+			imdbLastNames[rng.Intn(len(imdbLastNames))]))
+	}
+	genres := make([]kg.NodeID, len(imdbGenres))
+	for i, gname := range imdbGenres {
+		genres[i] = b.Entity("Genre", gname)
+	}
+	companies := make([]kg.NodeID, len(imdbCompanies))
+	for i, cname := range imdbCompanies {
+		companies[i] = b.Entity("Company", cname+" pictures")
+	}
+	countries := make([]kg.NodeID, len(imdbCountries))
+	for i, cn := range imdbCountries {
+		countries[i] = b.Entity("Country", cn)
+	}
+	tags := make([]kg.NodeID, len(imdbTags))
+	for i, tg := range imdbTags {
+		tags[i] = b.Entity("KeywordTag", tg)
+	}
+
+	// Person -> role -> Character (one hop from a sink).
+	for _, p := range persons {
+		nroles := rng.Intn(3)
+		for r := 0; r < nroles; r++ {
+			b.Attr(p, "role", chars[rng.Intn(len(chars))])
+		}
+	}
+
+	for i := 0; i < c.Movies; i++ {
+		title := imdbTitleWords[rng.Intn(len(imdbTitleWords))]
+		for w := 0; w < rng.Intn(3); w++ {
+			title += " " + imdbTitleWords[rng.Intn(len(imdbTitleWords))]
+		}
+		m := b.Entity("Movie", title)
+		ncast := 1 + rng.Intn(4)
+		for j := 0; j < ncast; j++ {
+			b.Attr(m, "starring", persons[rng.Intn(len(persons))])
+		}
+		b.Attr(m, "director", persons[rng.Intn(len(persons))])
+		if rng.Float64() < 0.5 {
+			b.Attr(m, "writer", persons[rng.Intn(len(persons))])
+		}
+		b.Attr(m, "genre", genres[rng.Intn(len(genres))])
+		if rng.Float64() < 0.8 {
+			b.Attr(m, "producedBy", companies[rng.Intn(len(companies))])
+		}
+		if rng.Float64() < 0.8 {
+			b.Attr(m, "country", countries[rng.Intn(len(countries))])
+		}
+		ntags := rng.Intn(3)
+		for j := 0; j < ntags; j++ {
+			b.Attr(m, "tag", tags[rng.Intn(len(tags))])
+		}
+		b.TextAttr(m, "year", fmt.Sprintf("%d", 1950+rng.Intn(75)))
+	}
+	return b.MustFreeze()
+}

@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kbtable/internal/kg"
+)
+
+// WikiConfig parameterizes SynthWiki, the laptop-scale stand-in for the
+// paper's Wikipedia-infobox knowledge base (1.89M entities, 3,424 types,
+// 34.99M edges). The defaults give a graph whose query-time behaviour
+// (pattern counts, subtree counts, their spread across queries) scales the
+// same way; experiments vary these knobs directly.
+type WikiConfig struct {
+	// Entities is |V| before literal dummy nodes; default 20000.
+	Entities int
+	// Types is the number of entity types; default 150.
+	Types int
+	// AttrVocab is the number of distinct attribute types; default 120.
+	AttrVocab int
+	// Vocab is the word vocabulary size for entity texts; default 900.
+	Vocab int
+	// MaxAttrsPerType bounds each type's schema width; default 5.
+	MaxAttrsPerType int
+	// FillProb is the probability an entity instantiates each schema slot;
+	// default 0.75.
+	FillProb float64
+	// Seed drives all randomness; default 1.
+	Seed int64
+}
+
+func (c WikiConfig) withDefaults() WikiConfig {
+	if c.Entities == 0 {
+		c.Entities = 20000
+	}
+	if c.Types == 0 {
+		c.Types = 150
+	}
+	if c.AttrVocab == 0 {
+		c.AttrVocab = 120
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 900
+	}
+	if c.MaxAttrsPerType == 0 {
+		c.MaxAttrsPerType = 7
+	}
+	if c.FillProb == 0 {
+		c.FillProb = 0.85
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// wikiWords is the root word list entity texts draw from; combined with
+// numeric suffixes it yields a vocabulary of any requested size while
+// keeping words pronounceable (useful when reading experiment output).
+var wikiWords = []string{
+	"washington", "city", "population", "river", "university", "county",
+	"software", "database", "company", "revenue", "album", "band", "song",
+	"movie", "actor", "director", "president", "state", "capital", "lake",
+	"mountain", "village", "school", "college", "football", "club", "league",
+	"season", "airport", "station", "railway", "museum", "church", "bridge",
+	"island", "province", "district", "region", "party", "election", "book",
+	"author", "publisher", "novel", "journal", "professor", "physics",
+	"chemistry", "biology", "history", "science", "engine", "car", "ship",
+}
+
+// wikiTypeNames seeds entity-type names.
+var wikiTypeNames = []string{
+	"Settlement", "Person", "Company", "Software", "Film", "Album", "Book",
+	"University", "River", "Mountain", "Airline", "Team", "Station",
+	"Building", "Event", "Award", "Language", "Food", "Game", "Ship",
+}
+
+// wikiAttrNames seeds attribute-type names.
+var wikiAttrNames = []string{
+	"Location", "Founder", "Developer", "Population", "Revenue", "Genre",
+	"Author", "Publisher", "Director", "Starring", "Capital", "Country",
+	"Established", "Elevation", "Length", "Owner", "Products", "Industry",
+	"Spouse", "Residence", "Employer", "Operator", "Manufacturer", "Label",
+}
+
+// SynthWiki generates the Wiki-like knowledge graph. Entity texts are 1-3
+// words Zipf-sampled from the vocabulary, so common words ("city",
+// "washington") match many entities, like real infobox titles. Each type
+// has a schema of attribute slots pointing at other types or at literal
+// text; entities fill slots with FillProb and occasionally multiple values.
+func SynthWiki(cfg WikiConfig) *kg.Graph {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	b := kg.NewBuilder()
+
+	vocab := makeVocab(wikiWords, c.Vocab)
+	typeNames := makeVocab(wikiTypeNames, c.Types)
+	attrNames := makeVocab(wikiAttrNames, c.AttrVocab)
+
+	// Zipf samplers: rank-skewed usage of words and types.
+	wordZipf := rand.NewZipf(rng, 1.4, 4, uint64(len(vocab)-1))
+	typeZipf := rand.NewZipf(rng, 1.2, 8, uint64(len(typeNames)-1))
+
+	// Per-type schema: slots of (attr, target type or literal).
+	type slot struct {
+		attr   string
+		target int // type index, or -1 for literal text
+		multi  bool
+	}
+	schemas := make([][]slot, len(typeNames))
+	for t := range schemas {
+		ns := 2 + rng.Intn(c.MaxAttrsPerType-1)
+		for s := 0; s < ns; s++ {
+			sl := slot{attr: attrNames[rng.Intn(len(attrNames))]}
+			switch {
+			case rng.Float64() < 0.3:
+				sl.target = -1 // literal value
+			default:
+				// Bias targets toward the populous head types so that
+				// entity-to-entity chains (and thus deep patterns) are
+				// common, like infobox links to Person/Settlement/Company.
+				sl.target = int(float64(len(typeNames)) * rng.Float64() * rng.Float64())
+			}
+			sl.multi = rng.Float64() < 0.35
+			schemas[t] = append(schemas[t], sl)
+		}
+	}
+
+	// Entities, bucketed by type for edge targeting.
+	entType := make([]int, c.Entities)
+	byType := make([][]kg.NodeID, len(typeNames))
+	nodes := make([]kg.NodeID, c.Entities)
+	for i := 0; i < c.Entities; i++ {
+		t := int(typeZipf.Uint64())
+		entType[i] = t
+		nodes[i] = b.Entity(typeNames[t], randText(rng, wordZipf, vocab, 1+rng.Intn(3)))
+		byType[t] = append(byType[t], nodes[i])
+	}
+
+	// Edges per schema slot.
+	for i := 0; i < c.Entities; i++ {
+		for _, sl := range schemas[entType[i]] {
+			if rng.Float64() >= c.FillProb {
+				continue
+			}
+			nvals := 1
+			if sl.multi {
+				nvals += rng.Intn(3)
+			}
+			for v := 0; v < nvals; v++ {
+				if sl.target < 0 {
+					b.TextAttr(nodes[i], sl.attr, randText(rng, wordZipf, vocab, 1+rng.Intn(3)))
+					continue
+				}
+				pool := byType[sl.target]
+				if len(pool) == 0 {
+					continue
+				}
+				b.Attr(nodes[i], sl.attr, pool[rng.Intn(len(pool))])
+			}
+		}
+	}
+	return b.MustFreeze()
+}
+
+// makeVocab extends a base word list to size n with numbered variants.
+func makeVocab(base []string, n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		w := base[i%len(base)]
+		if i >= len(base) {
+			w = fmt.Sprintf("%s%d", w, i/len(base))
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// randText samples k Zipf-distributed words.
+func randText(rng *rand.Rand, z *rand.Zipf, vocab []string, k int) string {
+	s := ""
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += vocab[z.Uint64()]
+	}
+	return s
+}

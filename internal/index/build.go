@@ -1,0 +1,424 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+	"unsafe"
+
+	"kbtable/internal/core"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// wordSim is one word occurring in a piece of text together with the
+// precomputed Jaccard similarity sim(w, text) of score3.
+type wordSim struct {
+	Word text.WordID
+	Sim  float64
+}
+
+// Build runs Algorithm 1: for every root r it enumerates all simple paths
+// of at most D nodes by DFS, and files each (word, pattern, root, path)
+// into the posting lists. Roots are fanned out across Options.Workers
+// goroutines with contiguous root ranges so the merged result is
+// deterministic.
+func Build(g *kg.Graph, opts Options) (*Index, error) {
+	if opts.D < 1 {
+		return nil, fmt.Errorf("index: height threshold D must be >= 1, got %d", opts.D)
+	}
+	start := time.Now()
+	pr := resolvePageRank(g, opts)
+	if len(pr) != g.NumNodes() {
+		return nil, fmt.Errorf("index: PageRank vector has %d entries for %d nodes", len(pr), g.NumNodes())
+	}
+
+	ix := &Index{g: g, d: opts.D, dict: text.NewDict(), pt: core.NewPatternTable()}
+
+	// Phase 1 (single-threaded): intern the corpus vocabulary and
+	// precompute, per node and per attribute type, the canonical words
+	// occurring in their text together with sim(w, text).
+	for alias, canon := range opts.Synonyms {
+		ix.dict.AddSynonym(alias, canon)
+	}
+	nodeWords := make([][]wordSim, g.NumNodes())
+	typeWords := make([][]wordSim, g.NumTypes())
+	attrWords := make([][]wordSim, g.NumAttrs())
+	for t := 0; t < g.NumTypes(); t++ {
+		if kg.TypeID(t) == kg.LiteralType {
+			// Dummy text entities have their type omitted (Section 2.1 /
+			// Example 2.1); the reserved type's display name is not
+			// searchable text.
+			continue
+		}
+		typeWords[t] = wordSims(ix.dict, g.TypeName(kg.TypeID(t)))
+	}
+	for a := 0; a < g.NumAttrs(); a++ {
+		attrWords[a] = wordSims(ix.dict, g.AttrName(kg.AttrID(a)))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		// Words from the entity text and from its type's text; when a word
+		// appears in both, keep the higher similarity ("appears in the text
+		// description of a node or node type", condition ii).
+		own := wordSims(ix.dict, g.Text(kg.NodeID(v)))
+		nodeWords[v] = mergeWordSims(own, typeWords[g.Type(kg.NodeID(v))])
+	}
+
+	// Phase 2 (parallel): DFS per root over contiguous root ranges.
+	nWords := ix.dict.Len()
+	workers := defaultWorkers(opts.Workers)
+	n := g.NumNodes()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outs := make([]*builderState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := n * w / workers
+		hi := n * (w + 1) / workers
+		st := newBuilderState(ix, nWords, nodeWords, attrWords, pr)
+		outs[w] = st
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				st.dfsRoot(kg.NodeID(r))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Phase 3: merge worker outputs per word (worker ranges are in root
+	// order, so concatenation keeps entries root-ordered), then sort into
+	// the two views.
+	ix.words = make([]wordIndex, nWords)
+	patRootType := patternRootTypes(ix.pt)
+	for w := 0; w < nWords; w++ {
+		var total, totalEdges int
+		for _, st := range outs {
+			total += len(st.postings[w].entries)
+			totalEdges += len(st.postings[w].edgeBuf)
+		}
+		if total == 0 {
+			continue
+		}
+		wi := &ix.words[w]
+		wi.entries = make([]Entry, 0, total)
+		wi.edgeBuf = make([]kg.EdgeID, 0, totalEdges)
+		for _, st := range outs {
+			p := &st.postings[w]
+			base := int32(len(wi.edgeBuf))
+			wi.edgeBuf = append(wi.edgeBuf, p.edgeBuf...)
+			for _, e := range p.entries {
+				e.edgeOff += base
+				wi.entries = append(wi.entries, e)
+			}
+			// Release worker memory early.
+			p.entries = nil
+			p.edgeBuf = nil
+		}
+		finishWord(wi, patRootType)
+		ix.stats.NumEntries += int64(total)
+	}
+
+	ix.stats.D = opts.D
+	ix.stats.NumPatterns = ix.pt.Len()
+	ix.stats.Bytes = ix.sizeBytes()
+	ix.stats.BuildTime = time.Since(start)
+	return ix, nil
+}
+
+// wordSims canonicalizes the token set of s and attaches sim = 1/|tokens|,
+// the Jaccard similarity between any single contained word and s.
+func wordSims(d *text.Dict, s string) []wordSim {
+	toks := text.TokenSet(s)
+	if len(toks) == 0 {
+		return nil
+	}
+	sim := 1.0 / float64(len(toks))
+	out := make([]wordSim, 0, len(toks))
+	seen := make(map[text.WordID]struct{}, len(toks))
+	for _, t := range toks {
+		id := d.Canonical(d.Intern(t))
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, wordSim{Word: id, Sim: sim})
+	}
+	return out
+}
+
+// mergeWordSims unions two wordSim lists keeping the max similarity.
+func mergeWordSims(a, b []wordSim) []wordSim {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		out := make([]wordSim, len(b))
+		copy(out, b)
+		return out
+	}
+	out := make([]wordSim, len(a), len(a)+len(b))
+	copy(out, a)
+	for _, ws := range b {
+		found := false
+		for i := range out {
+			if out[i].Word == ws.Word {
+				if ws.Sim > out[i].Sim {
+					out[i].Sim = ws.Sim
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, ws)
+		}
+	}
+	return out
+}
+
+// postings is the per-word accumulation buffer of one worker.
+type postings struct {
+	entries []Entry
+	edgeBuf []kg.EdgeID
+}
+
+// builderState is the DFS state of one construction worker.
+type builderState struct {
+	ix        *Index
+	nodeWords [][]wordSim
+	attrWords [][]wordSim
+	pr        []float64
+	postings  []postings
+
+	// DFS stacks.
+	root   kg.NodeID
+	edges  []kg.EdgeID
+	types  []kg.TypeID
+	attrs  []kg.AttrID
+	onPath map[kg.NodeID]bool
+}
+
+func newBuilderState(ix *Index, nWords int, nodeWords, attrWords [][]wordSim, pr []float64) *builderState {
+	return &builderState{
+		ix:        ix,
+		nodeWords: nodeWords,
+		attrWords: attrWords,
+		pr:        pr,
+		postings:  make([]postings, nWords),
+		onPath:    make(map[kg.NodeID]bool, 16),
+	}
+}
+
+// dfsRoot enumerates all simple paths from r with at most d-1 edges.
+func (st *builderState) dfsRoot(r kg.NodeID) {
+	st.root = r
+	st.edges = st.edges[:0]
+	st.types = append(st.types[:0], st.ix.g.Type(r))
+	st.attrs = st.attrs[:0]
+	clear(st.onPath)
+	st.onPath[r] = true
+	st.visit(r)
+}
+
+// visit emits the node entry for the current path ending at v, then emits
+// edge entries and recurses for each out-edge while under the depth bound.
+func (st *builderState) visit(v kg.NodeID) {
+	g := st.ix.g
+	depth := len(st.edges) // number of edges on the current path
+
+	if words := st.nodeWords[v]; len(words) > 0 {
+		pid := st.ix.pt.Intern(st.snapshotPattern(false))
+		for _, ws := range words {
+			st.emit(ws, pid, false, v)
+		}
+	}
+	if depth >= st.ix.d-1 {
+		return
+	}
+	first, n := g.OutEdges(v)
+	for i := 0; i < n; i++ {
+		eid := first + kg.EdgeID(i)
+		e := g.Edge(eid)
+		if st.onPath[e.Dst] {
+			// Simple-path policy: a path revisiting a node cannot be part
+			// of a tree-shaped subtree, so neither node nor edge entries
+			// are emitted for it.
+			continue
+		}
+		// Edge match: the path ends at this edge's attribute type.
+		if words := st.attrWords[e.Attr]; len(words) > 0 {
+			st.edges = append(st.edges, eid)
+			st.attrs = append(st.attrs, e.Attr)
+			pid := st.ix.pt.Intern(st.snapshotPattern(true))
+			for _, ws := range words {
+				st.emit(ws, pid, true, v) // f(w) is the edge; PR uses source v
+			}
+			st.edges = st.edges[:len(st.edges)-1]
+			st.attrs = st.attrs[:len(st.attrs)-1]
+		}
+		// Extend the node path.
+		st.edges = append(st.edges, eid)
+		st.attrs = append(st.attrs, e.Attr)
+		st.types = append(st.types, g.Type(e.Dst))
+		st.onPath[e.Dst] = true
+		st.visit(e.Dst)
+		st.onPath[e.Dst] = false
+		st.types = st.types[:len(st.types)-1]
+		st.attrs = st.attrs[:len(st.attrs)-1]
+		st.edges = st.edges[:len(st.edges)-1]
+	}
+}
+
+// snapshotPattern copies the current DFS type/attr stacks into a pattern.
+func (st *builderState) snapshotPattern(edgeEnd bool) core.PathPattern {
+	types := make([]kg.TypeID, len(st.types))
+	copy(types, st.types)
+	attrs := make([]kg.AttrID, len(st.attrs))
+	copy(attrs, st.attrs)
+	return core.PathPattern{Types: types, Attrs: attrs, EdgeEnd: edgeEnd}
+}
+
+// emit files one posting. matchNode is the node carrying f(w) for PR
+// purposes: the end node for node matches, the edge source for edge matches.
+func (st *builderState) emit(ws wordSim, pid core.PatternID, edgeEnd bool, matchNode kg.NodeID) {
+	p := &st.postings[ws.Word]
+	off := int32(len(p.edgeBuf))
+	p.edgeBuf = append(p.edgeBuf, st.edges...)
+	p.entries = append(p.entries, Entry{
+		Pattern: pid,
+		Root:    st.root,
+		edgeOff: off,
+		edgeLen: uint8(len(st.edges)),
+		edgeEnd: edgeEnd,
+		Terms: core.ScoreTerms{
+			Len: len(st.edges) + 1,
+			PR:  st.pr[matchNode],
+			Sim: ws.Sim,
+		},
+	})
+}
+
+// patternRootTypes snapshots PatternID -> root type for fast sorting.
+func patternRootTypes(pt *core.PatternTable) []kg.TypeID {
+	n := pt.Len()
+	out := make([]kg.TypeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = pt.Get(core.PatternID(i)).RootType()
+	}
+	return out
+}
+
+// finishWord sorts one word's postings into the pattern-first order and
+// derives both views' group tables.
+func finishWord(wi *wordIndex, patRootType []kg.TypeID) {
+	// Pattern-first order: (root type, pattern, root); the pre-sort root
+	// order within equal keys is preserved by stability, keeping path
+	// enumeration deterministic.
+	sort.SliceStable(wi.entries, func(i, j int) bool {
+		a, b := &wi.entries[i], &wi.entries[j]
+		at, bt := patRootType[a.Pattern], patRootType[b.Pattern]
+		if at != bt {
+			return at < bt
+		}
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		return a.Root < b.Root
+	})
+
+	// Scan out patGroups / pfRuns / typeGroups.
+	n := int32(len(wi.entries))
+	for i := int32(0); i < n; {
+		j := i
+		pat := wi.entries[i].Pattern
+		runStart := int32(len(wi.pfRuns))
+		for j < n && wi.entries[j].Pattern == pat {
+			k := j
+			root := wi.entries[j].Root
+			for k < n && wi.entries[k].Pattern == pat && wi.entries[k].Root == root {
+				k++
+			}
+			wi.pfRuns = append(wi.pfRuns, rootRun{Root: root, Start: j, End: k})
+			j = k
+		}
+		wi.patGroups = append(wi.patGroups, patGroup{
+			Pattern:  pat,
+			RootType: patRootType[pat],
+			Start:    i,
+			End:      j,
+			RunStart: runStart,
+			RunEnd:   int32(len(wi.pfRuns)),
+		})
+		i = j
+	}
+	for i := 0; i < len(wi.patGroups); {
+		j := i
+		rt := wi.patGroups[i].RootType
+		for j < len(wi.patGroups) && wi.patGroups[j].RootType == rt {
+			j++
+		}
+		wi.typeGroups = append(wi.typeGroups, typeGroup{Type: rt, Start: int32(i), End: int32(j)})
+		i = j
+	}
+
+	// Root-first view: permutation sorted by (root, pattern, position).
+	wi.rootOrder = make([]int32, n)
+	for i := range wi.rootOrder {
+		wi.rootOrder[i] = int32(i)
+	}
+	sort.SliceStable(wi.rootOrder, func(x, y int) bool {
+		a, b := &wi.entries[wi.rootOrder[x]], &wi.entries[wi.rootOrder[y]]
+		if a.Root != b.Root {
+			return a.Root < b.Root
+		}
+		return a.Pattern < b.Pattern
+	})
+	for i := int32(0); i < n; {
+		j := i
+		root := wi.entries[wi.rootOrder[i]].Root
+		runStart := int32(len(wi.rfRuns))
+		for j < n && wi.entries[wi.rootOrder[j]].Root == root {
+			k := j
+			pat := wi.entries[wi.rootOrder[j]].Pattern
+			for k < n && wi.entries[wi.rootOrder[k]].Root == root && wi.entries[wi.rootOrder[k]].Pattern == pat {
+				k++
+			}
+			wi.rfRuns = append(wi.rfRuns, patRun{Pattern: pat, Start: j, End: k})
+			j = k
+		}
+		wi.rootGroups = append(wi.rootGroups, rootGroup{
+			Root:     root,
+			Start:    i,
+			End:      j,
+			RunStart: runStart,
+			RunEnd:   int32(len(wi.rfRuns)),
+		})
+		wi.roots = append(wi.roots, root)
+		i = j
+	}
+}
+
+// sizeBytes estimates the resident size of both views (Figure 6's "Size").
+func (ix *Index) sizeBytes() int64 {
+	var total int64
+	for i := range ix.words {
+		wi := &ix.words[i]
+		total += int64(len(wi.entries)) * int64(unsafe.Sizeof(Entry{}))
+		total += int64(len(wi.edgeBuf)) * 4
+		total += int64(len(wi.patGroups)) * int64(unsafe.Sizeof(patGroup{}))
+		total += int64(len(wi.pfRuns)) * int64(unsafe.Sizeof(rootRun{}))
+		total += int64(len(wi.typeGroups)) * int64(unsafe.Sizeof(typeGroup{}))
+		total += int64(len(wi.rootOrder)) * 4
+		total += int64(len(wi.rootGroups)) * int64(unsafe.Sizeof(rootGroup{}))
+		total += int64(len(wi.rfRuns)) * int64(unsafe.Sizeof(patRun{}))
+		total += int64(len(wi.roots)) * 4
+	}
+	return total
+}

@@ -1,0 +1,398 @@
+// Package index implements the paper's path-pattern based inverted indexes
+// (Section 3, Algorithm 1). For every word w it materializes all paths that
+// start at some root r, follow a pattern P, and end at a node or edge whose
+// text (entity text, entity-type text, or attribute-type text) contains w.
+//
+// The same entry set is exposed in the two orders of Figure 4:
+//
+//	pattern-first: Patterns(w), Roots(w,P), Paths(w,P,r)   — used by PATTERNENUM
+//	root-first:    Roots(w), Patterns(w,r), Paths(w,r[,P]) — used by LINEARENUM
+//
+// Entries carry the precomputed score terms |T(w)|, PR(f(w)) and
+// sim(w,f(w)) so that online scoring is a constant-time fold per path
+// (Section 3, last paragraph before Theorem 2).
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/kg"
+	"kbtable/internal/rank"
+	"kbtable/internal/text"
+)
+
+// Options configure index construction.
+type Options struct {
+	// D is the height threshold: indexed paths have at most D nodes
+	// (counting an edge match's target node). Must be >= 1.
+	D int
+	// PageRank supplies per-node importance for score2. If nil, PageRank
+	// is computed with the paper's defaults (a=0.85, eps=1e-8).
+	PageRank []float64
+	// UniformPR uses PR(v)=1 for all nodes (Example 2.4's assumption)
+	// instead of computing PageRank. Ignored when PageRank is non-nil.
+	UniformPR bool
+	// Synonyms maps alias words to canonical words; both point at the same
+	// posting list (Section 3: "every word has its stemmed version and
+	// synonyms in our index pointing to the same path-pattern entry").
+	Synonyms map[string]string
+	// Workers bounds construction parallelism; defaults to GOMAXPROCS.
+	Workers int
+}
+
+// Entry is one indexed path for one word: the path from Root following
+// Pattern to a node/edge containing the word, plus precomputed score terms.
+// The edge sequence lives in the per-word shared buffer (see wordIndex).
+type Entry struct {
+	Pattern core.PatternID
+	Root    kg.NodeID
+	edgeOff int32
+	edgeLen uint8
+	edgeEnd bool
+	Terms   core.ScoreTerms
+}
+
+// patGroup is a run of entries with the same pattern (pattern-first order).
+type patGroup struct {
+	Pattern    core.PatternID
+	RootType   kg.TypeID
+	Start, End int32 // entry range
+	RunStart   int32 // range in pfRuns
+	RunEnd     int32
+}
+
+// rootRun is a run of entries with the same (pattern, root).
+type rootRun struct {
+	Root       kg.NodeID
+	Start, End int32 // entry range
+}
+
+// typeGroup is a run of patGroups sharing a root type.
+type typeGroup struct {
+	Type       kg.TypeID
+	Start, End int32 // patGroup range
+}
+
+// rootGroup is a run of the root-first permutation with the same root.
+type rootGroup struct {
+	Root       kg.NodeID
+	Start, End int32 // range in rootOrder
+	RunStart   int32 // range in rfRuns
+	RunEnd     int32
+}
+
+// patRun is a run of rootOrder positions with the same pattern under one root.
+type patRun struct {
+	Pattern    core.PatternID
+	Start, End int32 // range in rootOrder
+}
+
+// wordIndex holds both index views for one canonical word.
+type wordIndex struct {
+	entries []Entry     // sorted by (root type, pattern, root, path)
+	edgeBuf []kg.EdgeID // backing storage for entry edge sequences
+
+	// Pattern-first view.
+	patGroups  []patGroup
+	pfRuns     []rootRun
+	typeGroups []typeGroup
+
+	// Root-first view: a permutation of entries sorted by (root, pattern).
+	rootOrder  []int32
+	rootGroups []rootGroup
+	rfRuns     []patRun
+
+	// roots is the sorted distinct root list (root-first Roots(w)).
+	roots []kg.NodeID
+}
+
+// Index is the pair of path-pattern indexes over a knowledge graph.
+type Index struct {
+	g     *kg.Graph
+	d     int
+	dict  *text.Dict
+	pt    *core.PatternTable
+	words []wordIndex // by canonical WordID; may be shorter than dict.Len()
+
+	stats Stats
+}
+
+// Stats reports construction cost, the quantities of the paper's Figure 6.
+type Stats struct {
+	BuildTime   time.Duration
+	Bytes       int64 // approximate resident size of the two indexes
+	NumEntries  int64 // total (word, path) postings
+	NumPatterns int   // distinct path patterns interned
+	D           int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("index{d=%d time=%v size=%.1fMB entries=%d patterns=%d}",
+		s.D, s.BuildTime.Round(time.Millisecond), float64(s.Bytes)/(1<<20), s.NumEntries, s.NumPatterns)
+}
+
+// Graph returns the indexed graph.
+func (ix *Index) Graph() *kg.Graph { return ix.g }
+
+// D returns the height threshold the index was built with.
+func (ix *Index) D() int { return ix.d }
+
+// Dict returns the corpus dictionary (for query tokenization).
+func (ix *Index) Dict() *text.Dict { return ix.dict }
+
+// PatternTable returns the shared pattern interner.
+func (ix *Index) PatternTable() *core.PatternTable { return ix.pt }
+
+// Stats returns construction statistics.
+func (ix *Index) Stats() Stats { return ix.stats }
+
+// Path materializes the concrete path of an entry.
+func (ix *Index) Path(w text.WordID, e *Entry) core.Path {
+	wi := &ix.words[w]
+	return core.Path{
+		Root:    e.Root,
+		Edges:   wi.edgeBuf[e.edgeOff : e.edgeOff+int32(e.edgeLen) : e.edgeOff+int32(e.edgeLen)],
+		EdgeEnd: e.edgeEnd,
+	}
+}
+
+// word returns the posting structure for w, or nil when w has no postings.
+func (ix *Index) word(w text.WordID) *wordIndex {
+	if w < 0 || int(w) >= len(ix.words) {
+		return nil
+	}
+	wi := &ix.words[w]
+	if len(wi.entries) == 0 {
+		return nil
+	}
+	return wi
+}
+
+// --- Pattern-first access methods (Figure 4a) ---
+
+// Patterns returns all path patterns following which some root reaches w.
+func (ix *Index) Patterns(w text.WordID) []core.PatternID {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil
+	}
+	out := make([]core.PatternID, len(wi.patGroups))
+	for i := range wi.patGroups {
+		out[i] = wi.patGroups[i].Pattern
+	}
+	return out
+}
+
+// PatternsOfType returns the path patterns rooted at type c that reach w:
+// the paper's PatternsC(wi) of Algorithm 2 line 3.
+func (ix *Index) PatternsOfType(w text.WordID, c kg.TypeID) []core.PatternID {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil
+	}
+	tg, ok := findTypeGroup(wi.typeGroups, c)
+	if !ok {
+		return nil
+	}
+	out := make([]core.PatternID, 0, tg.End-tg.Start)
+	for i := tg.Start; i < tg.End; i++ {
+		out = append(out, wi.patGroups[i].Pattern)
+	}
+	return out
+}
+
+// RootTypes returns the distinct root types of w's patterns, sorted.
+func (ix *Index) RootTypes(w text.WordID) []kg.TypeID {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil
+	}
+	out := make([]kg.TypeID, len(wi.typeGroups))
+	for i := range wi.typeGroups {
+		out[i] = wi.typeGroups[i].Type
+	}
+	return out
+}
+
+// RootsOf returns the sorted distinct roots that reach w through pattern p.
+func (ix *Index) RootsOf(w text.WordID, p core.PatternID) []kg.NodeID {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil
+	}
+	pg, ok := findPatGroup(wi.patGroups, ix.pt, p)
+	if !ok {
+		return nil
+	}
+	out := make([]kg.NodeID, 0, pg.RunEnd-pg.RunStart)
+	for i := pg.RunStart; i < pg.RunEnd; i++ {
+		out = append(out, wi.pfRuns[i].Root)
+	}
+	return out
+}
+
+// PathsPF returns the entries with pattern p starting at root r
+// (pattern-first Paths(w, P, r)). The returned slice is shared; callers
+// must not modify it.
+func (ix *Index) PathsPF(w text.WordID, p core.PatternID, r kg.NodeID) []Entry {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil
+	}
+	pg, ok := findPatGroup(wi.patGroups, ix.pt, p)
+	if !ok {
+		return nil
+	}
+	runs := wi.pfRuns[pg.RunStart:pg.RunEnd]
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].Root >= r })
+	if i == len(runs) || runs[i].Root != r {
+		return nil
+	}
+	return wi.entries[runs[i].Start:runs[i].End]
+}
+
+// --- Root-first access methods (Figure 4b) ---
+
+// Roots returns the sorted distinct roots that can reach w at all.
+func (ix *Index) Roots(w text.WordID) []kg.NodeID {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil
+	}
+	return wi.roots
+}
+
+// PatternsAt returns the patterns following which root r reaches w
+// (root-first Patterns(w, r)).
+func (ix *Index) PatternsAt(w text.WordID, r kg.NodeID) []core.PatternID {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil
+	}
+	rg, ok := findRootGroup(wi.rootGroups, r)
+	if !ok {
+		return nil
+	}
+	out := make([]core.PatternID, 0, rg.RunEnd-rg.RunStart)
+	for i := rg.RunStart; i < rg.RunEnd; i++ {
+		out = append(out, wi.rfRuns[i].Pattern)
+	}
+	return out
+}
+
+// NumPathsAt returns |Paths(w, r)| without materializing them
+// (Algorithm 4 line 4 computes NR from these counts).
+func (ix *Index) NumPathsAt(w text.WordID, r kg.NodeID) int {
+	wi := ix.word(w)
+	if wi == nil {
+		return 0
+	}
+	rg, ok := findRootGroup(wi.rootGroups, r)
+	if !ok {
+		return 0
+	}
+	return int(rg.End - rg.Start)
+}
+
+// PathsAt invokes fn for every entry rooted at r (root-first Paths(w, r)),
+// in (pattern, path) order.
+func (ix *Index) PathsAt(w text.WordID, r kg.NodeID, fn func(*Entry)) {
+	wi := ix.word(w)
+	if wi == nil {
+		return
+	}
+	rg, ok := findRootGroup(wi.rootGroups, r)
+	if !ok {
+		return
+	}
+	for i := rg.Start; i < rg.End; i++ {
+		fn(&wi.entries[wi.rootOrder[i]])
+	}
+}
+
+// PathsRF returns the entries rooted at r with pattern p (root-first
+// Paths(w, r, P)) as entry indices resolved through the permutation; fn is
+// called once per entry.
+func (ix *Index) PathsRF(w text.WordID, r kg.NodeID, p core.PatternID, fn func(*Entry)) {
+	wi := ix.word(w)
+	if wi == nil {
+		return
+	}
+	rg, ok := findRootGroup(wi.rootGroups, r)
+	if !ok {
+		return
+	}
+	runs := wi.rfRuns[rg.RunStart:rg.RunEnd]
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].Pattern >= p })
+	if i == len(runs) || runs[i].Pattern != p {
+		return
+	}
+	for j := runs[i].Start; j < runs[i].End; j++ {
+		fn(&wi.entries[wi.rootOrder[j]])
+	}
+}
+
+// CountPathsRF returns |Paths(w, r, P)|.
+func (ix *Index) CountPathsRF(w text.WordID, r kg.NodeID, p core.PatternID) int {
+	n := 0
+	ix.PathsRF(w, r, p, func(*Entry) { n++ })
+	return n
+}
+
+// --- binary searches over the group tables ---
+
+func findTypeGroup(tgs []typeGroup, c kg.TypeID) (typeGroup, bool) {
+	i := sort.Search(len(tgs), func(i int) bool { return tgs[i].Type >= c })
+	if i == len(tgs) || tgs[i].Type != c {
+		return typeGroup{}, false
+	}
+	return tgs[i], true
+}
+
+// findPatGroup locates the group for pattern p. Groups are sorted by
+// (root type, pattern id), so the root type is recovered from the pattern.
+func findPatGroup(pgs []patGroup, pt *core.PatternTable, p core.PatternID) (patGroup, bool) {
+	rt := pt.Get(p).RootType()
+	i := sort.Search(len(pgs), func(i int) bool {
+		if pgs[i].RootType != rt {
+			return pgs[i].RootType >= rt
+		}
+		return pgs[i].Pattern >= p
+	})
+	if i == len(pgs) || pgs[i].Pattern != p {
+		return patGroup{}, false
+	}
+	return pgs[i], true
+}
+
+func findRootGroup(rgs []rootGroup, r kg.NodeID) (rootGroup, bool) {
+	i := sort.Search(len(rgs), func(i int) bool { return rgs[i].Root >= r })
+	if i == len(rgs) || rgs[i].Root != r {
+		return rootGroup{}, false
+	}
+	return rgs[i], true
+}
+
+// defaultWorkers resolves the worker count.
+func defaultWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolvePageRank picks the PR vector per Options.
+func resolvePageRank(g *kg.Graph, o Options) []float64 {
+	switch {
+	case o.PageRank != nil:
+		return o.PageRank
+	case o.UniformPR:
+		return rank.Uniform(g)
+	default:
+		return rank.PageRank(g, rank.Options{})
+	}
+}

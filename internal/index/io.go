@@ -1,0 +1,169 @@
+package index
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// The wire format stores the dictionary, the interned patterns, and the
+// raw posting lists; the pattern-first / root-first group tables are
+// rebuilt on load (they are derived data and sort faster than DFS).
+
+type entryWire struct {
+	Pattern core.PatternID
+	Root    kg.NodeID
+	EdgeOff int32
+	EdgeLen uint8
+	EdgeEnd bool
+	Len     uint8
+	PR      float64
+	Sim     float64
+}
+
+type wordWire struct {
+	Entries []entryWire
+	EdgeBuf []kg.EdgeID
+}
+
+type indexWire struct {
+	D        int
+	Dict     text.Snapshot
+	Patterns []core.PathPattern
+	Words    []wordWire
+	// Graph fingerprint: load refuses an index built for a different graph.
+	Nodes, Edges int
+}
+
+// Encode serializes the index. The graph itself is not included; pair the
+// index file with the graph file it was built from (Load verifies node and
+// edge counts).
+func (ix *Index) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	wire := indexWire{
+		D:        ix.d,
+		Dict:     ix.dict.Snapshot(),
+		Patterns: ix.pt.Snapshot(),
+		Words:    make([]wordWire, len(ix.words)),
+		Nodes:    ix.g.NumNodes(),
+		Edges:    ix.g.NumEdges(),
+	}
+	for i := range ix.words {
+		wi := &ix.words[i]
+		ww := wordWire{EdgeBuf: wi.edgeBuf}
+		ww.Entries = make([]entryWire, len(wi.entries))
+		for j, e := range wi.entries {
+			ww.Entries[j] = entryWire{
+				Pattern: e.Pattern,
+				Root:    e.Root,
+				EdgeOff: e.edgeOff,
+				EdgeLen: e.edgeLen,
+				EdgeEnd: e.edgeEnd,
+				Len:     uint8(e.Terms.Len),
+				PR:      e.Terms.PR,
+				Sim:     e.Terms.Sim,
+			}
+		}
+		wire.Words[i] = ww
+	}
+	if err := enc.Encode(&wire); err != nil {
+		return fmt.Errorf("index: encode: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Encode and re-derives the two access
+// views against the supplied graph.
+func Load(r io.Reader, g *kg.Graph) (*Index, error) {
+	start := time.Now()
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var wire indexWire
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if wire.Nodes != g.NumNodes() || wire.Edges != g.NumEdges() {
+		return nil, fmt.Errorf("index: built for a graph with %d nodes/%d edges, got %d/%d",
+			wire.Nodes, wire.Edges, g.NumNodes(), g.NumEdges())
+	}
+	if wire.D < 1 {
+		return nil, fmt.Errorf("index: invalid height threshold %d", wire.D)
+	}
+	dict, err := text.FromSnapshot(wire.Dict)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		g:    g,
+		d:    wire.D,
+		dict: dict,
+		pt:   core.TableFromSnapshot(wire.Patterns),
+	}
+	patRootType := patternRootTypes(ix.pt)
+	ix.words = make([]wordIndex, len(wire.Words))
+	for i := range wire.Words {
+		ww := &wire.Words[i]
+		if len(ww.Entries) == 0 {
+			continue
+		}
+		wi := &ix.words[i]
+		wi.edgeBuf = ww.EdgeBuf
+		wi.entries = make([]Entry, len(ww.Entries))
+		for j, e := range ww.Entries {
+			if int(e.Pattern) >= ix.pt.Len() || e.Pattern < 0 {
+				return nil, fmt.Errorf("index: entry references unknown pattern %d", e.Pattern)
+			}
+			if int(e.Root) >= g.NumNodes() || e.Root < 0 {
+				return nil, fmt.Errorf("index: entry references node %d out of range", e.Root)
+			}
+			if int(e.EdgeOff)+int(e.EdgeLen) > len(ww.EdgeBuf) {
+				return nil, fmt.Errorf("index: entry edge range out of bounds")
+			}
+			wi.entries[j] = Entry{
+				Pattern: e.Pattern,
+				Root:    e.Root,
+				edgeOff: e.EdgeOff,
+				edgeLen: e.EdgeLen,
+				edgeEnd: e.EdgeEnd,
+				Terms:   core.ScoreTerms{Len: int(e.Len), PR: e.PR, Sim: e.Sim},
+			}
+		}
+		finishWord(wi, patRootType)
+		ix.stats.NumEntries += int64(len(wi.entries))
+	}
+	ix.stats.D = wire.D
+	ix.stats.NumPatterns = ix.pt.Len()
+	ix.stats.Bytes = ix.sizeBytes()
+	ix.stats.BuildTime = time.Since(start) // load time; cheaper than DFS
+	return ix, nil
+}
+
+// SaveFile writes the index to path.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := ix.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index from path against the given graph.
+func LoadFile(path string, g *kg.Graph) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f, g)
+}

@@ -1,0 +1,162 @@
+package kg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates entities and attributes and produces an immutable
+// Graph. It mirrors the knowledge-base view of Figure 1(a)-(c): entities
+// have a type and text, and attributes either reference other entities or
+// hold plain text (which becomes a dummy Literal entity).
+//
+// Builder is not safe for concurrent use.
+type Builder struct {
+	typeIDs   map[string]TypeID
+	typeNames []string
+	attrIDs   map[string]AttrID
+	attrNames []string
+
+	nodeType []TypeID
+	nodeText []string
+	edges    []Edge
+}
+
+// NewBuilder returns a Builder with the reserved Literal type registered.
+func NewBuilder() *Builder {
+	b := &Builder{
+		typeIDs: make(map[string]TypeID),
+		attrIDs: make(map[string]AttrID),
+	}
+	// Reserve TypeID 0 for plain-text dummy entities.
+	b.typeIDs["Literal"] = LiteralType
+	b.typeNames = append(b.typeNames, "Literal")
+	return b
+}
+
+// TypeID interns an entity-type name.
+func (b *Builder) TypeID(name string) TypeID {
+	if id, ok := b.typeIDs[name]; ok {
+		return id
+	}
+	id := TypeID(len(b.typeNames))
+	b.typeIDs[name] = id
+	b.typeNames = append(b.typeNames, name)
+	return id
+}
+
+// AttrID interns an attribute-type name.
+func (b *Builder) AttrID(name string) AttrID {
+	if id, ok := b.attrIDs[name]; ok {
+		return id
+	}
+	id := AttrID(len(b.attrNames))
+	b.attrIDs[name] = id
+	b.attrNames = append(b.attrNames, name)
+	return id
+}
+
+// Entity adds an entity with the given type name and text description and
+// returns its NodeID.
+func (b *Builder) Entity(typeName, text string) NodeID {
+	return b.EntityT(b.TypeID(typeName), text)
+}
+
+// EntityT adds an entity with an already-interned type.
+func (b *Builder) EntityT(t TypeID, text string) NodeID {
+	id := NodeID(len(b.nodeType))
+	b.nodeType = append(b.nodeType, t)
+	b.nodeText = append(b.nodeText, text)
+	return id
+}
+
+// Attr adds the attribute src.attrName = dst, i.e. a directed typed edge.
+// Multi-valued attributes are expressed by calling Attr repeatedly with the
+// same attrName (cf. "Products" of "Microsoft" in Example 2.1).
+func (b *Builder) Attr(src NodeID, attrName string, dst NodeID) {
+	b.AttrT(src, b.AttrID(attrName), dst)
+}
+
+// AttrT adds an edge with an already-interned attribute type.
+func (b *Builder) AttrT(src NodeID, a AttrID, dst NodeID) {
+	b.edges = append(b.edges, Edge{Src: src, Dst: dst, Attr: a})
+}
+
+// TextAttr adds the attribute src.attrName = text where text is plain text:
+// a dummy Literal entity is created to hold the text, per Section 2.1.
+// The dummy node's ID is returned so callers can attach further structure.
+func (b *Builder) TextAttr(src NodeID, attrName, value string) NodeID {
+	v := b.EntityT(LiteralType, value)
+	b.Attr(src, attrName, v)
+	return v
+}
+
+// NumNodes returns the number of entities added so far.
+func (b *Builder) NumNodes() int { return len(b.nodeType) }
+
+// Freeze validates the accumulated data and returns the immutable Graph.
+// Edges are re-ordered (stably) by source node to form the CSR layout.
+func (b *Builder) Freeze() (*Graph, error) {
+	n := len(b.nodeType)
+	for i, e := range b.edges {
+		if e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n {
+			return nil, fmt.Errorf("kg: edge %d (%d->%d) references node out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+	}
+
+	g := &Graph{
+		typeNames: b.typeNames,
+		attrNames: b.attrNames,
+		nodeType:  b.nodeType,
+		nodeText:  b.nodeText,
+	}
+
+	// Forward CSR: stable sort by Src keeps per-node insertion order, which
+	// makes EdgeIDs (and everything derived) deterministic.
+	edges := make([]Edge, len(b.edges))
+	copy(edges, b.edges)
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Src < edges[j].Src })
+	g.edges = edges
+	g.outStart = make([]int32, n+1)
+	for _, e := range edges {
+		g.outStart[e.Src+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outStart[i+1] += g.outStart[i]
+	}
+
+	// Backward CSR over EdgeIDs.
+	g.inStart = make([]int32, n+1)
+	for _, e := range edges {
+		g.inStart[e.Dst+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.inStart[i+1] += g.inStart[i]
+	}
+	g.inEdges = make([]EdgeID, len(edges))
+	cursor := make([]int32, n)
+	copy(cursor, g.inStart[:n])
+	for id, e := range edges {
+		g.inEdges[cursor[e.Dst]] = EdgeID(id)
+		cursor[e.Dst]++
+	}
+
+	// Partition nodes by type.
+	g.nodesByType = make([][]NodeID, len(b.typeNames))
+	for v := 0; v < n; v++ {
+		t := b.nodeType[v]
+		g.nodesByType[t] = append(g.nodesByType[t], NodeID(v))
+	}
+
+	return g, nil
+}
+
+// MustFreeze is Freeze that panics on error; for tests and fixtures where
+// the input is known-valid.
+func (b *Builder) MustFreeze() *Graph {
+	g, err := b.Freeze()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,45 @@
+package kg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph (or a neighborhood of it) in Graphviz DOT
+// format for visual inspection. maxNodes bounds output size: nodes beyond
+// the bound are skipped together with their edges (0 = all). Node labels
+// show "text : type"; edge labels show the attribute type.
+func (g *Graph) WriteDOT(w io.Writer, maxNodes int) error {
+	if maxNodes <= 0 || maxNodes > g.NumNodes() {
+		maxNodes = g.NumNodes()
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph kb {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for v := 0; v < maxNodes; v++ {
+		id := NodeID(v)
+		label := g.Text(id)
+		if g.Type(id) != LiteralType {
+			label += "\\n: " + g.TypeName(g.Type(id))
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"];\n", v, dotEscape(label))
+	}
+	for v := 0; v < maxNodes; v++ {
+		for _, e := range g.OutEdgeSlice(NodeID(v)) {
+			if int(e.Dst) >= maxNodes {
+				continue
+			}
+			fmt.Fprintf(&sb, "  n%d -> n%d [label=\"%s\", fontsize=9];\n",
+				e.Src, e.Dst, dotEscape(g.AttrName(e.Attr)))
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

@@ -1,0 +1,63 @@
+package kg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	b := NewBuilder()
+	s := b.Entity("Software", `SQL "Server"`)
+	c := b.Entity("Company", "Microsoft")
+	b.Attr(s, "Developer", c)
+	b.TextAttr(c, "Revenue", "US$ 77 billion")
+	g := b.MustFreeze()
+
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, 0); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph kb {",
+		`SQL \"Server\"`, // quotes escaped
+		"Developer",
+		"Microsoft",
+		"US$ 77 billion",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Literal node has no ": Type" suffix.
+	if strings.Contains(out, "US$ 77 billion\\n:") {
+		t.Errorf("literal node should not show a type")
+	}
+}
+
+func TestWriteDOTBounded(t *testing.T) {
+	b := NewBuilder()
+	var prev NodeID
+	for i := 0; i < 10; i++ {
+		v := b.Entity("T", "node")
+		if i > 0 {
+			b.Attr(prev, "next", v)
+		}
+		prev = v
+	}
+	g := b.MustFreeze()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "[label=\"node\\\\n: T\"]") != 3 {
+		t.Errorf("bounded DOT should have 3 nodes:\n%s", out)
+	}
+	// Edges crossing the bound are dropped: only n0->n1, n1->n2 remain.
+	if strings.Count(out, "->") != 2 {
+		t.Errorf("bounded DOT should have 2 edges:\n%s", out)
+	}
+}

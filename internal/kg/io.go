@@ -1,0 +1,85 @@
+package kg
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// graphWire is the gob wire format of a Graph. Only the builder-level data
+// is persisted; CSR structures are rebuilt on load, which keeps the format
+// small and decouples it from in-memory layout.
+type graphWire struct {
+	TypeNames []string
+	AttrNames []string
+	NodeType  []TypeID
+	NodeText  []string
+	Edges     []Edge
+}
+
+// Encode serializes the graph with encoding/gob.
+func (g *Graph) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	wire := graphWire{
+		TypeNames: g.typeNames,
+		AttrNames: g.attrNames,
+		NodeType:  g.nodeType,
+		NodeText:  g.nodeText,
+		Edges:     g.edges,
+	}
+	if err := enc.Encode(&wire); err != nil {
+		return fmt.Errorf("kg: encode graph: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a graph written by Encode.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var wire graphWire
+	if err := dec.Decode(&wire); err != nil {
+		return nil, fmt.Errorf("kg: decode graph: %w", err)
+	}
+	b := &Builder{
+		typeIDs:   make(map[string]TypeID, len(wire.TypeNames)),
+		typeNames: wire.TypeNames,
+		attrIDs:   make(map[string]AttrID, len(wire.AttrNames)),
+		attrNames: wire.AttrNames,
+		nodeType:  wire.NodeType,
+		nodeText:  wire.NodeText,
+		edges:     wire.Edges,
+	}
+	for i, n := range wire.TypeNames {
+		b.typeIDs[n] = TypeID(i)
+	}
+	for i, n := range wire.AttrNames {
+		b.attrIDs[n] = AttrID(i)
+	}
+	return b.Freeze()
+}
+
+// SaveFile writes the graph to path.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("kg: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := g.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("kg: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

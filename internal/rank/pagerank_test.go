@@ -1,0 +1,145 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kbtable/internal/kg"
+)
+
+func chain(n int) *kg.Graph {
+	b := kg.NewBuilder()
+	var ids []kg.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, b.Entity("T", "v"))
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Attr(ids[i], "next", ids[i+1])
+	}
+	return b.MustFreeze()
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := chain(10)
+	pr := PageRank(g, Options{})
+	sum := 0.0
+	for _, p := range pr {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("PageRank sum = %v, want 1", sum)
+	}
+}
+
+func TestPageRankChainMonotone(t *testing.T) {
+	// On a directed chain, rank accumulates downstream.
+	g := chain(5)
+	pr := PageRank(g, Options{})
+	for i := 0; i+1 < len(pr); i++ {
+		if pr[i] >= pr[i+1] {
+			t.Errorf("chain rank should strictly increase: pr[%d]=%v >= pr[%d]=%v", i, pr[i], i+1, pr[i+1])
+		}
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// Hub pointing at k spokes: all spokes equal, hub lowest.
+	b := kg.NewBuilder()
+	hub := b.Entity("T", "hub")
+	var spokes []kg.NodeID
+	for i := 0; i < 4; i++ {
+		s := b.Entity("T", "spoke")
+		spokes = append(spokes, s)
+		b.Attr(hub, "a", s)
+	}
+	g := b.MustFreeze()
+	pr := PageRank(g, Options{})
+	for i := 1; i < len(spokes); i++ {
+		if math.Abs(pr[spokes[i]]-pr[spokes[0]]) > 1e-9 {
+			t.Errorf("spokes should have equal rank")
+		}
+	}
+	if pr[hub] >= pr[spokes[0]] {
+		t.Errorf("hub rank %v should be below spoke rank %v", pr[hub], pr[spokes[0]])
+	}
+}
+
+func TestPageRankCycleUniform(t *testing.T) {
+	// A directed cycle is symmetric: all nodes get 1/n.
+	b := kg.NewBuilder()
+	n := 6
+	var ids []kg.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, b.Entity("T", "v"))
+	}
+	for i := 0; i < n; i++ {
+		b.Attr(ids[i], "a", ids[(i+1)%n])
+	}
+	g := b.MustFreeze()
+	pr := PageRank(g, Options{})
+	for _, p := range pr {
+		if math.Abs(p-1.0/float64(n)) > 1e-7 {
+			t.Errorf("cycle rank %v, want %v", p, 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankEmptyGraph(t *testing.T) {
+	g := kg.NewBuilder().MustFreeze()
+	if pr := PageRank(g, Options{}); pr != nil {
+		t.Errorf("empty graph should return nil")
+	}
+}
+
+func TestPageRankRandomGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := kg.NewBuilder()
+	n := 200
+	var ids []kg.NodeID
+	for i := 0; i < n; i++ {
+		ids = append(ids, b.Entity("T", "v"))
+	}
+	for i := 0; i < 800; i++ {
+		b.Attr(ids[rng.Intn(n)], "a", ids[rng.Intn(n)])
+	}
+	g := b.MustFreeze()
+	pr := PageRank(g, Options{})
+	sum := 0.0
+	for _, p := range pr {
+		if p <= 0 {
+			t.Fatalf("rank must be positive, got %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("sum = %v, want 1", sum)
+	}
+}
+
+func TestPageRankMaxIterRespected(t *testing.T) {
+	g := chain(50)
+	// One iteration only: result differs from converged run.
+	one := PageRank(g, Options{MaxIter: 1})
+	full := PageRank(g, Options{})
+	diff := 0.0
+	for i := range one {
+		diff += math.Abs(one[i] - full[i])
+	}
+	if diff == 0 {
+		t.Errorf("1-iteration result should differ from converged result")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	g := chain(3)
+	u := Uniform(g)
+	if len(u) != 3 {
+		t.Fatalf("len = %d", len(u))
+	}
+	for _, v := range u {
+		if v != 1 {
+			t.Errorf("uniform score should be 1")
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"kbtable/internal/core"
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+)
+
+// buildIMDB builds a small SynthIMDB index shared by the integration tests.
+func buildIMDB(t testing.TB) *index.Index {
+	t.Helper()
+	g := dataset.SynthIMDB(dataset.IMDBConfig{Movies: 400, Seed: 9})
+	ix, err := index.Build(g, index.Options{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestIMDBActorMovies: the paper's "Mel Gibson movies" intent. The top
+// pattern for "gibson movie" must be rooted at Movie and route "gibson"
+// through a person edge, so the table lists movies as rows.
+func TestIMDBActorMovies(t *testing.T) {
+	ix := buildIMDB(t)
+	res := PETopK(ix, "gibson movie", Options{K: 5})
+	if len(res.Patterns) == 0 {
+		t.Fatalf("no answers")
+	}
+	g := ix.Graph()
+	pt := ix.PatternTable()
+	top := res.Patterns[0]
+	if got := g.TypeName(top.Pattern.RootType(pt)); got != "Movie" {
+		t.Errorf("top pattern rooted at %s, want Movie", got)
+	}
+	rendered := top.Pattern.Render(g, pt, res.Stats.Surfaces)
+	if !strings.Contains(rendered, "(Person)") {
+		t.Errorf("gibson should match through a Person path:\n%s", rendered)
+	}
+	// The aggregated table has one row per matching movie-person pair.
+	if top.Agg.Count < 2 {
+		t.Errorf("expected multiple gibson movies, got %d", top.Agg.Count)
+	}
+	tab := core.ComposeTable(g, pt, top.Pattern, top.Trees)
+	if len(tab.Rows) != top.Agg.Count {
+		t.Errorf("table rows %d != tree count %d", len(tab.Rows), top.Agg.Count)
+	}
+	for _, row := range tab.Rows {
+		hasGibson := false
+		for _, cell := range row {
+			if strings.Contains(strings.ToLower(cell), "gibson") {
+				hasGibson = true
+			}
+		}
+		if !hasGibson {
+			t.Errorf("row lacks the keyword entity: %v", row)
+		}
+	}
+}
+
+// TestIMDBGenreCompany: a 3-keyword join across two branches (genre and
+// production company under the same movie root).
+func TestIMDBGenreCompany(t *testing.T) {
+	ix := buildIMDB(t)
+	res := LETopK(ix, "action movie paramount", Options{K: 10})
+	if len(res.Patterns) == 0 {
+		t.Skip("seeded data has no action/paramount movie (rare)")
+	}
+	g := ix.Graph()
+	pt := ix.PatternTable()
+	for _, rp := range res.Patterns {
+		if rp.Pattern.Height(pt) > 3 {
+			t.Errorf("pattern higher than d=3")
+		}
+		for _, st := range rp.Trees {
+			if len(st.Paths) != 3 {
+				t.Errorf("want 3 keyword paths, got %d", len(st.Paths))
+			}
+		}
+	}
+	top := res.Patterns[0]
+	rendered := top.Pattern.Render(g, pt, res.Stats.Surfaces)
+	if !strings.Contains(rendered, "(Genre)") || !strings.Contains(rendered, "(Company)") {
+		t.Errorf("expected genre+company branches:\n%s", rendered)
+	}
+}
+
+// TestIMDBAttributeKeyword: "starring" only occurs as an attribute type,
+// so its paths must be edge matches ending at the starring edge.
+func TestIMDBAttributeKeyword(t *testing.T) {
+	ix := buildIMDB(t)
+	res := PETopK(ix, "starring comedy", Options{K: 3})
+	if len(res.Patterns) == 0 {
+		t.Fatalf("no answers")
+	}
+	pt := ix.PatternTable()
+	found := false
+	for _, rp := range res.Patterns {
+		for i, surf := range res.Stats.Surfaces {
+			if surf != "starring" {
+				continue
+			}
+			if pt.Get(rp.Pattern.Paths[i]).EdgeEnd {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("'starring' should match as an edge-end pattern")
+	}
+}
+
+// TestIMDBDeepPattern: "character movie" needs the 3-node chain
+// Movie -> Person -> Character, the longest path the schema allows.
+func TestIMDBDeepPattern(t *testing.T) {
+	ix := buildIMDB(t)
+	res := PETopK(ix, "character movie", Options{K: 20, SkipTrees: true})
+	if len(res.Patterns) == 0 {
+		t.Fatalf("no answers")
+	}
+	g := ix.Graph()
+	pt := ix.PatternTable()
+	foundDeep := false
+	for _, rp := range res.Patterns {
+		r := rp.Pattern.Render(g, pt, res.Stats.Surfaces)
+		if strings.Contains(r, "(Movie) (starring) (Person) (role) (Character)") ||
+			strings.Contains(r, "(Person) (role) (Character)") {
+			foundDeep = true
+		}
+	}
+	if !foundDeep {
+		t.Errorf("no Movie->Person->Character pattern found among %d patterns", len(res.Patterns))
+	}
+}
+
+// TestWikiWorkloadEndToEnd: every answerable workload query must give
+// identical pattern sets under both indexed algorithms — the equivalence
+// property on realistic (not adversarial) data.
+func TestWikiWorkloadEndToEnd(t *testing.T) {
+	g := dataset.SynthWiki(dataset.WikiConfig{Entities: 1200, Types: 30, Seed: 5})
+	ix, err := index.Build(g, index.Options{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := dataset.Workload(g, dataset.WorkloadConfig{PerM: 3, MaxM: 5, Seed: 5})
+	answered := 0
+	for _, q := range qs {
+		pe := PETopK(ix, q.Text, Options{K: 30, SkipTrees: true})
+		le := LETopK(ix, q.Text, Options{K: 30, SkipTrees: true})
+		if len(pe.Patterns) != len(le.Patterns) {
+			t.Fatalf("q=%q: PE %d vs LE %d patterns", q.Text, len(pe.Patterns), len(le.Patterns))
+		}
+		for i := range pe.Patterns {
+			if pe.Patterns[i].Score != le.Patterns[i].Score {
+				t.Fatalf("q=%q rank %d: scores differ", q.Text, i)
+			}
+		}
+		if len(pe.Patterns) > 0 {
+			answered++
+		}
+	}
+	if answered == 0 {
+		t.Fatalf("workload entirely unanswerable")
+	}
+}

@@ -1,0 +1,116 @@
+package search
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kbtable/internal/kg"
+)
+
+// refIntersect is the obvious map-based reference for intersectSorted.
+func refIntersect(lists [][]kg.NodeID) []kg.NodeID {
+	if len(lists) == 0 {
+		return nil
+	}
+	count := map[kg.NodeID]int{}
+	for _, l := range lists {
+		seen := map[kg.NodeID]bool{}
+		for _, v := range l {
+			if !seen[v] {
+				seen[v] = true
+				count[v]++
+			}
+		}
+	}
+	var out []kg.NodeID
+	for v, c := range count {
+		if c == len(lists) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestIntersectSortedProperty cross-checks the galloping intersection
+// against the reference on random sorted inputs (testing/quick).
+func TestIntersectSortedProperty(t *testing.T) {
+	f := func(raw [][]uint8) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		lists := make([][]kg.NodeID, len(raw))
+		for i, r := range raw {
+			seen := map[kg.NodeID]bool{}
+			for _, v := range r {
+				id := kg.NodeID(v % 40) // force overlap
+				if !seen[id] {
+					seen[id] = true
+					lists[i] = append(lists[i], id)
+				}
+			}
+			sort.Slice(lists[i], func(a, b int) bool { return lists[i][a] < lists[i][b] })
+		}
+		got := intersectSorted(lists)
+		want := refIntersect(lists)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectSortedEdgeCases(t *testing.T) {
+	if got := intersectSorted(nil); got != nil {
+		t.Errorf("nil input should give nil")
+	}
+	if got := intersectSorted([][]kg.NodeID{{}, {1}}); len(got) != 0 {
+		t.Errorf("empty member list gives empty intersection")
+	}
+	single := intersectSorted([][]kg.NodeID{{3, 5, 9}})
+	if !reflect.DeepEqual(single, []kg.NodeID{3, 5, 9}) {
+		t.Errorf("single-list intersection should be the list itself, got %v", single)
+	}
+}
+
+func TestIntersectTypesProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		mk := func(r []uint8) []kg.TypeID {
+			seen := map[kg.TypeID]bool{}
+			var out []kg.TypeID
+			for _, v := range r {
+				id := kg.TypeID(v % 20)
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		la, lb := mk(a), mk(b)
+		got := intersectTypes([][]kg.TypeID{la, lb})
+		inB := map[kg.TypeID]bool{}
+		for _, v := range lb {
+			inB[v] = true
+		}
+		var want []kg.TypeID
+		for _, v := range la {
+			if inB[v] {
+				want = append(want, v)
+			}
+		}
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

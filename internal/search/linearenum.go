@@ -1,0 +1,341 @@
+package search
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// LETopK runs LINEARENUM-TOPK (Algorithms 3–4): candidate roots are the
+// intersection of the per-keyword root lists; each root is expanded through
+// the root-first index into the tree patterns and valid subtrees under it.
+// Roots are processed one type at a time, which bounds the aggregation
+// dictionary by the largest per-type answer set (Section 4.2.1). When the
+// per-type subtree count NR reaches opts.Lambda, roots are sampled with
+// rate opts.Rho and pattern scores are estimated; the estimated local top-k
+// patterns are then re-scored exactly before entering the global queue
+// (Section 4.2.2).
+func LETopK(ix *index.Index, query string, opts Options) *Result {
+	words, surfaces := ResolveQuery(ix, query)
+	return LETopKWords(ix, words, surfaces, opts)
+}
+
+// dictEntry is one tree pattern accumulating in TreeDict.
+type dictEntry struct {
+	tp  core.TreePattern
+	agg core.PatternScore
+}
+
+// LETopKWords is LETopK on pre-resolved keywords.
+func LETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts Options) *Result {
+	start := time.Now()
+	o := opts.withDefaults()
+	stats := QueryStats{Surfaces: surfaces, Words: words}
+	top := core.NewTopK[RankedPattern](o.K)
+	if !queryable(ix, words) {
+		return finalize(ix, words, top, o, stats, start)
+	}
+	pt := ix.PatternTable()
+	rng := o.rng()
+
+	// Algorithm 3 line 1: candidate roots across all keywords.
+	rootLists := make([][]kg.NodeID, len(words))
+	for i, w := range words {
+		rootLists[i] = ix.Roots(w)
+	}
+	candidates := intersectSorted(rootLists)
+	stats.CandidateRoots = len(candidates)
+
+	// Partition by root type (Algorithm 4 line 2-3).
+	byType := map[kg.TypeID][]kg.NodeID{}
+	for _, r := range candidates {
+		t := ix.Graph().Type(r)
+		byType[t] = append(byType[t], r)
+	}
+	types := make([]kg.TypeID, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+
+	for _, c := range types {
+		rc := byType[c]
+		// Line 4: NR = Σ_r Π_i |Paths(wi, r)| without enumeration.
+		nr := subtreeCount(ix, words, rc)
+		rate := 1.0
+		if o.samplingEnabled() && nr >= o.Lambda {
+			rate = o.Rho
+		}
+
+		// Lines 6-8: expand (a sample of) the roots of this type.
+		treeDict := map[string]*dictEntry{}
+		for _, r := range rc {
+			if rate < 1 && rng.Float64() >= rate {
+				continue
+			}
+			stats.SampledRoots++
+			expandRoot(ix, words, r, o, treeDict)
+		}
+
+		stats.PatternsFound += len(treeDict)
+		for _, de := range treeDict {
+			stats.TreesFound += int64(de.agg.Count)
+		}
+
+		if rate < 1 {
+			// Lines 9-11: rank by estimated score, then re-score the local
+			// top-k exactly over all roots of this type in one filtered
+			// pass (each root only expands pattern combinations that can
+			// still hit a selected pattern).
+			local := core.NewTopK[*dictEntry](o.K)
+			for _, de := range treeDict {
+				est := de.agg.Scale(1 / rate).Value(o.Agg)
+				local.Offer(est, de.tp.ContentKey(pt), de)
+			}
+			selected := local.Results()
+			exacts := aggregateSelected(ix, words, selected, rc, o)
+			for _, de := range selected {
+				exact, ok := exacts[de.tp.Key()]
+				if !ok || exact.Count == 0 {
+					continue
+				}
+				top.Offer(exact.Value(o.Agg), de.tp.ContentKey(pt),
+					RankedPattern{Pattern: de.tp, Agg: *exact, Score: exact.Value(o.Agg)})
+			}
+		} else {
+			for _, de := range treeDict {
+				top.Offer(de.agg.Value(o.Agg), de.tp.ContentKey(pt),
+					RankedPattern{Pattern: de.tp, Agg: de.agg, Score: de.agg.Value(o.Agg)})
+			}
+		}
+	}
+	return finalize(ix, words, top, o, stats, start)
+}
+
+// NumCandidateRoots returns |∩_i Roots(wi)| for a query: the number of
+// nodes that can root a valid subtree (Algorithm 3 line 1), without any
+// expansion. Used by query explanation.
+func NumCandidateRoots(ix *index.Index, query string) int {
+	words, _ := ResolveQuery(ix, query)
+	if !queryable(ix, words) {
+		return 0
+	}
+	rootLists := make([][]kg.NodeID, len(words))
+	for i, w := range words {
+		rootLists[i] = ix.Roots(w)
+	}
+	return len(intersectSorted(rootLists))
+}
+
+// subtreeCount computes NR = Σ_r Π_i |Paths(wi, r)|, saturating at
+// MaxInt64 to stay meaningful on explosive queries.
+func subtreeCount(ix *index.Index, words []text.WordID, roots []kg.NodeID) int64 {
+	var total int64
+	for _, r := range roots {
+		prod := 1.0
+		for _, w := range words {
+			prod *= float64(ix.NumPathsAt(w, r))
+		}
+		if prod >= math.MaxInt64-float64(total) {
+			return math.MaxInt64
+		}
+		total += int64(prod)
+	}
+	return total
+}
+
+// expandRoot is subroutine EXPANDROOT of Algorithm 3: the product of
+// Patterns(wi, r) gives the (necessarily non-empty) tree patterns under r;
+// for each, the product of Paths(wi, r, Pi) gives its valid subtrees, which
+// are folded into TreeDict.
+func expandRoot(ix *index.Index, words []text.WordID, r kg.NodeID, o Options, treeDict map[string]*dictEntry) {
+	m := len(words)
+	patLists := make([][]core.PatternID, m)
+	pathLists := make([][][]pathTerm, m)
+	for i, w := range words {
+		patLists[i] = ix.PatternsAt(w, r)
+		if len(patLists[i]) == 0 {
+			return // not a candidate root for this keyword
+		}
+		pathLists[i] = make([][]pathTerm, len(patLists[i]))
+		for j, p := range patLists[i] {
+			pathLists[i][j] = pathsRF(ix, w, r, p)
+		}
+	}
+
+	choice := make([]core.PatternID, m)
+	chosenPaths := make([][]pathTerm, m)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			tp := core.TreePattern{Paths: choice}
+			key := tp.Key()
+			de, ok := treeDict[key]
+			if !ok {
+				de = &dictEntry{tp: core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}}
+				treeDict[key] = de
+			}
+			productPaths(ix.Graph(), chosenPaths, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+				de.agg.Add(o.Scorer.Tree(terms))
+			})
+			return
+		}
+		for j, p := range patLists[i] {
+			choice[i] = p
+			chosenPaths[i] = pathLists[i][j]
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// aggregatePatternRF exactly scores pattern tp over the given roots using
+// the root-first index (used by tests as the re-scoring reference).
+func aggregatePatternRF(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options) core.PatternScore {
+	var agg core.PatternScore
+	lists := make([][]pathTerm, len(words))
+	for _, r := range roots {
+		ok := true
+		for i, w := range words {
+			lists[i] = pathsRF(ix, w, r, tp.Paths[i])
+			if len(lists[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+			agg.Add(o.Scorer.Tree(terms))
+		})
+	}
+	return agg
+}
+
+// aggregateSelected exactly scores a set of selected tree patterns over
+// the given roots in one pass: per root, each keyword's pattern list is
+// intersected with the patterns the selection uses at that position, and
+// only surviving combinations are expanded. Roots containing none of the
+// selected patterns are skipped after m sorted intersections.
+func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEntry, roots []kg.NodeID, o Options) map[string]*core.PatternScore {
+	m := len(words)
+	out := make(map[string]*core.PatternScore, len(selected))
+	pos := make([]map[core.PatternID]bool, m)
+	for i := range pos {
+		pos[i] = map[core.PatternID]bool{}
+	}
+	for _, de := range selected {
+		out[de.tp.Key()] = &core.PatternScore{}
+		for i, p := range de.tp.Paths {
+			pos[i][p] = true
+		}
+	}
+	cand := make([][]core.PatternID, m)
+	chosen := make([][]pathTerm, m)
+	choice := make([]core.PatternID, m)
+	for _, r := range roots {
+		ok := true
+		for i, w := range words {
+			cand[i] = cand[i][:0]
+			for _, p := range ix.PatternsAt(w, r) {
+				if pos[i][p] {
+					cand[i] = append(cand[i], p)
+				}
+			}
+			if len(cand[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == m {
+				agg, hit := out[core.TreePattern{Paths: choice}.Key()]
+				if !hit {
+					return // combination exists but was not selected
+				}
+				productPaths(ix.Graph(), chosen, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+					agg.Add(o.Scorer.Tree(terms))
+				})
+				return
+			}
+			for _, p := range cand[i] {
+				choice[i] = p
+				chosen[i] = pathsRF(ix, words[i], r, p)
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	return out
+}
+
+// CountAll reports, for grouping queries in the experiments of Section 5,
+// the total number of (non-empty) tree patterns and valid subtrees of a
+// query, without ranking. Subtrees are counted as Σ_r Π_i |Paths(wi, r)|;
+// patterns by enumerating the pattern products of every candidate root.
+func CountAll(ix *index.Index, query string) (patterns int, trees int64) {
+	patterns, trees, _ = CountAllCapped(ix, query, 0)
+	return patterns, trees
+}
+
+// CountAllCapped is CountAll with a work budget: when the query has more
+// than cap valid subtrees (cap > 0), pattern enumeration — whose cost is
+// bounded by the subtree count — is skipped and exceeded is true with
+// patterns = -1. The experiment harness uses this to identify explosion
+// queries cheaply.
+func CountAllCapped(ix *index.Index, query string, budget int64) (patterns int, trees int64, exceeded bool) {
+	words, _ := ResolveQuery(ix, query)
+	if !queryable(ix, words) {
+		return 0, 0, false
+	}
+	rootLists := make([][]kg.NodeID, len(words))
+	for i, w := range words {
+		rootLists[i] = ix.Roots(w)
+	}
+	candidates := intersectSorted(rootLists)
+	trees = subtreeCount(ix, words, candidates)
+	if budget > 0 && trees > budget {
+		return -1, trees, true
+	}
+
+	seen := map[string]struct{}{}
+	m := len(words)
+	patLists := make([][]core.PatternID, m)
+	choice := make([]core.PatternID, m)
+	for _, r := range candidates {
+		ok := true
+		for i, w := range words {
+			patLists[i] = ix.PatternsAt(w, r)
+			if len(patLists[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == m {
+				seen[core.TreePattern{Paths: choice}.Key()] = struct{}{}
+				return
+			}
+			for _, p := range patLists[i] {
+				choice[i] = p
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	return len(seen), trees, false
+}

@@ -1,0 +1,132 @@
+package search
+
+import (
+	"sort"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// PETopK runs PATTERNENUM (Algorithm 2): for each root type C it enumerates
+// every combination of per-keyword path patterns rooted at C from the
+// pattern-first index, checks non-emptiness by intersecting the root lists,
+// and scores the non-empty tree patterns. Valid subtrees of a pattern are
+// generated at one time, so no online aggregation dictionary is needed.
+func PETopK(ix *index.Index, query string, opts Options) *Result {
+	words, surfaces := ResolveQuery(ix, query)
+	return PETopKWords(ix, words, surfaces, opts)
+}
+
+// PETopKWords is PETopK on pre-resolved keywords.
+func PETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts Options) *Result {
+	start := time.Now()
+	o := opts.withDefaults()
+	stats := QueryStats{Surfaces: surfaces, Words: words}
+	top := core.NewTopK[RankedPattern](o.K)
+	if !queryable(ix, words) {
+		return finalize(ix, words, top, o, stats, start)
+	}
+	m := len(words)
+	pt := ix.PatternTable()
+
+	// Root types under which every keyword has at least one pattern
+	// (line 2 iterates all types; types failing this cannot contribute).
+	typeLists := make([][]kg.TypeID, m)
+	for i, w := range words {
+		typeLists[i] = ix.RootTypes(w)
+	}
+	rootTypes := intersectTypes(typeLists)
+
+	for _, c := range rootTypes {
+		// PatternsC(wi) and the cached root list per pattern (line 3).
+		pats := make([][]core.PatternID, m)
+		roots := make([][][]kg.NodeID, m)
+		for i, w := range words {
+			pats[i] = ix.PatternsOfType(w, c)
+			roots[i] = make([][]kg.NodeID, len(pats[i]))
+			for j, p := range pats[i] {
+				roots[i][j] = ix.RootsOf(w, p)
+			}
+		}
+		// Enumerate selective keywords first so empty prefixes prune the
+		// combination tree as early as possible; choice[] stays indexed by
+		// the original keyword position, so the output is unchanged.
+		order := make([]int, m)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return len(pats[order[a]]) < len(pats[order[b]]) })
+
+		// Lines 4-8: enumerate the tree-pattern product. The root
+		// intersection of line 5 is computed incrementally along the
+		// combination prefix, so a prefix with an empty intersection
+		// prunes its whole subtree of combinations at once (the wasted
+		// set-intersections on empty patterns are PATTERNENUM's worst
+		// case, Section 4.1; the pruning does not change its output).
+		choice := make([]core.PatternID, m)
+		var rec func(i int, r []kg.NodeID)
+		rec = func(i int, r []kg.NodeID) {
+			if i == m {
+				tp := core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}
+				agg, n := aggregatePattern(ix, words, tp, r, o)
+				if agg.Count == 0 {
+					// All tuples filtered out (RequireTreeShape).
+					stats.EmptyChecked++
+					return
+				}
+				stats.PatternsFound++
+				stats.TreesFound += n
+				top.Offer(agg.Value(o.Agg), tp.ContentKey(pt), RankedPattern{Pattern: tp, Agg: agg, Score: agg.Value(o.Agg)})
+				return
+			}
+			w := order[i]
+			for j, p := range pats[w] {
+				next := roots[w][j]
+				if i > 0 {
+					next = intersectSorted([][]kg.NodeID{r, next})
+				}
+				if len(next) == 0 {
+					stats.EmptyChecked++
+					continue
+				}
+				choice[w] = p
+				rec(i+1, next)
+			}
+		}
+		rec(0, nil)
+	}
+	stats.CandidateRoots = -1 // PATTERNENUM never materializes the root set
+	return finalize(ix, words, top, o, stats, start)
+}
+
+// intersectTypes intersects sorted TypeID lists.
+func intersectTypes(lists [][]kg.TypeID) []kg.TypeID {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := lists[0]
+	for _, l := range lists[1:] {
+		var next []kg.TypeID
+		i, j := 0, 0
+		for i < len(out) && j < len(l) {
+			switch {
+			case out[i] == l[j]:
+				next = append(next, out[i])
+				i++
+				j++
+			case out[i] < l[j]:
+				i++
+			default:
+				j++
+			}
+		}
+		out = next
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}

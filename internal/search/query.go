@@ -1,0 +1,334 @@
+// Package search implements the paper's three query-processing approaches
+// for the d-height tree pattern problem:
+//
+//	PETopK   — PATTERNENUM (Section 4.1, Algorithm 2): enumerate path-pattern
+//	           combinations per root type over the pattern-first index and
+//	           join them at candidate roots.
+//	LETopK   — LINEARENUM-TOPK (Section 4.2, Algorithms 3–4): find candidate
+//	           roots over the root-first index, expand per root, partition by
+//	           root type, and optionally sample roots (Λ, ρ) to estimate
+//	           pattern scores.
+//	Baseline — the enumeration–aggregation adaption of prior subtree-search
+//	           work (Section 2.3): online backward search for candidate
+//	           roots, online path enumeration, group-by pattern.
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// Options configure a query.
+type Options struct {
+	// K is the number of tree patterns to return; defaults to 100
+	// (the paper's default in Section 5.1).
+	K int
+	// Agg aggregates subtree scores into pattern scores; default sum.
+	Agg core.Agg
+	// Scorer weighs score1/score2/score3; zero value means the paper's
+	// defaults z1=-1, z2=1, z3=1.
+	Scorer *core.Scorer
+	// Lambda is LETopK's sampling threshold Λ: sampling activates for a
+	// root type when its valid-subtree count NR >= Lambda. Lambda <= 0
+	// disables sampling entirely (Λ = +∞ in the paper's notation).
+	Lambda int64
+	// Rho is LETopK's sampling rate ρ in (0,1]; values outside the range
+	// disable sampling.
+	Rho float64
+	// Seed drives sampling; fixed default keeps runs reproducible.
+	Seed int64
+	// RequireTreeShape drops path tuples whose union re-converges
+	// (ablation; see DESIGN.md).
+	RequireTreeShape bool
+	// CollectTrees materializes the valid subtrees of the final top-k
+	// patterns (needed for table answers). Default true; experiments that
+	// only time ranking can switch it off.
+	SkipTrees bool
+	// MaxTreesPerPattern caps materialized subtrees per pattern
+	// (0 = unlimited). Scoring always uses all subtrees.
+	MaxTreesPerPattern int
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 100
+	}
+	if o.Scorer == nil {
+		s := core.DefaultScorer()
+		o.Scorer = &s
+	}
+	if o.Rho <= 0 || o.Rho > 1 {
+		o.Rho = 1
+	}
+	return o
+}
+
+// samplingEnabled reports whether (Λ, ρ) actually activate sampling.
+func (o Options) samplingEnabled() bool { return o.Lambda > 0 && o.Rho < 1 }
+
+// RankedPattern is one answer: a tree pattern with its aggregate score and
+// (optionally) the valid subtrees that compose its table rows.
+type RankedPattern struct {
+	Pattern core.TreePattern
+	Agg     core.PatternScore
+	Score   float64
+	Trees   []core.Subtree
+}
+
+// QueryStats instruments one query execution.
+type QueryStats struct {
+	Surfaces       []string // query tokens as typed
+	Words          []text.WordID
+	Elapsed        time.Duration
+	CandidateRoots int
+	SampledRoots   int
+	PatternsFound  int   // nonempty tree patterns seen
+	TreesFound     int64 // valid subtrees aggregated (sampled runs count sampled trees)
+	EmptyChecked   int64 // pattern combinations checked that had no subtree (PETopK waste)
+}
+
+// Result is the output of one query.
+type Result struct {
+	Patterns []RankedPattern
+	Stats    QueryStats
+}
+
+// ResolveQuery tokenizes q against the index dictionary and returns the
+// distinct canonical word IDs. Words absent from the corpus resolve to
+// text.NoWord: the query then has no answers (every keyword must be
+// contained in each subtree), and callers get an empty result rather than
+// an error.
+func ResolveQuery(ix *index.Index, q string) (ids []text.WordID, surfaces []string) {
+	raw, surf := ix.Dict().QueryTokens(q)
+	seen := map[text.WordID]bool{}
+	for i, id := range raw {
+		if id != text.NoWord && seen[id] {
+			continue // q is a set of words
+		}
+		seen[id] = true
+		ids = append(ids, id)
+		surfaces = append(surfaces, surf[i])
+	}
+	return ids, surfaces
+}
+
+// queryable reports whether all keywords have postings; a query with an
+// unknown or unmatched keyword has no valid subtrees.
+func queryable(ix *index.Index, words []text.WordID) bool {
+	if len(words) == 0 {
+		return false
+	}
+	for _, w := range words {
+		if w == text.NoWord || len(ix.Roots(w)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectSorted intersects sorted NodeID lists, smallest-first with
+// binary probing, the root-intersection primitive of Algorithm 2 line 5 and
+// Algorithm 3 line 1.
+func intersectSorted(lists [][]kg.NodeID) []kg.NodeID {
+	if len(lists) == 0 {
+		return nil
+	}
+	smallest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	if len(lists[smallest]) == 0 {
+		return nil
+	}
+	out := make([]kg.NodeID, 0, len(lists[smallest]))
+	cursors := make([]int, len(lists))
+outer:
+	for _, v := range lists[smallest] {
+		for i, l := range lists {
+			if i == smallest {
+				continue
+			}
+			c := cursors[i]
+			// Gallop forward: candidate lists are sorted ascending.
+			for c < len(l) && l[c] < v {
+				c++
+			}
+			cursors[i] = c
+			if c == len(l) {
+				if len(out) == 0 {
+					return nil
+				}
+				break outer
+			}
+			if l[c] != v {
+				continue outer
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// tupleVisitor receives each valid subtree enumerated from a path product.
+type tupleVisitor func(paths []core.Path, terms []core.ScoreTerms)
+
+// productPaths enumerates the cartesian product of per-keyword path lists
+// rooted at the same node (Algorithm 2 line 7 / Algorithm 3 line 9): each
+// combination is one valid subtree. The visitor's arguments are reused
+// across calls; it must copy what it keeps.
+func productPaths(g *kg.Graph, lists [][]pathTerm, requireTree bool, root kg.NodeID, visit tupleVisitor) {
+	m := len(lists)
+	paths := make([]core.Path, m)
+	terms := make([]core.ScoreTerms, m)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == m {
+			if requireTree {
+				st := core.Subtree{Root: root, Paths: paths}
+				if !st.IsTreeShaped(g) {
+					return
+				}
+			}
+			visit(paths, terms)
+			return
+		}
+		for _, pt := range lists[i] {
+			paths[i] = pt.path
+			terms[i] = pt.terms
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// pathTerm pairs a concrete path with its precomputed score terms.
+type pathTerm struct {
+	path  core.Path
+	terms core.ScoreTerms
+}
+
+// pathsPF fetches Paths(w, P, r) from the pattern-first index as pathTerms.
+func pathsPF(ix *index.Index, w text.WordID, p core.PatternID, r kg.NodeID) []pathTerm {
+	es := ix.PathsPF(w, p, r)
+	out := make([]pathTerm, len(es))
+	for i := range es {
+		out[i] = pathTerm{path: ix.Path(w, &es[i]), terms: es[i].Terms}
+	}
+	return out
+}
+
+// pathsRF fetches Paths(w, r, P) from the root-first index as pathTerms.
+func pathsRF(ix *index.Index, w text.WordID, r kg.NodeID, p core.PatternID) []pathTerm {
+	var out []pathTerm
+	ix.PathsRF(w, r, p, func(e *index.Entry) {
+		out = append(out, pathTerm{path: ix.Path(w, e), terms: e.Terms})
+	})
+	return out
+}
+
+// aggregatePattern scores every subtree of tree pattern tp across the given
+// roots using the pattern-first index, without materializing trees.
+func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options) (core.PatternScore, int64) {
+	var agg core.PatternScore
+	var n int64
+	lists := make([][]pathTerm, len(words))
+	for _, r := range roots {
+		ok := true
+		for i, w := range words {
+			lists[i] = pathsPF(ix, w, tp.Paths[i], r)
+			if len(lists[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+			agg.Add(o.Scorer.Tree(terms))
+			n++
+		})
+	}
+	return agg, n
+}
+
+// materializeTrees collects the valid subtrees of tp (up to the per-pattern
+// cap) across all roots where it is nonempty, via the pattern-first index.
+func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern, o Options) []core.Subtree {
+	rootLists := make([][]kg.NodeID, len(words))
+	for i, w := range words {
+		rootLists[i] = ix.RootsOf(w, tp.Paths[i])
+	}
+	roots := intersectSorted(rootLists)
+	var out []core.Subtree
+	lists := make([][]pathTerm, len(words))
+	for _, r := range roots {
+		ok := true
+		for i, w := range words {
+			lists[i] = pathsPF(ix, w, tp.Paths[i], r)
+			if len(lists[i]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(paths []core.Path, terms []core.ScoreTerms) {
+			if o.MaxTreesPerPattern > 0 && len(out) >= o.MaxTreesPerPattern {
+				return
+			}
+			st := core.Subtree{
+				Root:  r,
+				Paths: append([]core.Path(nil), paths...),
+				Terms: append([]core.ScoreTerms(nil), terms...),
+			}
+			out = append(out, st)
+		})
+		if o.MaxTreesPerPattern > 0 && len(out) >= o.MaxTreesPerPattern {
+			break
+		}
+	}
+	return out
+}
+
+// finalize materializes subtrees for the ranked top-k patterns and stamps
+// stats. Shared by all three algorithms.
+func finalize(ix *index.Index, words []text.WordID, top *core.TopK[RankedPattern], o Options, stats QueryStats, start time.Time) *Result {
+	patterns := top.Results()
+	if !o.SkipTrees {
+		for i := range patterns {
+			patterns[i].Trees = materializeTrees(ix, words, patterns[i].Pattern, o)
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return &Result{Patterns: patterns, Stats: stats}
+}
+
+// Table renders a ranked pattern as a table answer.
+func (rp RankedPattern) Table(ix *index.Index) core.Table {
+	return core.ComposeTable(ix.Graph(), ix.PatternTable(), rp.Pattern, rp.Trees)
+}
+
+// Describe renders the pattern for humans.
+func (rp RankedPattern) Describe(ix *index.Index, surfaces []string) string {
+	return fmt.Sprintf("score=%.4f trees=%d\n%s", rp.Score, rp.Agg.Count,
+		rp.Pattern.Render(ix.Graph(), ix.PatternTable(), surfaces))
+}
+
+// rng builds the sampling source for a query.
+func (o Options) rng() *rand.Rand {
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,121 @@
+package search
+
+import (
+	"encoding/binary"
+	"strings"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// RankedTree is one individually-ranked valid subtree (Section 5.3
+// compares these against tree patterns).
+type RankedTree struct {
+	Tree    core.Subtree
+	Pattern core.TreePattern
+	Score   float64
+}
+
+// TopTrees ranks individual valid subtrees by their tree scores
+// (Equation 3), the "individual top-k" of Section 5.3 and the case study
+// of Figures 14-15. It enumerates every valid subtree through the
+// root-first index and keeps the top k.
+func TopTrees(ix *index.Index, query string, k int, opts Options) ([]RankedTree, QueryStats) {
+	start := time.Now()
+	o := opts.withDefaults()
+	words, surfaces := ResolveQuery(ix, query)
+	stats := QueryStats{Surfaces: surfaces, Words: words}
+	top := core.NewTopK[RankedTree](k)
+	if !queryable(ix, words) {
+		stats.Elapsed = time.Since(start)
+		return top.Results(), stats
+	}
+	rootLists := make([][]kg.NodeID, len(words))
+	for i, w := range words {
+		rootLists[i] = ix.Roots(w)
+	}
+	candidates := intersectSorted(rootLists)
+	stats.CandidateRoots = len(candidates)
+
+	m := len(words)
+	patLists := make([][]core.PatternID, m)
+	pathLists := make([][][]pathTerm, m)
+	choice := make([]core.PatternID, m)
+	chosen := make([][]pathTerm, m)
+	for _, r := range candidates {
+		ok := true
+		for i, w := range words {
+			patLists[i] = ix.PatternsAt(w, r)
+			if len(patLists[i]) == 0 {
+				ok = false
+				break
+			}
+			pathLists[i] = make([][]pathTerm, len(patLists[i]))
+			for j, p := range patLists[i] {
+				pathLists[i][j] = pathsRF(ix, w, r, p)
+			}
+		}
+		if !ok {
+			continue
+		}
+		var rec func(i int)
+		rec = func(i int) {
+			if i == m {
+				productPaths(ix.Graph(), chosen, o.RequireTreeShape, r, func(paths []core.Path, terms []core.ScoreTerms) {
+					stats.TreesFound++
+					score := o.Scorer.Tree(terms)
+					if !top.WouldAccept(score) {
+						return
+					}
+					st := core.Subtree{
+						Root:  r,
+						Paths: append([]core.Path(nil), paths...),
+						Terms: append([]core.ScoreTerms(nil), terms...),
+					}
+					tp := core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}
+					top.Offer(score, treeKey(ix.PatternTable(), tp, st), RankedTree{Tree: st, Pattern: tp, Score: score})
+				})
+				return
+			}
+			for j, p := range patLists[i] {
+				choice[i] = p
+				chosen[i] = pathLists[i][j]
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	stats.Elapsed = time.Since(start)
+	return top.Results(), stats
+}
+
+// treeKey builds a deterministic tie-break key for an individual subtree:
+// pattern content, then root, then the concrete edge IDs of each path.
+func treeKey(pt *core.PatternTable, tp core.TreePattern, st core.Subtree) string {
+	var sb strings.Builder
+	sb.WriteString(tp.ContentKey(pt))
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(st.Root))
+	sb.Write(buf[:])
+	for _, p := range st.Paths {
+		for _, e := range p.Edges {
+			binary.LittleEndian.PutUint32(buf[:], uint32(e))
+			sb.Write(buf[:])
+		}
+		if p.EdgeEnd {
+			sb.WriteByte(1)
+		} else {
+			sb.WriteByte(0)
+		}
+	}
+	return sb.String()
+}
+
+// wordIDsOf is a small helper for tests needing raw resolution.
+func wordIDsOf(ix *index.Index, q string) []text.WordID {
+	ids, _ := ResolveQuery(ix, q)
+	return ids
+}

@@ -1,0 +1,85 @@
+package text
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize: tokens contain only letters/digits, are lowercase, and
+// re-tokenizing a token is the identity.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"SQL Server", "US$ 77 billion", "O-R database", "", "C++",
+		"GTA: San Andreas", "ÜBER straße", "\x00\xff", "a b\tc\nd",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatalf("empty token from %q", s)
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q from %q contains separator rune %q", tok, s, r)
+				}
+				if unicode.IsUpper(r) {
+					t.Fatalf("token %q from %q not lowercase", tok, s)
+				}
+			}
+			again := Tokenize(tok)
+			if len(again) != 1 || again[0] != tok {
+				t.Fatalf("re-tokenizing %q gave %v", tok, again)
+			}
+		}
+	})
+}
+
+// FuzzStem: stemming never panics, never grows the word by more than one
+// byte, and output stays non-empty for non-empty ASCII-letter input.
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"databases", "caresses", "ponies", "agreed", "sky", "a", "",
+		"relational", "xxxyyy", "ied", "sses",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := Stem(s)
+		if len(got) > len(s)+1 {
+			t.Fatalf("Stem(%q) = %q grew", s, got)
+		}
+		if s != "" && got == "" {
+			t.Fatalf("Stem(%q) erased the word", s)
+		}
+	})
+}
+
+// FuzzDictQueryTokens: resolving arbitrary query strings against a small
+// dictionary never panics and maps every token to NoWord or a valid ID.
+func FuzzDictQueryTokens(f *testing.F) {
+	f.Add("database software")
+	f.Add("zebra!!!")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, q string) {
+		d := NewDict()
+		d.Intern("database")
+		d.Intern("movies")
+		d.AddSynonym("film", "movie")
+		ids, surfaces := d.QueryTokens(q)
+		if len(ids) != len(surfaces) {
+			t.Fatalf("parallel slices diverge")
+		}
+		for _, id := range ids {
+			if id == NoWord {
+				continue
+			}
+			if int(id) >= d.Len() || id < 0 {
+				t.Fatalf("id %d out of range", id)
+			}
+			if d.Canonical(id) != d.Canonical(d.Canonical(id)) {
+				t.Fatalf("Canonical not idempotent for %d", id)
+			}
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package text
+
+// Stem reduces an English word to its stem using the classic Porter (1980)
+// algorithm. The input must already be lowercase (Tokenize guarantees this).
+// Words of length <= 2 are returned unchanged, per the original paper.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := stemmer{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+// stemmer holds the working buffer. All steps operate on b in place,
+// truncating or rewriting the suffix.
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// a, e, i, o, u are vowels; y is a vowel iff preceded by a consonant.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[:end], where the word
+// has the form C?(VC){m}V?.
+func (s *stemmer) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonant run.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for {
+		// Skip vowel run.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			return m
+		}
+		// Skip consonant run; each VC boundary increments m.
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+		m++
+	}
+}
+
+// hasSuffix reports whether the buffer ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b)
+	if len(suf) > n {
+		return false
+	}
+	return string(s.b[n-len(suf):]) == suf
+}
+
+// stemEnd returns the length of the stem once suf is removed.
+func (s *stemmer) stemEnd(suf string) int { return len(s.b) - len(suf) }
+
+// containsVowel reports whether b[:end] contains a vowel.
+func (s *stemmer) containsVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b[:end] ends with a doubled consonant.
+func (s *stemmer) endsDoubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	if s.b[end-1] != s.b[end-2] {
+		return false
+	}
+	return s.isConsonant(end - 1)
+}
+
+// endsCVC reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y ("*o" condition in Porter's notation).
+func (s *stemmer) endsCVC(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isConsonant(end-3) || s.isConsonant(end-2) || !s.isConsonant(end-1) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// replace replaces suffix suf (already verified present) with rep if the
+// measure of the remaining stem is greater than m. Returns whether replaced.
+func (s *stemmer) replace(suf, rep string, m int) bool {
+	end := s.stemEnd(suf)
+	if s.measure(end) > m {
+		s.b = append(s.b[:end], rep...)
+		return true
+	}
+	return false
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.b = s.b[:len(s.b)-2] // sses -> ss
+	case s.hasSuffix("ies"):
+		s.b = s.b[:len(s.b)-2] // ies -> i
+	case s.hasSuffix("ss"):
+		// ss -> ss (no change)
+	case s.hasSuffix("s"):
+		s.b = s.b[:len(s.b)-1] // s ->
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(s.stemEnd("eed")) > 0 {
+			s.b = s.b[:len(s.b)-1] // eed -> ee
+		}
+		return
+	}
+	trimmed := false
+	if s.hasSuffix("ed") && s.containsVowel(s.stemEnd("ed")) {
+		s.b = s.b[:s.stemEnd("ed")]
+		trimmed = true
+	} else if s.hasSuffix("ing") && s.containsVowel(s.stemEnd("ing")) {
+		s.b = s.b[:s.stemEnd("ing")]
+		trimmed = true
+	}
+	if !trimmed {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"), s.hasSuffix("bl"), s.hasSuffix("iz"):
+		s.b = append(s.b, 'e')
+	case s.endsDoubleConsonant(len(s.b)):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.endsCVC(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.containsVowel(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m(stem) > 0.
+func (s *stemmer) step2() {
+	pairs := []struct{ suf, rep string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+		{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+		{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+		{"biliti", "ble"},
+	}
+	for _, p := range pairs {
+		if s.hasSuffix(p.suf) {
+			s.replace(p.suf, p.rep, 0)
+			return
+		}
+	}
+}
+
+func (s *stemmer) step3() {
+	pairs := []struct{ suf, rep string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, p := range pairs {
+		if s.hasSuffix(p.suf) {
+			s.replace(p.suf, p.rep, 0)
+			return
+		}
+	}
+}
+
+// step4 drops residual suffixes when m(stem) > 1.
+func (s *stemmer) step4() {
+	sufs := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+		"ement", "ment", "ent", "ion", "ou", "ism", "ate", "iti",
+		"ous", "ive", "ize",
+	}
+	for _, suf := range sufs {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		end := s.stemEnd(suf)
+		if suf == "ion" {
+			// "ion" only drops after s or t.
+			if end == 0 || (s.b[end-1] != 's' && s.b[end-1] != 't') {
+				return
+			}
+		}
+		if s.measure(end) > 1 {
+			s.b = s.b[:end]
+		}
+		return
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	end := len(s.b) - 1
+	m := s.measure(end)
+	if m > 1 || (m == 1 && !s.endsCVC(end)) {
+		s.b = s.b[:end]
+	}
+}
+
+func (s *stemmer) step5b() {
+	if s.measure(len(s.b)) > 1 && s.endsDoubleConsonant(len(s.b)) && s.b[len(s.b)-1] == 'l' {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

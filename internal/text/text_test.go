@@ -1,0 +1,336 @@
+package text
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"SQL Server", []string{"sql", "server"}},
+		{"US$ 77 billion", []string{"us", "77", "billion"}},
+		{"O-R database", []string{"o", "r", "database"}},
+		{"", nil},
+		{"   ", nil},
+		{"Bill Gates", []string{"bill", "gates"}},
+		{"C++", []string{"c"}},
+		{"Halo 2", []string{"halo", "2"}},
+		{"Written in", []string{"written", "in"}},
+		{"GTA: San Andreas", []string{"gta", "san", "andreas"}},
+		{"a,b;c", []string{"a", "b", "c"}},
+		{"ÜBER straße", []string{"über", "straße"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenSetDeduplicates(t *testing.T) {
+	got := TokenSet("database database systems Database")
+	want := []string{"database", "systems"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenSet = %v, want %v", got, want)
+	}
+}
+
+func TestJaccardWordPaperExamples(t *testing.T) {
+	// Example 2.4: sim("database", "Relational database") = 1/2.
+	if got := JaccardWord("database", TokenSet("Relational database")); got != 0.5 {
+		t.Errorf("sim(database, Relational database) = %v, want 0.5", got)
+	}
+	// T3's six-token book title gives 1/6.
+	toks := TokenSet("Handbook of Database Systems and Applications x")
+	if len(toks) != 7 {
+		t.Fatalf("fixture should have 7 tokens, got %v", toks)
+	}
+	if got := JaccardWord("database", toks); got != 1.0/7 {
+		t.Errorf("sim = %v, want 1/7", got)
+	}
+	if got := JaccardWord("zebra", toks); got != 0 {
+		t.Errorf("sim of absent word = %v, want 0", got)
+	}
+	if got := JaccardWord("software", TokenSet("Software")); got != 1 {
+		t.Errorf("sim(software, Software) = %v, want 1", got)
+	}
+}
+
+func TestJaccardWordEmpty(t *testing.T) {
+	if got := JaccardWord("x", nil); got != 0 {
+		t.Errorf("JaccardWord on empty tokens = %v, want 0", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"a b c", "b c d", 0.5},
+		{"a", "a", 1},
+		{"a", "b", 0},
+		{"", "", 0},
+		{"a a b", "a b", 1}, // duplicates ignored
+	}
+	for _, c := range cases {
+		got := Jaccard(Tokenize(c.a), Tokenize(c.b))
+		if got != c.want {
+			t.Errorf("Jaccard(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardSymmetric(t *testing.T) {
+	f := func(a, b []string) bool {
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaccardBounds(t *testing.T) {
+	f := func(a, b []string) bool {
+		j := Jaccard(a, b)
+		return j >= 0 && j <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemKnownWords(t *testing.T) {
+	// Reference pairs from Porter's published vocabulary.
+	cases := map[string]string{
+		"caresses":     "caress",
+		"ponies":       "poni",
+		"ties":         "ti",
+		"caress":       "caress",
+		"cats":         "cat",
+		"feed":         "feed",
+		"agreed":       "agre",
+		"plastered":    "plaster",
+		"bled":         "bled",
+		"motoring":     "motor",
+		"sing":         "sing",
+		"conflated":    "conflat",
+		"troubled":     "troubl",
+		"sized":        "size",
+		"hopping":      "hop",
+		"tanned":       "tan",
+		"falling":      "fall",
+		"hissing":      "hiss",
+		"fizzed":       "fizz",
+		"failing":      "fail",
+		"filing":       "file",
+		"happy":        "happi",
+		"sky":          "sky",
+		"relational":   "relat",
+		"conditional":  "condit",
+		"rational":     "ration",
+		"valenci":      "valenc",
+		"digitizer":    "digit",
+		"operator":     "oper",
+		"feudalism":    "feudal",
+		"decisiveness": "decis",
+		"hopefulness":  "hope",
+		"callousness":  "callous",
+		"formaliti":    "formal",
+		"sensitiviti":  "sensit",
+		"sensibiliti":  "sensibl",
+		"triplicate":   "triplic",
+		"formative":    "form",
+		"formalize":    "formal",
+		"electriciti":  "electr",
+		"electrical":   "electr",
+		"hopeful":      "hope",
+		"goodness":     "good",
+		"revival":      "reviv",
+		"allowance":    "allow",
+		"inference":    "infer",
+		"airliner":     "airlin",
+		"gyroscopic":   "gyroscop",
+		"adjustable":   "adjust",
+		"defensible":   "defens",
+		"irritant":     "irrit",
+		"replacement":  "replac",
+		"adjustment":   "adjust",
+		"dependent":    "depend",
+		"adoption":     "adopt",
+		"homologou":    "homolog",
+		"communism":    "commun",
+		"activate":     "activ",
+		"angulariti":   "angular",
+		"homologous":   "homolog",
+		"effective":    "effect",
+		"bowdlerize":   "bowdler",
+		"probate":      "probat",
+		"rate":         "rate",
+		"cease":        "ceas",
+		"controll":     "control",
+		"roll":         "roll",
+		"movies":       "movi",
+		"databases":    "databas",
+		"companies":    "compani",
+		"cities":       "citi",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"a", "is", "go", ""} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	words := []string{"database", "software", "company", "revenue", "movie",
+		"population", "washington", "university", "enrollment", "gibson"}
+	for _, w := range words {
+		s1 := Stem(w)
+		s2 := Stem(s1)
+		// Porter is not idempotent in general, but it must be stable on
+		// these corpus words since the dictionary chases stems once.
+		if Stem(s2) != s2 {
+			t.Errorf("Stem not stable after two applications for %q: %q -> %q -> %q", w, s1, s2, Stem(s2))
+		}
+	}
+}
+
+func TestStemNeverPanicsAndShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		w := sb.String()
+		got := Stem(w)
+		if len(got) > len(w)+1 {
+			t.Fatalf("Stem(%q) = %q grew by more than one rune", w, got)
+		}
+	}
+}
+
+func TestDictInternLookup(t *testing.T) {
+	d := NewDict()
+	id1 := d.Intern("database")
+	id2 := d.Intern("database")
+	if id1 != id2 {
+		t.Errorf("Intern not stable: %d vs %d", id1, id2)
+	}
+	if d.Lookup("database") != id1 {
+		t.Errorf("Lookup mismatch")
+	}
+	if d.Lookup("nonexistent") != NoWord {
+		t.Errorf("Lookup of unknown word should be NoWord")
+	}
+	if d.Word(id1) != "database" {
+		t.Errorf("Word roundtrip failed")
+	}
+}
+
+func TestDictStemming(t *testing.T) {
+	d := NewDict()
+	movies := d.Intern("movies")
+	movi := d.Lookup("movi")
+	if movi == NoWord {
+		t.Fatalf("stem should be auto-interned")
+	}
+	if d.Canonical(movies) != movi {
+		t.Errorf("Canonical(movies) = %d, want stem id %d", d.Canonical(movies), movi)
+	}
+	// A stem maps to itself.
+	if d.Canonical(movi) != movi {
+		t.Errorf("Canonical of stem should be identity")
+	}
+}
+
+func TestDictSynonyms(t *testing.T) {
+	d := NewDict()
+	d.AddSynonym("film", "movie")
+	film := d.Lookup("film")
+	movie := d.Lookup("movie")
+	if film == NoWord || movie == NoWord {
+		t.Fatalf("synonym words should be interned")
+	}
+	if d.Canonical(film) != d.Canonical(movie) {
+		t.Errorf("synonyms should share canonical id")
+	}
+	// Chains flatten: picture -> film -> movie.
+	d.AddSynonym("picture", "film")
+	pic := d.Lookup("picture")
+	if d.Canonical(pic) != d.Canonical(movie) {
+		t.Errorf("synonym chain should flatten to movie's canonical id")
+	}
+}
+
+func TestDictSelfSynonymIgnored(t *testing.T) {
+	d := NewDict()
+	d.AddSynonym("x", "x")
+	id := d.Lookup("x")
+	if d.Canonical(id) != id {
+		t.Errorf("self-synonym should be ignored")
+	}
+}
+
+func TestCanonicalTokens(t *testing.T) {
+	d := NewDict()
+	ids := d.CanonicalTokens("Movies and movie")
+	// "movies" and "movie" share the stem "movi", "and" is separate.
+	if len(ids) != 2 {
+		t.Fatalf("CanonicalTokens = %v (len %d), want 2 distinct ids", ids, len(ids))
+	}
+}
+
+func TestQueryTokensUnknown(t *testing.T) {
+	d := NewDict()
+	d.Intern("database")
+	ids, surf := d.QueryTokens("database zebra")
+	if len(ids) != 2 || len(surf) != 2 {
+		t.Fatalf("QueryTokens lengths wrong: %v %v", ids, surf)
+	}
+	if ids[0] == NoWord {
+		t.Errorf("known word should resolve")
+	}
+	if ids[1] != NoWord {
+		t.Errorf("unknown word should be NoWord")
+	}
+}
+
+func TestQueryTokensStemsFallback(t *testing.T) {
+	d := NewDict()
+	d.Intern("cities") // interns "citi" too
+	ids, _ := d.QueryTokens("city")
+	// "city" itself unseen; its stem "citi" is known.
+	if len(ids) != 1 || ids[0] == NoWord {
+		t.Errorf("stem fallback failed: %v", ids)
+	}
+}
+
+func TestDictLenAndSortedWords(t *testing.T) {
+	d := NewDict()
+	d.Intern("b")
+	d.Intern("a")
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if got := d.SortedWords(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("SortedWords = %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+// Package text provides the text-processing substrate for the knowledge
+// graph: tokenization, Porter stemming, synonym expansion, a global word
+// dictionary, and the Jaccard similarity used by the paper's score3.
+//
+// The paper (Section 3) stores, for every word, its stemmed version and
+// synonyms pointing at the same path-pattern entries; this package supplies
+// those normal forms.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase word tokens. A token is a maximal run of
+// letters or digits; everything else (punctuation, currency signs, spaces)
+// separates tokens. "US$ 77 billion" tokenizes to ["us", "77", "billion"].
+func Tokenize(s string) []string {
+	var toks []string
+	start := -1
+	lower := strings.ToLower(s)
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			toks = append(toks, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		toks = append(toks, lower[start:])
+	}
+	return toks
+}
+
+// TokenSet returns the set of distinct tokens of s, preserving first-seen
+// order. The Jaccard similarity of score3 is defined over token sets, so
+// repeated words in an entity description count once.
+func TokenSet(s string) []string {
+	toks := Tokenize(s)
+	seen := make(map[string]struct{}, len(toks))
+	out := toks[:0]
+	for _, t := range toks {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// JaccardWord computes the Jaccard similarity between the single-word set
+// {w} and the token set of description text. Per the paper's Example 2.4,
+// sim("database", "Relational database") = 1/2: the intersection is {w} when
+// w appears, and the union is the token set plus w if absent.
+func JaccardWord(w string, tokens []string) float64 {
+	if len(tokens) == 0 {
+		return 0
+	}
+	n := len(tokens)
+	found := false
+	for _, t := range tokens {
+		if t == w {
+			found = true
+			break
+		}
+	}
+	if found {
+		return 1.0 / float64(n)
+	}
+	return 0
+}
+
+// Jaccard computes the Jaccard similarity |A∩B| / |A∪B| of two token sets.
+// Inputs need not be deduplicated; duplicates are ignored.
+func Jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	sa := make(map[string]struct{}, len(a))
+	for _, t := range a {
+		sa[t] = struct{}{}
+	}
+	sb := make(map[string]struct{}, len(b))
+	for _, t := range b {
+		sb[t] = struct{}{}
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

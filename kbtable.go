@@ -1,0 +1,449 @@
+// Package kbtable composes table answers to keyword queries over a
+// knowledge base, implementing Yang, Ding, Chaudhuri and Chakrabarti,
+// "Finding Patterns in a Knowledge Base using Keywords to Compose Table
+// Answers" (PVLDB 7(14), 2014).
+//
+// A knowledge base is modeled as a typed directed graph. For a keyword
+// query like "database software company revenue", the engine finds the
+// top-k d-height *tree patterns* — aggregations of subtrees that contain
+// every keyword with identical structure, node/edge types, and keyword
+// positions — and renders each pattern as a table whose rows are the
+// matching entity joins:
+//
+//	b := kbtable.NewBuilder()
+//	sql := b.Entity("Software", "SQL Server")
+//	ms := b.Entity("Company", "Microsoft")
+//	b.Attr(sql, "Developer", ms)
+//	b.TextAttr(ms, "Revenue", "US$ 77 billion")
+//	g, _ := b.Build()
+//	eng, _ := kbtable.NewEngine(g, kbtable.EngineOptions{D: 3})
+//	answers, _ := eng.Search("software company revenue", 10)
+//	fmt.Print(answers[0].Render(5))
+//
+// Three query algorithms are available: PatternEnum (the paper's
+// PATTERNENUM, default, fastest in practice), LinearEnum (LINEARENUM-TOPK,
+// linear in index + answer size, with optional root sampling), and
+// Baseline (the enumeration–aggregation adaption of prior subtree search,
+// for comparison).
+package kbtable
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"kbtable/internal/core"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/search"
+)
+
+// EntityID identifies an entity added through a Builder.
+type EntityID = kg.NodeID
+
+// Builder assembles a knowledge base: entities with types and text, and
+// attributes connecting them (or holding plain text values).
+type Builder struct {
+	b *kg.Builder
+}
+
+// NewBuilder returns an empty knowledge-base builder.
+func NewBuilder() *Builder { return &Builder{b: kg.NewBuilder()} }
+
+// Entity adds an entity with a type name and text description.
+func (b *Builder) Entity(typeName, text string) EntityID { return b.b.Entity(typeName, text) }
+
+// Attr sets src.attr = dst, adding a typed directed edge. Call repeatedly
+// with the same attr for multi-valued attributes.
+func (b *Builder) Attr(src EntityID, attr string, dst EntityID) { b.b.Attr(src, attr, dst) }
+
+// TextAttr sets src.attr to a plain-text value, creating a dummy literal
+// entity that holds the text, and returns the literal's ID.
+func (b *Builder) TextAttr(src EntityID, attr, value string) EntityID {
+	return b.b.TextAttr(src, attr, value)
+}
+
+// Build freezes the knowledge base into an immutable Graph.
+func (b *Builder) Build() (*Graph, error) {
+	g, err := b.b.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Graph is an immutable knowledge graph.
+type Graph struct {
+	g *kg.Graph
+}
+
+// NumEntities returns the number of entities (including text literals).
+func (g *Graph) NumEntities() int { return g.g.NumNodes() }
+
+// NumAttributes returns the number of attribute edges.
+func (g *Graph) NumAttributes() int { return g.g.NumEdges() }
+
+// NumTypes returns the number of entity types.
+func (g *Graph) NumTypes() int { return g.g.NumTypes() }
+
+// Save writes the graph to a file.
+func (g *Graph) Save(path string) error { return g.g.SaveFile(path) }
+
+// LoadGraph reads a graph written by Save.
+func LoadGraph(path string) (*Graph, error) {
+	g, err := kg.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Algorithm selects the query-processing strategy.
+type Algorithm int
+
+// Available algorithms.
+const (
+	// PatternEnum is PATTERNENUM (Section 4.1): usually fastest,
+	// exponential worst case on empty pattern combinations.
+	PatternEnum Algorithm = iota
+	// LinearEnum is LINEARENUM-TOPK (Section 4.2): linear in index and
+	// answer size; supports sampling via SearchOptions.Lambda/Rho.
+	LinearEnum
+	// Baseline is the enumeration-aggregation adaption of prior subtree
+	// search (Section 2.3); built lazily on first use.
+	Baseline
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case PatternEnum:
+		return "PETopK"
+	case LinearEnum:
+		return "LETopK"
+	case Baseline:
+		return "Baseline"
+	}
+	return "unknown"
+}
+
+// EngineOptions configure index construction.
+type EngineOptions struct {
+	// D is the height threshold for tree patterns (max nodes on any
+	// root-to-keyword path). Default 3, the paper's recommended setting.
+	D int
+	// UniformPageRank disables PageRank and scores every node equally.
+	UniformPageRank bool
+	// Synonyms maps alias words to canonical words sharing postings.
+	Synonyms map[string]string
+	// Workers bounds index-construction parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// SearchOptions configure one query beyond the basic top-k.
+type SearchOptions struct {
+	// K is the number of patterns to return (default 100).
+	K int
+	// Algorithm defaults to PatternEnum.
+	Algorithm Algorithm
+	// Lambda and Rho enable LinearEnum's root sampling: when a root type
+	// has at least Lambda valid subtrees, only a Rho fraction of its roots
+	// are expanded and scores are estimated (then re-scored exactly for
+	// the estimated top-k). Lambda <= 0 disables sampling.
+	Lambda int64
+	Rho    float64
+	// Seed fixes the sampling randomness (default 1).
+	Seed int64
+	// MaxRowsPerTable caps materialized rows per answer (0 = all).
+	MaxRowsPerTable int
+}
+
+// Engine answers keyword queries over one graph using prebuilt path
+// indexes.
+type Engine struct {
+	g  *Graph
+	ix *index.Index
+	bl *search.BaselineIndex
+	o  EngineOptions
+}
+
+// NewEngine builds the path-pattern indexes (Section 3) for g. Building
+// cost grows steeply with D (see EXPERIMENTS.md Figure 6); D=3 is a good
+// default balance of answer quality and cost.
+func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("kbtable: nil graph")
+	}
+	if opts.D == 0 {
+		opts.D = 3
+	}
+	ix, err := index.Build(g.g, index.Options{
+		D:         opts.D,
+		UniformPR: opts.UniformPageRank,
+		Synonyms:  opts.Synonyms,
+		Workers:   opts.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kbtable: %w", err)
+	}
+	return &Engine{g: g, ix: ix, o: opts}, nil
+}
+
+// IndexStats describe the built index (the quantities of Figure 6).
+type IndexStats struct {
+	BuildSeconds float64
+	SizeMB       float64
+	Entries      int64
+	Patterns     int
+	D            int
+}
+
+// IndexStats returns construction statistics.
+func (e *Engine) IndexStats() IndexStats {
+	s := e.ix.Stats()
+	return IndexStats{
+		BuildSeconds: s.BuildTime.Seconds(),
+		SizeMB:       float64(s.Bytes) / (1 << 20),
+		Entries:      s.NumEntries,
+		Patterns:     s.NumPatterns,
+		D:            s.D,
+	}
+}
+
+// Answer is one ranked tree pattern rendered as a table.
+type Answer struct {
+	// Rank starts at 1.
+	Rank int
+	// Score is the pattern's aggregate relevance.
+	Score float64
+	// NumRows is the total number of valid subtrees of the pattern (the
+	// table may be truncated to MaxRowsPerTable).
+	NumRows int
+	// Pattern describes the interpretation, one line per keyword.
+	Pattern string
+	// Columns and Rows are the composed table (Figure 3).
+	Columns []string
+	// FullColumns are the paper's formal column names τ(v)α(e)τ(u).
+	FullColumns []string
+	Rows        [][]string
+}
+
+// Render formats the answer as an ASCII table with at most maxRows rows
+// (negative = all).
+func (a Answer) Render(maxRows int) string {
+	cols := make([]core.Column, len(a.Columns))
+	for i := range a.Columns {
+		cols[i] = core.Column{Name: a.Columns[i], Full: a.FullColumns[i]}
+	}
+	t := core.Table{Columns: cols, Rows: a.Rows}
+	return fmt.Sprintf("#%d score=%.4f rows=%d\n%s\n%s", a.Rank, a.Score, a.NumRows, a.Pattern, t.Render(maxRows))
+}
+
+// Search returns the top-k table answers for a keyword query using the
+// default algorithm (PatternEnum).
+func (e *Engine) Search(query string, k int) ([]Answer, error) {
+	return e.SearchOpts(query, SearchOptions{K: k})
+}
+
+// SearchOpts runs a query with full control over algorithm and sampling.
+// An unknown keyword simply yields no answers (never an error): every
+// answer must contain every keyword.
+func (e *Engine) SearchOpts(query string, opts SearchOptions) ([]Answer, error) {
+	if opts.K <= 0 {
+		opts.K = 100
+	}
+	so := search.Options{
+		K:                  opts.K,
+		Lambda:             opts.Lambda,
+		Rho:                opts.Rho,
+		Seed:               opts.Seed,
+		MaxTreesPerPattern: opts.MaxRowsPerTable,
+	}
+	switch opts.Algorithm {
+	case PatternEnum:
+		res := search.PETopK(e.ix, query, so)
+		return e.toAnswers(res), nil
+	case LinearEnum:
+		res := search.LETopK(e.ix, query, so)
+		return e.toAnswers(res), nil
+	case Baseline:
+		if e.bl == nil {
+			bl, err := search.NewBaseline(e.g.g, search.BaselineOptions{
+				D:         e.o.D,
+				UniformPR: e.o.UniformPageRank,
+				Synonyms:  e.o.Synonyms,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("kbtable: %w", err)
+			}
+			e.bl = bl
+		}
+		res := e.bl.Search(query, so)
+		return e.baselineAnswers(res), nil
+	default:
+		return nil, fmt.Errorf("kbtable: unknown algorithm %d", opts.Algorithm)
+	}
+}
+
+func (e *Engine) toAnswers(res *search.Result) []Answer {
+	out := make([]Answer, 0, len(res.Patterns))
+	for i, rp := range res.Patterns {
+		tab := core.ComposeTable(e.g.g, e.ix.PatternTable(), rp.Pattern, rp.Trees)
+		out = append(out, answerFrom(i, rp, tab, rp.Pattern.Render(e.g.g, e.ix.PatternTable(), res.Stats.Surfaces)))
+	}
+	return out
+}
+
+func (e *Engine) baselineAnswers(res *search.BaselineResult) []Answer {
+	out := make([]Answer, 0, len(res.Patterns))
+	for i, rp := range res.Patterns {
+		tab := core.ComposeTable(e.g.g, res.Table, rp.Pattern, rp.Trees)
+		out = append(out, answerFrom(i, rp, tab, rp.Pattern.Render(e.g.g, res.Table, res.Stats.Surfaces)))
+	}
+	return out
+}
+
+// SaveIndex persists the engine's path indexes so future engines over the
+// same graph can skip Algorithm 1 (NewEngineFromIndex). The graph is not
+// included; pair the file with Graph.Save's output.
+func (e *Engine) SaveIndex(path string) error { return e.ix.SaveFile(path) }
+
+// NewEngineFromIndex loads previously saved indexes for g instead of
+// rebuilding them. Loading verifies the index matches the graph.
+func NewEngineFromIndex(g *Graph, path string, opts EngineOptions) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("kbtable: nil graph")
+	}
+	ix, err := index.LoadFile(path, g.g)
+	if err != nil {
+		return nil, fmt.Errorf("kbtable: %w", err)
+	}
+	if opts.D == 0 {
+		opts.D = ix.D()
+	}
+	if opts.D != ix.D() {
+		return nil, fmt.Errorf("kbtable: index was built with D=%d, requested D=%d", ix.D(), opts.D)
+	}
+	return &Engine{g: g, ix: ix, o: opts}, nil
+}
+
+// CSV renders the answer's table as CSV.
+func (a Answer) CSV() string {
+	var sb strings.Builder
+	_ = a.table().WriteCSV(&sb)
+	return sb.String()
+}
+
+// JSON renders the answer's table as a JSON object.
+func (a Answer) JSON() string {
+	var sb strings.Builder
+	_ = a.table().WriteJSON(&sb)
+	return sb.String()
+}
+
+// Markdown renders the answer's table as GitHub-flavored Markdown with at
+// most maxRows rows (negative = all).
+func (a Answer) Markdown(maxRows int) string {
+	return a.table().Markdown(maxRows)
+}
+
+func (a Answer) table() core.Table {
+	cols := make([]core.Column, len(a.Columns))
+	for i := range a.Columns {
+		cols[i] = core.Column{Name: a.Columns[i], Full: a.FullColumns[i]}
+	}
+	return core.Table{Columns: cols, Rows: a.Rows}
+}
+
+// Explanation describes what a query would cost and return, without
+// ranking: how the keywords resolved, how many candidate roots, tree
+// patterns and valid subtrees exist at the engine's height threshold.
+// Useful for deciding between exact and sampled execution.
+type Explanation struct {
+	// Keywords as resolved against the corpus (stemmed, deduplicated).
+	Keywords []string
+	// Unknown lists query words with no postings; if non-empty the query
+	// has no answers.
+	Unknown []string
+	// CandidateRoots is the number of nodes that reach every keyword.
+	CandidateRoots int
+	// Patterns and Subtrees are the total answer counts (before top-k).
+	// When Subtrees exceeds ExplainBudget, Patterns is -1 and Capped is
+	// true (counting patterns is #P-complete in general — Theorem 1 — and
+	// costs up to one pass over all subtree combinations).
+	Patterns int
+	Subtrees int64
+	Capped   bool
+}
+
+// ExplainBudget bounds the work Explain spends counting patterns.
+const ExplainBudget = 5_000_000
+
+// Explain analyzes a query without ranking answers.
+func (e *Engine) Explain(query string) Explanation {
+	words, surfaces := search.ResolveQuery(e.ix, query)
+	ex := Explanation{}
+	for i, w := range words {
+		if w < 0 {
+			ex.Unknown = append(ex.Unknown, surfaces[i])
+		} else {
+			ex.Keywords = append(ex.Keywords, surfaces[i])
+		}
+	}
+	ex.CandidateRoots = search.NumCandidateRoots(e.ix, query)
+	ex.Patterns, ex.Subtrees, ex.Capped = search.CountAllCapped(e.ix, query, ExplainBudget)
+	return ex
+}
+
+// TreeAnswer is one individually-ranked valid subtree, the alternative
+// result granularity the paper compares against in Section 5.3 (a single
+// row rather than a table).
+type TreeAnswer struct {
+	Rank    int
+	Score   float64
+	Pattern string
+	Columns []string
+	Row     []string
+}
+
+// SearchTrees ranks individual valid subtrees instead of tree patterns —
+// useful when the query intent is a single best answer ("popular XBox
+// game") rather than a list ("list of XBox games"). See EXPERIMENTS.md's
+// case study for the contrast.
+func (e *Engine) SearchTrees(query string, k int) ([]TreeAnswer, error) {
+	if k <= 0 {
+		k = 10
+	}
+	trees, stats := search.TopTrees(e.ix, query, k, search.Options{})
+	out := make([]TreeAnswer, 0, len(trees))
+	for i, rt := range trees {
+		tab := core.ComposeTable(e.g.g, e.ix.PatternTable(), rt.Pattern, []core.Subtree{rt.Tree})
+		ta := TreeAnswer{
+			Rank:    i + 1,
+			Score:   rt.Score,
+			Pattern: rt.Pattern.Render(e.g.g, e.ix.PatternTable(), stats.Surfaces),
+		}
+		for _, c := range tab.Columns {
+			ta.Columns = append(ta.Columns, c.Name)
+		}
+		if len(tab.Rows) > 0 {
+			ta.Row = tab.Rows[0]
+		}
+		out = append(out, ta)
+	}
+	return out, nil
+}
+
+func answerFrom(i int, rp search.RankedPattern, tab core.Table, pattern string) Answer {
+	a := Answer{
+		Rank:    i + 1,
+		Score:   rp.Score,
+		NumRows: rp.Agg.Count,
+		Pattern: pattern,
+		Rows:    tab.Rows,
+	}
+	for _, c := range tab.Columns {
+		a.Columns = append(a.Columns, c.Name)
+		a.FullColumns = append(a.FullColumns, c.Full)
+	}
+	return a
+}
