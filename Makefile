@@ -1,0 +1,35 @@
+# Same entry points CI uses (.github/workflows/ci.yml), so a green
+# `make check` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet check serve clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+check: vet build race bench
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@echo "all checks passed"
+
+# Run the HTTP daemon on the built-in demo knowledge base.
+serve:
+	$(GO) run ./cmd/kbserve -demo -addr :8080
+
+clean:
+	$(GO) clean ./...

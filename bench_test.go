@@ -8,6 +8,7 @@ package kbtable
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"testing"
 
@@ -178,6 +179,74 @@ func BenchmarkQueryPETopK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := search.PETopK(ix, qs[i%len(qs)], search.Options{K: 100, SkipTrees: true})
 		_ = res.Stats.PatternsFound
+	}
+}
+
+// --- parallel query execution ---
+
+// benchHeavyQueries ranks the answerable workload queries by valid-subtree
+// count and keeps the heaviest n, so the parallel worker pool has a
+// frontier worth sharding (trivial queries only measure pool overhead).
+func benchHeavyQueries(e *bench.Env, n int) []string {
+	ix := e.WikiIndex(3)
+	type hq struct {
+		q     string
+		trees int64
+	}
+	var hqs []hq
+	for _, q := range e.WikiQueries() {
+		if p, tr := search.CountAll(ix, q.Text); p > 0 && tr < 2_000_000 {
+			hqs = append(hqs, hq{q: q.Text, trees: tr})
+		}
+	}
+	sort.Slice(hqs, func(i, j int) bool { return hqs[i].trees > hqs[j].trees })
+	if len(hqs) > n {
+		hqs = hqs[:n]
+	}
+	out := make([]string, len(hqs))
+	for i, h := range hqs {
+		out[i] = h.q
+	}
+	return out
+}
+
+// BenchmarkParallelPETopK measures the parallel-vs-serial speedup of
+// PATTERNENUM's sharded frontier: compare workers=1 with workers=4
+// (workers=4 should be ≥2× faster on a 4-core machine; with a single
+// core the sub-benchmarks simply coincide).
+func BenchmarkParallelPETopK(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchHeavyQueries(e, 4)
+	if len(qs) == 0 {
+		b.Skip("no heavy queries in the reduced workload")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := search.PETopK(ix, qs[i%len(qs)], search.Options{K: 100, SkipTrees: true, Workers: workers})
+				_ = res.Stats.PatternsFound
+			}
+		})
+	}
+}
+
+// BenchmarkParallelLETopK is the LINEARENUM-TOPK counterpart (sharded by
+// root type, so the attainable speedup is bounded by type skew).
+func BenchmarkParallelLETopK(b *testing.B) {
+	e := env()
+	ix := e.WikiIndex(3)
+	qs := benchHeavyQueries(e, 4)
+	if len(qs) == 0 {
+		b.Skip("no heavy queries in the reduced workload")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := search.LETopK(ix, qs[i%len(qs)], search.Options{K: 100, SkipTrees: true, Workers: workers})
+				_ = res.Stats.PatternsFound
+			}
+		})
 	}
 }
 

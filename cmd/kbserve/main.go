@@ -1,0 +1,143 @@
+// Command kbserve is the long-running HTTP daemon for keyword-table
+// search: it loads (or demos) a knowledge base, builds the path-pattern
+// indexes once, and serves queries with parallel execution and an LRU
+// result cache until terminated.
+//
+// Usage:
+//
+//	kbserve -kb wiki.kb -addr :8080          # serve a kbgen-built KB
+//	kbserve -kb wiki.kb -index wiki.ix       # skip index construction
+//	kbserve -demo                            # built-in Figure 1 KB
+//
+// Endpoints:
+//
+//	POST /search  {"query":"database software company revenue","k":5,
+//	               "algorithm":"patternenum","d":3}
+//	GET  /healthz
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kbtable"
+	"kbtable/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	kbPath := flag.String("kb", "", "knowledge base file written by kbgen")
+	ixPath := flag.String("index", "", "prebuilt index file written by kbindex (optional)")
+	demo := flag.Bool("demo", false, "serve the built-in Figure 1 mini knowledge base")
+	d := flag.Int("d", 3, "height threshold for tree patterns")
+	workers := flag.Int("workers", 0, "per-query worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 512, "LRU query-result cache entries (negative disables)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request search timeout")
+	maxK := flag.Int("max-k", 1000, "largest k a request may ask for")
+	maxRows := flag.Int("max-rows", 50, "default cap on table rows per answer")
+	flag.Parse()
+
+	var g *kbtable.Graph
+	var err error
+	switch {
+	case *kbPath != "":
+		if g, err = kbtable.LoadGraph(*kbPath); err != nil {
+			log.Fatal(err)
+		}
+	case *demo:
+		g, err = demoGraph()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatal("provide -kb FILE (see cmd/kbgen) or -demo")
+	}
+	log.Printf("graph: %d entities, %d attributes, %d types",
+		g.NumEntities(), g.NumAttributes(), g.NumTypes())
+
+	opts := kbtable.EngineOptions{D: *d, Workers: *workers}
+	var eng *kbtable.Engine
+	t0 := time.Now()
+	if *ixPath != "" {
+		eng, err = kbtable.NewEngineFromIndex(g, *ixPath, opts)
+	} else {
+		eng, err = kbtable.NewEngine(g, opts)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := eng.IndexStats()
+	log.Printf("index: d=%d, %d patterns, %d entries, %.1f MB, ready in %v",
+		st.D, st.Patterns, st.Entries, st.SizeMB, time.Since(t0).Round(time.Millisecond))
+
+	srv := serve.New(serve.Config{
+		Engine:    eng,
+		D:         st.D,
+		CacheSize: *cacheSize,
+		Timeout:   *timeout,
+		MaxK:      *maxK,
+		MaxRows:   *maxRows,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	log.Printf("listening on %s (POST /search, GET /healthz)", *addr)
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Print("shutting down...")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Print("drained")
+	}
+}
+
+// demoGraph builds the paper's Figure 1 mini knowledge base, so the
+// daemon can be exercised without generating a dataset first.
+func demoGraph() (*kbtable.Graph, error) {
+	b := kbtable.NewBuilder()
+	sqlServer := b.Entity("Software", "SQL Server")
+	relDB := b.Entity("Model", "Relational database")
+	microsoft := b.Entity("Company", "Microsoft")
+	gates := b.Entity("Person", "Bill Gates")
+	oracleDB := b.Entity("Software", "Oracle DB")
+	orDB := b.Entity("Model", "O-R database")
+	oracle := b.Entity("Company", "Oracle Corp")
+	book := b.Entity("Book", "Handbook of Database Software")
+	springer := b.Entity("Company", "Springer")
+	b.Attr(sqlServer, "Genre", relDB)
+	b.Attr(sqlServer, "Developer", microsoft)
+	b.Attr(sqlServer, "Reference", book)
+	b.TextAttr(microsoft, "Revenue", "US$ 77 billion")
+	b.Attr(microsoft, "Founder", gates)
+	b.Attr(oracleDB, "Genre", orDB)
+	b.Attr(oracleDB, "Developer", oracle)
+	b.TextAttr(oracle, "Revenue", "US$ 37 billion")
+	b.Attr(book, "Publisher", springer)
+	b.TextAttr(springer, "Revenue", "US$ 1 billion")
+	g, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("demo graph: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,3 @@
+module kbtable
+
+go 1.22

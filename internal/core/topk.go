@@ -64,6 +64,16 @@ func (t *TopK[T]) Offer(score float64, key string, val T) bool {
 	return true
 }
 
+// Merge offers every item retained by src into t. Because ranking is a
+// total order on (score, key) and Offer keeps the best k of everything it
+// has seen, merging per-worker queues yields the same retained set in any
+// merge order — the property parallel query execution relies on.
+func (t *TopK[T]) Merge(src *TopK[T]) {
+	for _, it := range src.items {
+		t.Offer(it.score, it.key, it.val)
+	}
+}
+
 // WouldAccept reports whether an item with the given score could enter the
 // queue, letting callers skip expensive materialization for hopeless items.
 func (t *TopK[T]) WouldAccept(score float64) bool {

@@ -1,7 +1,9 @@
 package search
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"kbtable/internal/core"
@@ -158,6 +160,18 @@ type BaselineResult struct {
 // (3) the dictionary is ranked. The group-by dictionary over *all* patterns
 // and subtrees is the bottleneck the paper describes.
 func (b *BaselineIndex) Search(query string, opts Options) *BaselineResult {
+	res, _ := b.SearchCtx(context.Background(), query, opts)
+	return res
+}
+
+// SearchCtx is Search with cancellation. Candidate roots are grouped by
+// type and the groups sharded across the worker pool configured by
+// Options.Workers; a tree pattern's subtrees all root at nodes of one type,
+// so each pattern aggregates entirely inside one shard in serial root order
+// and the parallel run returns exactly the serial results (the online
+// pattern table interns concurrently, so interned IDs — never exposed
+// content — may differ across runs).
+func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Options) (*BaselineResult, error) {
 	start := time.Now()
 	o := opts.withDefaults()
 	pt := core.NewPatternTable()
@@ -177,9 +191,9 @@ func (b *BaselineIndex) Search(query string, opts Options) *BaselineResult {
 		stats.Surfaces = append(stats.Surfaces, surf[i])
 	}
 	stats.Words = words
-	empty := func() *BaselineResult {
+	empty := func() (*BaselineResult, error) {
 		stats.Elapsed = time.Since(start)
-		return &BaselineResult{Table: pt, Stats: stats}
+		return &BaselineResult{Table: pt, Stats: stats}, nil
 	}
 	if len(words) == 0 || len(words) > 16 {
 		// The backward-search bitmask supports up to 16 distinct keywords;
@@ -198,28 +212,52 @@ func (b *BaselineIndex) Search(query string, opts Options) *BaselineResult {
 	candidates := b.backward(words)
 	stats.CandidateRoots = len(candidates)
 
-	// Step 2: online enumeration + aggregation into the full dictionary.
-	treeDict := map[string]*baselineEntry{}
+	// Step 2: online enumeration + aggregation, one dictionary per root
+	// type (backward returns roots in node order, so each group keeps the
+	// serial order and per-pattern aggregation is bit-identical).
+	byType := map[kg.TypeID][]kg.NodeID{}
 	for _, r := range candidates {
-		lists := b.onlinePaths(words, r, pt)
-		ok := true
-		for _, l := range lists {
-			if len(l) == 0 {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		b.expandOnline(words, r, lists, o, pt, treeDict)
+		byType[b.g.Type(r)] = append(byType[b.g.Type(r)], r)
 	}
-	stats.PatternsFound = len(treeDict)
+	types := make([]kg.TypeID, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
 
-	// Step 3: rank the dictionary.
-	for _, de := range treeDict {
-		stats.TreesFound += int64(de.agg.Count)
-		top.Offer(de.agg.Value(o.Agg), de.tp.ContentKey(pt), de)
+	workers := resolveWorkers(o.Workers)
+	ws := newWorkerStates[*baselineEntry](workers, o.K)
+	err := runShards(ctx, workers, len(types), func(worker, ti int) {
+		st := &ws[worker].stats
+		pc := &pollCancel{ctx: ctx}
+		treeDict := map[string]*baselineEntry{}
+		for _, r := range byType[types[ti]] {
+			if pc.hit() {
+				return
+			}
+			lists := b.onlinePaths(words, r, pt)
+			ok := true
+			for _, l := range lists {
+				if len(l) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			b.expandOnline(words, r, lists, o, pt, treeDict)
+		}
+		// Step 3 per shard: rank the dictionary.
+		st.PatternsFound += len(treeDict)
+		for _, de := range treeDict {
+			st.TreesFound += int64(de.agg.Count)
+			ws[worker].top.Offer(de.agg.Value(o.Agg), de.tp.ContentKey(pt), de)
+		}
+	})
+	mergeWorkerStates(ws, top, &stats)
+	if err != nil {
+		return nil, err
 	}
 	var patterns []RankedPattern
 	for _, de := range top.Results() {
@@ -230,7 +268,7 @@ func (b *BaselineIndex) Search(query string, opts Options) *BaselineResult {
 		patterns = append(patterns, rp)
 	}
 	stats.Elapsed = time.Since(start)
-	return &BaselineResult{Patterns: patterns, Table: pt, Stats: stats}
+	return &BaselineResult{Patterns: patterns, Table: pt, Stats: stats}, nil
 }
 
 // baselineEntry is a TreeDict slot: the paper's baseline keeps every valid

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -21,8 +22,15 @@ import (
 // patterns are then re-scored exactly before entering the global queue
 // (Section 4.2.2).
 func LETopK(ix *index.Index, query string, opts Options) *Result {
+	res, _ := LETopKCtx(context.Background(), ix, query, opts)
+	return res
+}
+
+// LETopKCtx is LETopK with cancellation: a canceled or expired context
+// stops the expansion between root types and returns the context's error.
+func LETopKCtx(ctx context.Context, ix *index.Index, query string, opts Options) (*Result, error) {
 	words, surfaces := ResolveQuery(ix, query)
-	return LETopKWords(ix, words, surfaces, opts)
+	return LETopKWordsCtx(ctx, ix, words, surfaces, opts)
 }
 
 // dictEntry is one tree pattern accumulating in TreeDict.
@@ -33,15 +41,24 @@ type dictEntry struct {
 
 // LETopKWords is LETopK on pre-resolved keywords.
 func LETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts Options) *Result {
+	res, _ := LETopKWordsCtx(context.Background(), ix, words, surfaces, opts)
+	return res
+}
+
+// LETopKWordsCtx is LETopKWords with cancellation. Root types are sharded
+// across the worker pool configured by Options.Workers; a type's whole
+// pipeline — subtree counting, sampling, expansion, estimation, exact
+// re-scoring — runs inside one shard, and sampling is seeded per type, so
+// the parallel run returns exactly the serial results.
+func LETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, surfaces []string, opts Options) (*Result, error) {
 	start := time.Now()
 	o := opts.withDefaults()
 	stats := QueryStats{Surfaces: surfaces, Words: words}
 	top := core.NewTopK[RankedPattern](o.K)
 	if !queryable(ix, words) {
-		return finalize(ix, words, top, o, stats, start)
+		return finalizeCtx(ctx, ix, words, top, o, stats, start)
 	}
 	pt := ix.PatternTable()
-	rng := o.rng()
 
 	// Algorithm 3 line 1: candidate roots across all keywords.
 	rootLists := make([][]kg.NodeID, len(words))
@@ -63,28 +80,39 @@ func LETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts O
 	}
 	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
 
-	for _, c := range types {
+	workers := resolveWorkers(o.Workers)
+	ws := newWorkerStates[RankedPattern](workers, o.K)
+	err := runShards(ctx, workers, len(types), func(worker, ti int) {
+		c := types[ti]
 		rc := byType[c]
+		st := &ws[worker].stats
+		ltop := ws[worker].top
+		pc := &pollCancel{ctx: ctx}
+
 		// Line 4: NR = Σ_r Π_i |Paths(wi, r)| without enumeration.
 		nr := subtreeCount(ix, words, rc)
 		rate := 1.0
 		if o.samplingEnabled() && nr >= o.Lambda {
 			rate = o.Rho
 		}
+		rng := typeRNG(o.Seed, c)
 
 		// Lines 6-8: expand (a sample of) the roots of this type.
 		treeDict := map[string]*dictEntry{}
 		for _, r := range rc {
+			if pc.hit() {
+				return
+			}
 			if rate < 1 && rng.Float64() >= rate {
 				continue
 			}
-			stats.SampledRoots++
+			st.SampledRoots++
 			expandRoot(ix, words, r, o, treeDict)
 		}
 
-		stats.PatternsFound += len(treeDict)
+		st.PatternsFound += len(treeDict)
 		for _, de := range treeDict {
-			stats.TreesFound += int64(de.agg.Count)
+			st.TreesFound += int64(de.agg.Count)
 		}
 
 		if rate < 1 {
@@ -98,23 +126,27 @@ func LETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts O
 				local.Offer(est, de.tp.ContentKey(pt), de)
 			}
 			selected := local.Results()
-			exacts := aggregateSelected(ix, words, selected, rc, o)
+			exacts := aggregateSelected(ix, words, selected, rc, o, pc)
 			for _, de := range selected {
 				exact, ok := exacts[de.tp.Key()]
 				if !ok || exact.Count == 0 {
 					continue
 				}
-				top.Offer(exact.Value(o.Agg), de.tp.ContentKey(pt),
+				ltop.Offer(exact.Value(o.Agg), de.tp.ContentKey(pt),
 					RankedPattern{Pattern: de.tp, Agg: *exact, Score: exact.Value(o.Agg)})
 			}
 		} else {
 			for _, de := range treeDict {
-				top.Offer(de.agg.Value(o.Agg), de.tp.ContentKey(pt),
+				ltop.Offer(de.agg.Value(o.Agg), de.tp.ContentKey(pt),
 					RankedPattern{Pattern: de.tp, Agg: de.agg, Score: de.agg.Value(o.Agg)})
 			}
 		}
+	})
+	mergeWorkerStates(ws, top, &stats)
+	if err != nil {
+		return nil, err
 	}
-	return finalize(ix, words, top, o, stats, start)
+	return finalizeCtx(ctx, ix, words, top, o, stats, start)
 }
 
 // NumCandidateRoots returns |∩_i Roots(wi)| for a query: the number of
@@ -222,8 +254,9 @@ func aggregatePatternRF(ix *index.Index, words []text.WordID, tp core.TreePatter
 // the given roots in one pass: per root, each keyword's pattern list is
 // intersected with the patterns the selection uses at that position, and
 // only surviving combinations are expanded. Roots containing none of the
-// selected patterns are skipped after m sorted intersections.
-func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEntry, roots []kg.NodeID, o Options) map[string]*core.PatternScore {
+// selected patterns are skipped after m sorted intersections. A hit on pc
+// returns early with partial scores; the caller is aborting anyway.
+func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEntry, roots []kg.NodeID, o Options, pc *pollCancel) map[string]*core.PatternScore {
 	m := len(words)
 	out := make(map[string]*core.PatternScore, len(selected))
 	pos := make([]map[core.PatternID]bool, m)
@@ -240,6 +273,9 @@ func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEnt
 	chosen := make([][]pathTerm, m)
 	choice := make([]core.PatternID, m)
 	for _, r := range roots {
+		if pc.hit() {
+			break
+		}
 		ok := true
 		for i, w := range words {
 			cand[i] = cand[i][:0]

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -16,18 +17,46 @@ import (
 // and scores the non-empty tree patterns. Valid subtrees of a pattern are
 // generated at one time, so no online aggregation dictionary is needed.
 func PETopK(ix *index.Index, query string, opts Options) *Result {
+	res, _ := PETopKCtx(context.Background(), ix, query, opts)
+	return res
+}
+
+// PETopKCtx is PETopK with cancellation: a canceled or expired context
+// stops the enumeration between shards and returns the context's error.
+func PETopKCtx(ctx context.Context, ix *index.Index, query string, opts Options) (*Result, error) {
 	words, surfaces := ResolveQuery(ix, query)
-	return PETopKWords(ix, words, surfaces, opts)
+	return PETopKWordsCtx(ctx, ix, words, surfaces, opts)
 }
 
 // PETopKWords is PETopK on pre-resolved keywords.
 func PETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts Options) *Result {
+	res, _ := PETopKWordsCtx(context.Background(), ix, words, surfaces, opts)
+	return res
+}
+
+// peType is the per-root-type precomputation of Algorithm 2 line 3:
+// PatternsC(wi) and the cached root list per pattern, plus the keyword
+// enumeration order (selective first, so empty prefixes prune the
+// combination tree as early as possible; choice[] stays indexed by the
+// original keyword position, so the output is unchanged).
+type peType struct {
+	pats  [][]core.PatternID
+	roots [][][]kg.NodeID
+	order []int
+}
+
+// PETopKWordsCtx is PETopKWords with cancellation. The enumeration is
+// sharded by (root type, first path-pattern choice) across the worker pool
+// configured by Options.Workers; every tree pattern is scored entirely
+// inside one shard, so the parallel run returns exactly the serial results.
+func PETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, surfaces []string, opts Options) (*Result, error) {
 	start := time.Now()
 	o := opts.withDefaults()
 	stats := QueryStats{Surfaces: surfaces, Words: words}
 	top := core.NewTopK[RankedPattern](o.K)
+	stats.CandidateRoots = -1 // PATTERNENUM never materializes the root set
 	if !queryable(ix, words) {
-		return finalize(ix, words, top, o, stats, start)
+		return finalizeCtx(ctx, ix, words, top, o, stats, start)
 	}
 	m := len(words)
 	pt := ix.PatternTable()
@@ -40,66 +69,98 @@ func PETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts O
 	}
 	rootTypes := intersectTypes(typeLists)
 
-	for _, c := range rootTypes {
-		// PatternsC(wi) and the cached root list per pattern (line 3).
-		pats := make([][]core.PatternID, m)
-		roots := make([][][]kg.NodeID, m)
+	// Serial prelude: fetch the per-type pattern and root lists (cheap
+	// index lookups) and cut the enumeration into shards. One shard is the
+	// subtree of combinations under one choice of the most selective
+	// keyword's pattern — disjoint by construction, and fine-grained
+	// enough to balance a skewed type distribution across workers.
+	types := make([]peType, len(rootTypes))
+	type peShard struct{ t, j int }
+	var shards []peShard
+	for ti, c := range rootTypes {
+		tt := &types[ti]
+		tt.pats = make([][]core.PatternID, m)
+		tt.roots = make([][][]kg.NodeID, m)
 		for i, w := range words {
-			pats[i] = ix.PatternsOfType(w, c)
-			roots[i] = make([][]kg.NodeID, len(pats[i]))
-			for j, p := range pats[i] {
-				roots[i][j] = ix.RootsOf(w, p)
+			tt.pats[i] = ix.PatternsOfType(w, c)
+			tt.roots[i] = make([][]kg.NodeID, len(tt.pats[i]))
+			for j, p := range tt.pats[i] {
+				tt.roots[i][j] = ix.RootsOf(w, p)
 			}
 		}
-		// Enumerate selective keywords first so empty prefixes prune the
-		// combination tree as early as possible; choice[] stays indexed by
-		// the original keyword position, so the output is unchanged.
-		order := make([]int, m)
-		for i := range order {
-			order[i] = i
+		tt.order = make([]int, m)
+		for i := range tt.order {
+			tt.order[i] = i
 		}
-		sort.Slice(order, func(a, b int) bool { return len(pats[order[a]]) < len(pats[order[b]]) })
+		sort.Slice(tt.order, func(a, b int) bool {
+			return len(tt.pats[tt.order[a]]) < len(tt.pats[tt.order[b]])
+		})
+		for j := range tt.pats[tt.order[0]] {
+			shards = append(shards, peShard{t: ti, j: j})
+		}
+	}
 
-		// Lines 4-8: enumerate the tree-pattern product. The root
-		// intersection of line 5 is computed incrementally along the
-		// combination prefix, so a prefix with an empty intersection
-		// prunes its whole subtree of combinations at once (the wasted
-		// set-intersections on empty patterns are PATTERNENUM's worst
-		// case, Section 4.1; the pruning does not change its output).
+	// Lines 4-8 per shard: enumerate the tree-pattern product. The root
+	// intersection of line 5 is computed incrementally along the
+	// combination prefix, so a prefix with an empty intersection prunes
+	// its whole subtree of combinations at once (the wasted
+	// set-intersections on empty patterns are PATTERNENUM's worst case,
+	// Section 4.1; the pruning does not change the output).
+	workers := resolveWorkers(o.Workers)
+	ws := newWorkerStates[RankedPattern](workers, o.K)
+	err := runShards(ctx, workers, len(shards), func(worker, si int) {
+		sh := shards[si]
+		tt := &types[sh.t]
+		st := &ws[worker].stats
+		ltop := ws[worker].top
+		pc := &pollCancel{ctx: ctx}
+		w0 := tt.order[0]
+		r0 := tt.roots[w0][sh.j]
+		if len(r0) == 0 {
+			st.EmptyChecked++
+			return
+		}
 		choice := make([]core.PatternID, m)
+		choice[w0] = tt.pats[w0][sh.j]
 		var rec func(i int, r []kg.NodeID)
 		rec = func(i int, r []kg.NodeID) {
 			if i == m {
 				tp := core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}
-				agg, n := aggregatePattern(ix, words, tp, r, o)
+				agg, n := aggregatePattern(ix, words, tp, r, o, pc)
+				if pc.hit() {
+					return // partial aggregate; the query is aborting
+				}
 				if agg.Count == 0 {
 					// All tuples filtered out (RequireTreeShape).
-					stats.EmptyChecked++
+					st.EmptyChecked++
 					return
 				}
-				stats.PatternsFound++
-				stats.TreesFound += n
-				top.Offer(agg.Value(o.Agg), tp.ContentKey(pt), RankedPattern{Pattern: tp, Agg: agg, Score: agg.Value(o.Agg)})
+				st.PatternsFound++
+				st.TreesFound += n
+				ltop.Offer(agg.Value(o.Agg), tp.ContentKey(pt), RankedPattern{Pattern: tp, Agg: agg, Score: agg.Value(o.Agg)})
 				return
 			}
-			w := order[i]
-			for j, p := range pats[w] {
-				next := roots[w][j]
-				if i > 0 {
-					next = intersectSorted([][]kg.NodeID{r, next})
+			w := tt.order[i]
+			for j, p := range tt.pats[w] {
+				if pc.hit() {
+					return
 				}
+				next := intersectSorted([][]kg.NodeID{r, tt.roots[w][j]})
 				if len(next) == 0 {
-					stats.EmptyChecked++
+					st.EmptyChecked++
 					continue
 				}
 				choice[w] = p
 				rec(i+1, next)
 			}
 		}
-		rec(0, nil)
+		rec(1, r0)
+	})
+	mergeWorkerStates(ws, top, &stats)
+	if err != nil {
+		return nil, err
 	}
-	stats.CandidateRoots = -1 // PATTERNENUM never materializes the root set
-	return finalize(ix, words, top, o, stats, start)
+	return finalizeCtx(ctx, ix, words, top, o, stats, start)
 }
 
 // intersectTypes intersects sorted TypeID lists.

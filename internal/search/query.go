@@ -14,8 +14,8 @@
 package search
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"kbtable/internal/core"
@@ -53,6 +53,14 @@ type Options struct {
 	// MaxTreesPerPattern caps materialized subtrees per pattern
 	// (0 = unlimited). Scoring always uses all subtrees.
 	MaxTreesPerPattern int
+	// Workers bounds intra-query parallelism: the candidate-root frontier
+	// is sharded across a worker pool of this size (PATTERNENUM by root
+	// type and first pattern choice, LINEARENUM-TOPK and the baseline by
+	// root type), with per-worker top-k heaps merged into the global
+	// queue. 0 (or negative) means GOMAXPROCS; 1 forces the serial path.
+	// Parallel execution returns exactly the serial results (parallel.go
+	// explains why the sharding preserves bit-identical scores).
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -235,12 +243,16 @@ func pathsRF(ix *index.Index, w text.WordID, r kg.NodeID, p core.PatternID) []pa
 }
 
 // aggregatePattern scores every subtree of tree pattern tp across the given
-// roots using the pattern-first index, without materializing trees.
-func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options) (core.PatternScore, int64) {
+// roots using the pattern-first index, without materializing trees. A hit
+// on pc returns early with a partial score; the caller is aborting anyway.
+func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options, pc *pollCancel) (core.PatternScore, int64) {
 	var agg core.PatternScore
 	var n int64
 	lists := make([][]pathTerm, len(words))
 	for _, r := range roots {
+		if pc.hit() {
+			break
+		}
 		ok := true
 		for i, w := range words {
 			lists[i] = pathsPF(ix, w, tp.Paths[i], r)
@@ -262,7 +274,7 @@ func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern,
 
 // materializeTrees collects the valid subtrees of tp (up to the per-pattern
 // cap) across all roots where it is nonempty, via the pattern-first index.
-func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern, o Options) []core.Subtree {
+func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern, o Options, pc *pollCancel) []core.Subtree {
 	rootLists := make([][]kg.NodeID, len(words))
 	for i, w := range words {
 		rootLists[i] = ix.RootsOf(w, tp.Paths[i])
@@ -271,6 +283,9 @@ func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern,
 	var out []core.Subtree
 	lists := make([][]pathTerm, len(words))
 	for _, r := range roots {
+		if pc.hit() {
+			break
+		}
 		ok := true
 		for i, w := range words {
 			lists[i] = pathsPF(ix, w, tp.Paths[i], r)
@@ -300,17 +315,17 @@ func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern,
 	return out
 }
 
-// finalize materializes subtrees for the ranked top-k patterns and stamps
-// stats. Shared by all three algorithms.
-func finalize(ix *index.Index, words []text.WordID, top *core.TopK[RankedPattern], o Options, stats QueryStats, start time.Time) *Result {
+// finalizeCtx materializes subtrees for the ranked top-k patterns (fanned
+// across the worker pool) and stamps stats. Shared by PETopK and LETopK.
+func finalizeCtx(ctx context.Context, ix *index.Index, words []text.WordID, top *core.TopK[RankedPattern], o Options, stats QueryStats, start time.Time) (*Result, error) {
 	patterns := top.Results()
 	if !o.SkipTrees {
-		for i := range patterns {
-			patterns[i].Trees = materializeTrees(ix, words, patterns[i].Pattern, o)
+		if err := materializeAll(ctx, ix, words, patterns, o); err != nil {
+			return nil, err
 		}
 	}
 	stats.Elapsed = time.Since(start)
-	return &Result{Patterns: patterns, Stats: stats}
+	return &Result{Patterns: patterns, Stats: stats}, nil
 }
 
 // Table renders a ranked pattern as a table answer.
@@ -322,13 +337,4 @@ func (rp RankedPattern) Table(ix *index.Index) core.Table {
 func (rp RankedPattern) Describe(ix *index.Index, surfaces []string) string {
 	return fmt.Sprintf("score=%.4f trees=%d\n%s", rp.Score, rp.Agg.Count,
 		rp.Pattern.Render(ix.Graph(), ix.PatternTable(), surfaces))
-}
-
-// rng builds the sampling source for a query.
-func (o Options) rng() *rand.Rand {
-	seed := o.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	return rand.New(rand.NewSource(seed))
 }

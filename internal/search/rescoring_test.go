@@ -46,7 +46,7 @@ func TestAggregateSelectedMatchesPerPatternRescoring(t *testing.T) {
 			selected = append(selected, de)
 		}
 
-		batched := aggregateSelected(ix, words, selected, roots, o)
+		batched := aggregateSelected(ix, words, selected, roots, o, nil)
 		for _, de := range selected {
 			ref := aggregatePatternRF(ix, words, de.tp, roots, o)
 			got, ok := batched[de.tp.Key()]

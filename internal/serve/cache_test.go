@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a should survive eviction, got %v, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("Get(c) = %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 2 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestLRURefresh(t *testing.T) {
+	c := NewLRU[string](2)
+	c.Put("a", "old")
+	c.Put("b", "x")
+	c.Put("a", "new") // refresh value and recency
+	c.Put("c", "y")   // evicts b, not a
+	if v, ok := c.Get("a"); !ok || v != "new" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := NewLRU[int](-1)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must never hit")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+// TestLRUConcurrent hammers one cache from many goroutines; run with
+// -race. Correctness here is "no race, no panic, bounded size".
+func TestLRUConcurrent(t *testing.T) {
+	c := NewLRU[int](32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if v, ok := c.Get(key); ok && v < 0 {
+					t.Error("impossible cached value")
+				}
+				c.Put(key, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

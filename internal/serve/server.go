@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"kbtable"
+)
+
+// Searcher is the query surface the server needs. *kbtable.Engine
+// implements it; tests substitute fakes.
+type Searcher interface {
+	SearchContext(ctx context.Context, query string, opts kbtable.SearchOptions) ([]kbtable.Answer, error)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Engine answers the queries. Required.
+	Engine Searcher
+	// D is the engine's height threshold; requests naming a different d
+	// are rejected (the index is built for exactly one d).
+	D int
+	// CacheSize bounds the LRU result cache (entries); default 512,
+	// negative disables caching.
+	CacheSize int
+	// Timeout bounds one search request; default 10s.
+	Timeout time.Duration
+	// MaxK caps the k a request may ask for; default 1000.
+	MaxK int
+	// MaxRows caps table rows materialized per answer when the request
+	// does not set max_rows; default 50 (0 would materialize every row).
+	MaxRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 50
+	}
+	return c
+}
+
+// Server is the HTTP search daemon: POST /search, GET /healthz.
+type Server struct {
+	cfg      Config
+	cache    *LRU[*SearchResponse]
+	start    time.Time
+	requests atomic.Uint64
+	hs       *http.Server
+}
+
+// New returns a Server ready to ListenAndServe.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewLRU[*SearchResponse](cfg.CacheSize),
+		start: time.Now(),
+	}
+	s.hs = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.Timeout + 5*time.Second,
+		WriteTimeout:      cfg.Timeout + 5*time.Second,
+	}
+	return s
+}
+
+// Handler returns the route table, usable directly in tests or behind
+// custom middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// ListenAndServe blocks serving on addr until Shutdown or a listener
+// error; it returns nil after a clean shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.hs.Addr = addr
+	err := s.hs.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests and stops the listener, bounded by
+// ctx (the graceful-shutdown half of ListenAndServe).
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.hs.Shutdown(ctx)
+}
+
+// SearchRequest is the POST /search body.
+type SearchRequest struct {
+	// Query is the keyword query, e.g. "database software company revenue".
+	Query string `json:"query"`
+	// K is the number of table answers; default 10.
+	K int `json:"k,omitempty"`
+	// Algorithm is "patternenum"/"pe" (default), "linearenum"/"le", or
+	// "baseline".
+	Algorithm string `json:"algorithm,omitempty"`
+	// D must be 0 or the engine's height threshold.
+	D int `json:"d,omitempty"`
+	// MaxRows caps materialized rows per answer; default Config.MaxRows.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// SearchAnswer is one ranked table answer on the wire.
+type SearchAnswer struct {
+	Rank    int        `json:"rank"`
+	Score   float64    `json:"score"`
+	NumRows int        `json:"num_rows"`
+	Pattern string     `json:"pattern"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// SearchResponse is the POST /search reply.
+type SearchResponse struct {
+	Query     string         `json:"query"`
+	K         int            `json:"k"`
+	Algorithm string         `json:"algorithm"`
+	D         int            `json:"d"`
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Answers   []SearchAnswer `json:"answers"`
+}
+
+// HealthResponse is the GET /healthz reply.
+type HealthResponse struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Requests      uint64     `json:"requests"`
+	Cache         CacheStats `json:"cache"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseAlgorithm maps the wire names onto kbtable algorithms.
+func parseAlgorithm(s string) (kbtable.Algorithm, string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "pe", "patternenum":
+		return kbtable.PatternEnum, "patternenum", nil
+	case "le", "linearenum":
+		return kbtable.LinearEnum, "linearenum", nil
+	case "baseline":
+		return kbtable.Baseline, "baseline", nil
+	}
+	return 0, "", fmt.Errorf("unknown algorithm %q (want patternenum, linearenum or baseline)", s)
+}
+
+// normalizeQuery canonicalizes whitespace and case so trivially different
+// spellings of the same keyword set share a cache entry. Keyword order is
+// preserved: it determines answer column order.
+func normalizeQuery(q string) string {
+	return strings.ToLower(strings.Join(strings.Fields(q), " "))
+}
+
+// cacheKey identifies one (query, options) result in the LRU.
+func cacheKey(query, algo string, k, d, maxRows int) string {
+	return fmt.Sprintf("%s|%s|%d|%d|%d", query, algo, k, d, maxRows)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SearchRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	query := normalizeQuery(req.Query)
+	if query == "" {
+		writeError(w, http.StatusBadRequest, "query must not be empty")
+		return
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k=%d exceeds the maximum %d", req.K, s.cfg.MaxK))
+		return
+	}
+	if req.D == 0 {
+		req.D = s.cfg.D
+	}
+	if req.D != s.cfg.D {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("this engine is indexed for d=%d, not d=%d", s.cfg.D, req.D))
+		return
+	}
+	if req.MaxRows <= 0 {
+		req.MaxRows = s.cfg.MaxRows
+	}
+	algo, algoName, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := cacheKey(query, algoName, req.K, req.D, req.MaxRows)
+	if hit, ok := s.cache.Get(key); ok {
+		resp := *hit // shallow copy: answers are shared read-only
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	t0 := time.Now()
+	answers, err := s.cfg.Engine.SearchContext(ctx, query, kbtable.SearchOptions{
+		K:               req.K,
+		Algorithm:       algo,
+		MaxRowsPerTable: req.MaxRows,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "query timed out")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+
+	resp := &SearchResponse{
+		Query:     query,
+		K:         req.K,
+		Algorithm: algoName,
+		D:         req.D,
+		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+		Answers:   make([]SearchAnswer, 0, len(answers)),
+	}
+	for _, a := range answers {
+		resp.Answers = append(resp.Answers, SearchAnswer{
+			Rank:    a.Rank,
+			Score:   a.Score,
+			NumRows: a.NumRows,
+			Pattern: a.Pattern,
+			Columns: a.Columns,
+			Rows:    a.Rows,
+		})
+	}
+	s.cache.Put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, &HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Cache:         s.cache.Stats(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

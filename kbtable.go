@@ -28,9 +28,11 @@
 package kbtable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"kbtable/internal/core"
 	"kbtable/internal/index"
@@ -135,7 +137,11 @@ type EngineOptions struct {
 	UniformPageRank bool
 	// Synonyms maps alias words to canonical words sharing postings.
 	Synonyms map[string]string
-	// Workers bounds index-construction parallelism (default GOMAXPROCS).
+	// Workers sizes the worker pools for index construction and query
+	// execution: each query's candidate-root frontier is sharded across
+	// this many goroutines with per-worker top-k heaps merged into the
+	// global queue. Parallel queries return exactly the serial results.
+	// 0 (or negative) means GOMAXPROCS; 1 forces serial execution.
 	Workers int
 }
 
@@ -162,8 +168,11 @@ type SearchOptions struct {
 type Engine struct {
 	g  *Graph
 	ix *index.Index
-	bl *search.BaselineIndex
 	o  EngineOptions
+
+	blOnce sync.Once // lazy baseline build, safe under concurrent Search
+	bl     *search.BaselineIndex
+	blErr  error
 }
 
 // NewEngine builds the path-pattern indexes (Section 3) for g. Building
@@ -248,6 +257,15 @@ func (e *Engine) Search(query string, k int) ([]Answer, error) {
 // An unknown keyword simply yields no answers (never an error): every
 // answer must contain every keyword.
 func (e *Engine) SearchOpts(query string, opts SearchOptions) ([]Answer, error) {
+	return e.SearchContext(context.Background(), query, opts)
+}
+
+// SearchContext is SearchOpts with cancellation: a canceled or expired
+// context stops the query between frontier shards and returns the
+// context's error. Engines are safe for concurrent SearchContext calls —
+// queries only read the index — and each query additionally fans out
+// across EngineOptions.Workers goroutines internally.
+func (e *Engine) SearchContext(ctx context.Context, query string, opts SearchOptions) ([]Answer, error) {
 	if opts.K <= 0 {
 		opts.K = 100
 	}
@@ -257,27 +275,36 @@ func (e *Engine) SearchOpts(query string, opts SearchOptions) ([]Answer, error) 
 		Rho:                opts.Rho,
 		Seed:               opts.Seed,
 		MaxTreesPerPattern: opts.MaxRowsPerTable,
+		Workers:            e.o.Workers,
 	}
 	switch opts.Algorithm {
 	case PatternEnum:
-		res := search.PETopK(e.ix, query, so)
+		res, err := search.PETopKCtx(ctx, e.ix, query, so)
+		if err != nil {
+			return nil, fmt.Errorf("kbtable: %w", err)
+		}
 		return e.toAnswers(res), nil
 	case LinearEnum:
-		res := search.LETopK(e.ix, query, so)
+		res, err := search.LETopKCtx(ctx, e.ix, query, so)
+		if err != nil {
+			return nil, fmt.Errorf("kbtable: %w", err)
+		}
 		return e.toAnswers(res), nil
 	case Baseline:
-		if e.bl == nil {
-			bl, err := search.NewBaseline(e.g.g, search.BaselineOptions{
+		e.blOnce.Do(func() {
+			e.bl, e.blErr = search.NewBaseline(e.g.g, search.BaselineOptions{
 				D:         e.o.D,
 				UniformPR: e.o.UniformPageRank,
 				Synonyms:  e.o.Synonyms,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("kbtable: %w", err)
-			}
-			e.bl = bl
+		})
+		if e.blErr != nil {
+			return nil, fmt.Errorf("kbtable: %w", e.blErr)
 		}
-		res := e.bl.Search(query, so)
+		res, err := e.bl.SearchCtx(ctx, query, so)
+		if err != nil {
+			return nil, fmt.Errorf("kbtable: %w", err)
+		}
 		return e.baselineAnswers(res), nil
 	default:
 		return nil, fmt.Errorf("kbtable: unknown algorithm %d", opts.Algorithm)
