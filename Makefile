@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check serve clean
+.PHONY: build test race bench fmt vet check cover fuzz serve clean
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,17 @@ vet:
 check: vet build race bench
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	@echo "all checks passed"
+
+# Coverage with the CI floor over the mutation + maintenance layers.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/index,./internal/kg ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# The same short fuzz bursts CI runs.
+fuzz:
+	$(GO) test -fuzz='^FuzzSearchNeverPanics$$' -fuzztime=10s -run='^$$' .
+	$(GO) test -fuzz='^FuzzIndexRoundTrip$$' -fuzztime=10s -run='^$$' .
+	$(GO) test -fuzz='^FuzzDictQueryTokens$$' -fuzztime=10s -run='^$$' ./internal/text
 
 # Run the HTTP daemon on the built-in demo knowledge base.
 serve:

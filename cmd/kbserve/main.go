@@ -1,18 +1,25 @@
 // Command kbserve is the long-running HTTP daemon for keyword-table
 // search: it loads (or demos) a knowledge base, builds the path-pattern
 // indexes once, and serves queries with parallel execution and an LRU
-// result cache until terminated.
+// result cache until terminated. The knowledge base stays live: POST
+// /update applies mutations atomically, maintains the indexes
+// incrementally (only the d-neighborhood of the change is re-enumerated),
+// and swaps in the new snapshot without blocking in-flight searches.
 //
 // Usage:
 //
 //	kbserve -kb wiki.kb -addr :8080          # serve a kbgen-built KB
 //	kbserve -kb wiki.kb -index wiki.ix       # skip index construction
 //	kbserve -demo                            # built-in Figure 1 KB
+//	kbserve -demo -readonly                  # disable POST /update
 //
 // Endpoints:
 //
 //	POST /search  {"query":"database software company revenue","k":5,
 //	               "algorithm":"patternenum","d":3}
+//	POST /update  {"ops":[{"op":"add_entity","type":"Software",
+//	               "text":"Postgres"},
+//	               {"op":"add_attr","src":-1,"attr":"Genre","dst":1}]}
 //	GET  /healthz
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
@@ -45,6 +52,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request search timeout")
 	maxK := flag.Int("max-k", 1000, "largest k a request may ask for")
 	maxRows := flag.Int("max-rows", 50, "default cap on table rows per answer")
+	readOnly := flag.Bool("readonly", false, "disable POST /update (serve a frozen snapshot)")
 	flag.Parse()
 
 	var g *kbtable.Graph
@@ -87,13 +95,18 @@ func main() {
 		Timeout:   *timeout,
 		MaxK:      *maxK,
 		MaxRows:   *maxRows,
+		ReadOnly:  *readOnly,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe(*addr) }()
-	log.Printf("listening on %s (POST /search, GET /healthz)", *addr)
+	mode := "live updates enabled (POST /update)"
+	if *readOnly {
+		mode = "read-only"
+	}
+	log.Printf("listening on %s (POST /search, GET /healthz), %s", *addr, mode)
 
 	select {
 	case err := <-errCh:

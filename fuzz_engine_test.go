@@ -1,6 +1,7 @@
 package kbtable
 
 import (
+	"path/filepath"
 	"sync"
 	"testing"
 )
@@ -63,5 +64,97 @@ func FuzzSearchNeverPanics(f *testing.F) {
 			t.Fatalf("SearchTrees(%q): %v", q, err)
 		}
 		_ = eng.Explain(q)
+	})
+}
+
+// fuzzGraph deterministically decodes arbitrary bytes into a small valid
+// knowledge base, so the fuzzer explores graph shapes rather than builder
+// error paths.
+func fuzzGraph(data []byte) (*Graph, error) {
+	types := []string{"Doc", "Tag", "User"}
+	attrs := []string{"links", "cites", "owns"}
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	i := 0
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := int(data[i%len(data)])
+		i++
+		return b + i // mix the cursor in so runs of equal bytes still vary
+	}
+	b := NewBuilder()
+	n := 2 + next()%10
+	ids := make([]EntityID, n)
+	for v := 0; v < n; v++ {
+		txt := vocab[next()%len(vocab)]
+		if next()%3 == 0 {
+			txt += " " + vocab[next()%len(vocab)]
+		}
+		ids[v] = b.Entity(types[next()%len(types)], txt)
+	}
+	ne := next() % (2 * n)
+	for e := 0; e < ne; e++ {
+		src := ids[next()%n]
+		if next()%5 == 0 {
+			b.TextAttr(src, attrs[next()%len(attrs)], vocab[next()%len(vocab)])
+		} else {
+			b.Attr(src, attrs[next()%len(attrs)], ids[next()%n])
+		}
+	}
+	return b.Build()
+}
+
+// FuzzIndexRoundTrip: for arbitrary graphs, saving the path-pattern index
+// and loading it back (through internal/index's wire format) must yield an
+// engine whose search results are identical to the original's, for both
+// index-driven algorithms.
+func FuzzIndexRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, "alpha")
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x10}, "alpha beta")
+	f.Add([]byte("abcdefghij"), "gamma links")
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, "")
+	f.Fuzz(func(t *testing.T, data []byte, q string) {
+		g, err := fuzzGraph(data)
+		if err != nil {
+			t.Fatalf("fuzzGraph: %v", err)
+		}
+		d := 2 + len(data)%2
+		eng, err := NewEngine(g, EngineOptions{D: d, UniformPageRank: true})
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		path := filepath.Join(t.TempDir(), "ix")
+		if err := eng.SaveIndex(path); err != nil {
+			t.Fatalf("SaveIndex: %v", err)
+		}
+		loaded, err := NewEngineFromIndex(g, path, EngineOptions{UniformPageRank: true})
+		if err != nil {
+			t.Fatalf("NewEngineFromIndex: %v", err)
+		}
+		if a, b := eng.IndexStats(), loaded.IndexStats(); a.Entries != b.Entries || a.Patterns != b.Patterns || a.D != b.D {
+			t.Fatalf("index stats differ after round-trip: %+v vs %+v", a, b)
+		}
+		for _, query := range []string{q, "alpha", "beta gamma", "alpha links"} {
+			for _, algo := range []Algorithm{PatternEnum, LinearEnum} {
+				want, err := eng.SearchOpts(query, SearchOptions{K: 5, Algorithm: algo})
+				if err != nil {
+					t.Fatalf("original %v(%q): %v", algo, query, err)
+				}
+				got, err := loaded.SearchOpts(query, SearchOptions{K: 5, Algorithm: algo})
+				if err != nil {
+					t.Fatalf("loaded %v(%q): %v", algo, query, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v(%q): %d vs %d answers after round-trip", algo, query, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Render(-1) != want[i].Render(-1) {
+						t.Fatalf("%v(%q) answer %d differs after round-trip:\n%s\nvs\n%s",
+							algo, query, i, got[i].Render(-1), want[i].Render(-1))
+					}
+				}
+			}
+		}
 	})
 }

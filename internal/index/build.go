@@ -42,28 +42,8 @@ func Build(g *kg.Graph, opts Options) (*Index, error) {
 	for alias, canon := range opts.Synonyms {
 		ix.dict.AddSynonym(alias, canon)
 	}
-	nodeWords := make([][]wordSim, g.NumNodes())
-	typeWords := make([][]wordSim, g.NumTypes())
-	attrWords := make([][]wordSim, g.NumAttrs())
-	for t := 0; t < g.NumTypes(); t++ {
-		if kg.TypeID(t) == kg.LiteralType {
-			// Dummy text entities have their type omitted (Section 2.1 /
-			// Example 2.1); the reserved type's display name is not
-			// searchable text.
-			continue
-		}
-		typeWords[t] = wordSims(ix.dict, g.TypeName(kg.TypeID(t)))
-	}
-	for a := 0; a < g.NumAttrs(); a++ {
-		attrWords[a] = wordSims(ix.dict, g.AttrName(kg.AttrID(a)))
-	}
-	for v := 0; v < g.NumNodes(); v++ {
-		// Words from the entity text and from its type's text; when a word
-		// appears in both, keep the higher similarity ("appears in the text
-		// description of a node or node type", condition ii).
-		own := wordSims(ix.dict, g.Text(kg.NodeID(v)))
-		nodeWords[v] = mergeWordSims(own, typeWords[g.Type(kg.NodeID(v))])
-	}
+	cw := newCorpusWords(g, ix.dict)
+	cw.fillAllNodes()
 
 	// Phase 2 (parallel): DFS per root over contiguous root ranges.
 	nWords := ix.dict.Len()
@@ -80,7 +60,7 @@ func Build(g *kg.Graph, opts Options) (*Index, error) {
 	for w := 0; w < workers; w++ {
 		lo := n * w / workers
 		hi := n * (w + 1) / workers
-		st := newBuilderState(ix, nWords, nodeWords, attrWords, pr)
+		st := newBuilderState(g, opts.D, ix.pt, nWords, cw, pr)
 		outs[w] = st
 		wg.Add(1)
 		go func(lo, hi int) {
@@ -183,19 +163,95 @@ func mergeWordSims(a, b []wordSim) []wordSim {
 	return out
 }
 
+// corpusWords resolves the canonical words (with sim(w, text)) occurring in
+// node, entity-type and attribute-type texts. Type and attribute words are
+// computed eagerly (both tables are small); node words are either
+// precomputed in bulk (fillAllNodes, used by Build so that DFS workers can
+// share the table lock-free) or lazily on first access (used by ApplyDelta,
+// whose serial DFS only visits the d-neighborhood of dirty roots — most of
+// the corpus never needs tokenizing). Lazy access interns unseen words into
+// the dict and is therefore not safe for concurrent use.
+type corpusWords struct {
+	g    *kg.Graph
+	dict *text.Dict
+
+	typeWords [][]wordSim
+	attrWords [][]wordSim
+	nodeWords [][]wordSim
+	nodeDone  []bool // nil once fillAllNodes ran
+}
+
+func newCorpusWords(g *kg.Graph, dict *text.Dict) *corpusWords {
+	cw := &corpusWords{
+		g:         g,
+		dict:      dict,
+		typeWords: make([][]wordSim, g.NumTypes()),
+		attrWords: make([][]wordSim, g.NumAttrs()),
+		nodeWords: make([][]wordSim, g.NumNodes()),
+		nodeDone:  make([]bool, g.NumNodes()),
+	}
+	for t := 0; t < g.NumTypes(); t++ {
+		if kg.TypeID(t) == kg.LiteralType {
+			// Dummy text entities have their type omitted (Section 2.1 /
+			// Example 2.1); the reserved type's display name is not
+			// searchable text.
+			continue
+		}
+		cw.typeWords[t] = wordSims(dict, g.TypeName(kg.TypeID(t)))
+	}
+	for a := 0; a < g.NumAttrs(); a++ {
+		cw.attrWords[a] = wordSims(dict, g.AttrName(kg.AttrID(a)))
+	}
+	return cw
+}
+
+// fillAllNodes precomputes every node's word list; afterwards node() is
+// read-only and safe for concurrent callers.
+func (cw *corpusWords) fillAllNodes() {
+	for v := 0; v < cw.g.NumNodes(); v++ {
+		cw.fillNode(kg.NodeID(v))
+	}
+	cw.nodeDone = nil
+}
+
+func (cw *corpusWords) fillNode(v kg.NodeID) {
+	// Words from the entity text and from its type's text; when a word
+	// appears in both, keep the higher similarity ("appears in the text
+	// description of a node or node type", condition ii).
+	own := wordSims(cw.dict, cw.g.Text(v))
+	cw.nodeWords[v] = mergeWordSims(own, cw.typeWords[cw.g.Type(v)])
+}
+
+// node returns the canonical words of v's text (and its type's text).
+func (cw *corpusWords) node(v kg.NodeID) []wordSim {
+	if cw.nodeDone != nil && !cw.nodeDone[v] {
+		cw.fillNode(v)
+		cw.nodeDone[v] = true
+	}
+	return cw.nodeWords[v]
+}
+
+// attr returns the canonical words of an attribute type's text.
+func (cw *corpusWords) attr(a kg.AttrID) []wordSim { return cw.attrWords[a] }
+
 // postings is the per-word accumulation buffer of one worker.
 type postings struct {
 	entries []Entry
 	edgeBuf []kg.EdgeID
 }
 
-// builderState is the DFS state of one construction worker.
+// builderState is the DFS state of one construction worker. It is also the
+// splice generator of incremental maintenance: ApplyDelta runs the same DFS
+// from dirty roots only.
 type builderState struct {
-	ix        *Index
-	nodeWords [][]wordSim
-	attrWords [][]wordSim
-	pr        []float64
-	postings  []postings
+	g     *kg.Graph
+	d     int
+	pt    *core.PatternTable
+	words *corpusWords
+	pr    []float64
+	// postings is indexed by WordID; emit grows it when the lazy word
+	// source interns words mid-DFS (never happens under fillAllNodes).
+	postings []postings
 
 	// DFS stacks.
 	root   kg.NodeID
@@ -205,14 +261,15 @@ type builderState struct {
 	onPath map[kg.NodeID]bool
 }
 
-func newBuilderState(ix *Index, nWords int, nodeWords, attrWords [][]wordSim, pr []float64) *builderState {
+func newBuilderState(g *kg.Graph, d int, pt *core.PatternTable, nWords int, words *corpusWords, pr []float64) *builderState {
 	return &builderState{
-		ix:        ix,
-		nodeWords: nodeWords,
-		attrWords: attrWords,
-		pr:        pr,
-		postings:  make([]postings, nWords),
-		onPath:    make(map[kg.NodeID]bool, 16),
+		g:        g,
+		d:        d,
+		pt:       pt,
+		words:    words,
+		pr:       pr,
+		postings: make([]postings, nWords),
+		onPath:   make(map[kg.NodeID]bool, 16),
 	}
 }
 
@@ -220,7 +277,7 @@ func newBuilderState(ix *Index, nWords int, nodeWords, attrWords [][]wordSim, pr
 func (st *builderState) dfsRoot(r kg.NodeID) {
 	st.root = r
 	st.edges = st.edges[:0]
-	st.types = append(st.types[:0], st.ix.g.Type(r))
+	st.types = append(st.types[:0], st.g.Type(r))
 	st.attrs = st.attrs[:0]
 	clear(st.onPath)
 	st.onPath[r] = true
@@ -230,16 +287,16 @@ func (st *builderState) dfsRoot(r kg.NodeID) {
 // visit emits the node entry for the current path ending at v, then emits
 // edge entries and recurses for each out-edge while under the depth bound.
 func (st *builderState) visit(v kg.NodeID) {
-	g := st.ix.g
+	g := st.g
 	depth := len(st.edges) // number of edges on the current path
 
-	if words := st.nodeWords[v]; len(words) > 0 {
-		pid := st.ix.pt.Intern(st.snapshotPattern(false))
+	if words := st.words.node(v); len(words) > 0 {
+		pid := st.pt.Intern(st.snapshotPattern(false))
 		for _, ws := range words {
 			st.emit(ws, pid, false, v)
 		}
 	}
-	if depth >= st.ix.d-1 {
+	if depth >= st.d-1 {
 		return
 	}
 	first, n := g.OutEdges(v)
@@ -253,10 +310,10 @@ func (st *builderState) visit(v kg.NodeID) {
 			continue
 		}
 		// Edge match: the path ends at this edge's attribute type.
-		if words := st.attrWords[e.Attr]; len(words) > 0 {
+		if words := st.words.attr(e.Attr); len(words) > 0 {
 			st.edges = append(st.edges, eid)
 			st.attrs = append(st.attrs, e.Attr)
-			pid := st.ix.pt.Intern(st.snapshotPattern(true))
+			pid := st.pt.Intern(st.snapshotPattern(true))
 			for _, ws := range words {
 				st.emit(ws, pid, true, v) // f(w) is the edge; PR uses source v
 			}
@@ -288,6 +345,9 @@ func (st *builderState) snapshotPattern(edgeEnd bool) core.PathPattern {
 // emit files one posting. matchNode is the node carrying f(w) for PR
 // purposes: the end node for node matches, the edge source for edge matches.
 func (st *builderState) emit(ws wordSim, pid core.PatternID, edgeEnd bool, matchNode kg.NodeID) {
+	for int(ws.Word) >= len(st.postings) {
+		st.postings = append(st.postings, postings{})
+	}
 	p := &st.postings[ws.Word]
 	off := int32(len(p.edgeBuf))
 	p.edgeBuf = append(p.edgeBuf, st.edges...)

@@ -1,0 +1,269 @@
+// Incremental index maintenance. ApplyDelta keeps the two path-pattern
+// views in sync with a kg.Delta without re-running Algorithm 1 over the
+// whole graph: only roots whose (d-1)-neighborhood intersects the change
+// (kg.AffectedRoots) are re-enumerated, and their postings are spliced
+// into the untouched remainder. The result is a NEW *Index over the new
+// snapshot — the receiver stays valid, so readers on the old epoch are
+// never disturbed (copy-on-write down to the posting-list level).
+//
+// Why splicing reproduces a full rebuild exactly: Build's per-word entry
+// order is the stable sort of (root type, pattern, root) over entries
+// generated in ascending-root DFS order. Surviving entries of untouched
+// roots keep that relative order; freshly enumerated dirty-root entries
+// are generated the same way; a root is never both (a root either is in
+// the dirty set or not), so re-running the stable sort over the
+// concatenation yields exactly the order a from-scratch Build produces —
+// modulo PatternID numbering, which search never depends on (ranking
+// tie-breaks use content keys, see core.TreePattern.ContentKey).
+package index
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// DeltaStats reports the cost and reach of one incremental maintenance
+// pass.
+type DeltaStats struct {
+	// DirtyRoots is how many roots were re-enumerated (the d-neighborhood
+	// of the change); a full rebuild would have enumerated every node.
+	DirtyRoots int
+	// EntriesRemoved / EntriesAdded count spliced postings.
+	EntriesRemoved int64
+	EntriesAdded   int64
+	// WordsTouched is the number of posting lists that changed.
+	WordsTouched int
+	// TouchedWords lists the canonical surface forms of the touched
+	// posting lists, sorted; servers use it to invalidate exactly the
+	// cached queries whose answers could have changed.
+	TouchedWords []string
+	// ScoresRefreshed reports that the PageRank term of surviving entries
+	// was rewritten (PageRank is a global property, so a structural change
+	// anywhere shifts scores everywhere). When set, TouchedWords no longer
+	// bounds the set of queries whose answers moved — caches must drop
+	// everything. Always false under UniformPR, and false for pure text
+	// edits (they cannot move PageRank).
+	ScoresRefreshed bool
+	// Elapsed is the wall-clock maintenance time.
+	Elapsed time.Duration
+}
+
+// ApplyDelta derives the index of ch.New from the index of ch.Old. opts
+// must describe how the receiver was built: D (0 means "same"), the
+// PageRank mode, and Workers. Synonyms are already baked into the cloned
+// dictionary and are ignored here.
+//
+// Scoring terms stay exact: with UniformPR every node scores 1 and nothing
+// needs refreshing; otherwise PageRank is recomputed on the new snapshot
+// (it is a global property, so edits anywhere shift it everywhere) and the
+// PR term of every surviving entry is rewritten in one linear pass —
+// still far cheaper than re-running the DFS enumeration.
+func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, error) {
+	start := time.Now()
+	var ds DeltaStats
+	if ch == nil || ch.Old == nil || ch.New == nil {
+		return nil, ds, fmt.Errorf("index: nil change")
+	}
+	if ch.Old != ix.g {
+		return nil, ds, fmt.Errorf("index: change was computed against a different graph snapshot")
+	}
+	if opts.D == 0 {
+		opts.D = ix.d
+	}
+	if opts.D != ix.d {
+		return nil, ds, fmt.Errorf("index: built with D=%d, delta requests D=%d", ix.d, opts.D)
+	}
+	newG := ch.New
+	pr := resolvePageRank(newG, opts)
+	if len(pr) != newG.NumNodes() {
+		return nil, ds, fmt.Errorf("index: PageRank vector has %d entries for %d nodes", len(pr), newG.NumNodes())
+	}
+	refreshPR := !opts.UniformPR || opts.PageRank != nil
+	// Pure text edits keep the PR vector bit-identical (PageRank only sees
+	// structure), so refreshing would rewrite every term with its old
+	// value; skip it and keep invalidation word-precise.
+	structural := ch.AddedNodes > 0 || ch.RemovedNodes > 0 || ch.AddedEdges > 0 || ch.RemovedEdges > 0
+	if !structural {
+		refreshPR = false
+	}
+	ds.ScoresRefreshed = refreshPR
+
+	// Clone the dictionary and pattern table: the new index interns new
+	// words/patterns without perturbing readers of the old epoch.
+	dict, err := text.FromSnapshot(ix.dict.Snapshot())
+	if err != nil {
+		return nil, ds, err
+	}
+	pt := core.TableFromSnapshot(ix.pt.Snapshot())
+
+	// Dirty roots: every node that could reach a touched element within
+	// d-1 edges, in the old or the new snapshot.
+	dirty := kg.AffectedRoots(ch, ix.d-1)
+	ds.DirtyRoots = len(dirty)
+	dirtySet := make([]bool, newG.NumNodes())
+	for _, r := range dirty {
+		dirtySet[r] = true
+	}
+
+	// Re-run the bounded-height DFS from dirty roots only. The pass is
+	// serial: the lazy word source interns corpus words on first sight,
+	// and keeping that deterministic (ascending root order) guarantees the
+	// same WordIDs for the same update on every replica. Dirty sets are
+	// small by construction; when an update devastates the whole graph a
+	// full Build is the right tool anyway.
+	cw := newCorpusWords(newG, dict)
+	st := newBuilderState(newG, ix.d, pt, dict.Len(), cw, pr)
+	for _, r := range dirty {
+		st.dfsRoot(r)
+	}
+
+	nWords := dict.Len()
+	identityEdges := ch.EdgeMap == nil
+	patRootType := patternRootTypes(pt)
+	words := make([]wordIndex, nWords)
+	for w := 0; w < nWords; w++ {
+		var old *wordIndex
+		if w < len(ix.words) && len(ix.words[w].entries) > 0 {
+			old = &ix.words[w]
+		}
+		var fresh *postings
+		if w < len(st.postings) && len(st.postings[w].entries) > 0 {
+			fresh = &st.postings[w]
+		}
+
+		dirtyOld := 0
+		if old != nil {
+			for i := range old.entries {
+				if dirtySet[old.entries[i].Root] {
+					dirtyOld++
+				}
+			}
+		}
+
+		switch {
+		case old == nil && fresh == nil:
+			continue
+		case fresh == nil && dirtyOld == 0:
+			// Untouched posting list: carry it over. Entries and edge
+			// buffer may still need a mechanical rewrite (edge IDs
+			// shifted, PageRank changed); the group tables are positional
+			// and shared with the old index either way.
+			words[w] = *old
+			if !identityEdges || refreshPR {
+				words[w].entries = append([]Entry(nil), old.entries...)
+				words[w].edgeBuf = remapEdges(old.edgeBuf, ch.EdgeMap)
+				if refreshPR {
+					refreshEntryPR(newG, &words[w], pr)
+				}
+			}
+		default:
+			// Spliced posting list: surviving entries (dirty roots cut
+			// out) + freshly enumerated ones, then re-derive both views
+			// for this word only.
+			wi := &words[w]
+			surv := 0
+			if old != nil {
+				surv = len(old.entries) - dirtyOld
+			}
+			frn, fre := 0, 0
+			if fresh != nil {
+				frn, fre = len(fresh.entries), len(fresh.edgeBuf)
+			}
+			wi.entries = make([]Entry, 0, surv+frn)
+			wi.edgeBuf = make([]kg.EdgeID, 0, fre+surv*2)
+			if old != nil {
+				for i := range old.entries {
+					e := old.entries[i]
+					if dirtySet[e.Root] {
+						continue
+					}
+					off := int32(len(wi.edgeBuf))
+					for _, eid := range old.edgeBuf[e.edgeOff : e.edgeOff+int32(e.edgeLen)] {
+						wi.edgeBuf = append(wi.edgeBuf, mapEdge(eid, ch.EdgeMap))
+					}
+					e.edgeOff = off
+					wi.entries = append(wi.entries, e)
+				}
+			}
+			if fresh != nil {
+				base := int32(len(wi.edgeBuf))
+				wi.edgeBuf = append(wi.edgeBuf, fresh.edgeBuf...)
+				for _, e := range fresh.entries {
+					e.edgeOff += base
+					wi.entries = append(wi.entries, e)
+				}
+			}
+			if refreshPR {
+				refreshEntryPR(newG, wi, pr)
+			}
+			if len(wi.entries) == 0 {
+				// The word vanished from the corpus; leave an empty slot
+				// (lookups treat it as no postings).
+				*wi = wordIndex{}
+			} else {
+				finishWord(wi, patRootType)
+			}
+			ds.EntriesRemoved += int64(dirtyOld)
+			ds.EntriesAdded += int64(frn)
+			ds.WordsTouched++
+			ds.TouchedWords = append(ds.TouchedWords, dict.Word(text.WordID(w)))
+		}
+	}
+	sort.Strings(ds.TouchedWords)
+
+	nix := &Index{g: newG, d: ix.d, dict: dict, pt: pt, words: words}
+	for w := range words {
+		nix.stats.NumEntries += int64(len(words[w].entries))
+	}
+	nix.stats.D = ix.d
+	nix.stats.NumPatterns = pt.Len()
+	nix.stats.Bytes = nix.sizeBytes()
+	nix.stats.BuildTime = time.Since(start)
+	ds.Elapsed = nix.stats.BuildTime
+	return nix, ds, nil
+}
+
+// mapEdge translates an old EdgeID through the delta's edge map.
+func mapEdge(e kg.EdgeID, edgeMap []kg.EdgeID) kg.EdgeID {
+	if edgeMap == nil {
+		return e
+	}
+	return edgeMap[e]
+}
+
+// remapEdges translates a whole edge buffer (identity maps share it).
+func remapEdges(buf []kg.EdgeID, edgeMap []kg.EdgeID) []kg.EdgeID {
+	if edgeMap == nil {
+		return buf
+	}
+	out := make([]kg.EdgeID, len(buf))
+	for i, e := range buf {
+		out[i] = edgeMap[e]
+	}
+	return out
+}
+
+// refreshEntryPR rewrites every entry's PageRank term against the new
+// snapshot's PR vector. The node carrying f(w) is recovered from the path:
+// the end node for node matches, the matched edge's source for edge
+// matches, the root for zero-edge paths.
+func refreshEntryPR(g *kg.Graph, wi *wordIndex, pr []float64) {
+	for i := range wi.entries {
+		e := &wi.entries[i]
+		v := e.Root
+		if e.edgeLen > 0 {
+			last := g.Edge(wi.edgeBuf[e.edgeOff+int32(e.edgeLen)-1])
+			if e.edgeEnd {
+				v = last.Src
+			} else {
+				v = last.Dst
+			}
+		}
+		e.Terms.PR = pr[v]
+	}
+}

@@ -1,0 +1,307 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// entryDesc is the content-level identity of one posting: everything the
+// query algorithms can observe, with interned IDs replaced by content keys
+// (PatternIDs are assigned in DFS-encounter order, which legitimately
+// differs between an incrementally maintained index and a rebuild).
+type entryDesc struct {
+	PatKey  string
+	Root    kg.NodeID
+	Edges   string
+	EdgeEnd bool
+	Len     int
+	PR      float64
+	Sim     float64
+}
+
+// canonical flattens an index into word-surface -> sorted postings.
+func canonical(ix *Index) map[string][]entryDesc {
+	out := make(map[string][]entryDesc)
+	for w := range ix.words {
+		wi := &ix.words[w]
+		if len(wi.entries) == 0 {
+			continue
+		}
+		surface := ix.dict.Word(text.WordID(w))
+		descs := make([]entryDesc, 0, len(wi.entries))
+		for i := range wi.entries {
+			e := &wi.entries[i]
+			edges := ""
+			for _, eid := range wi.edgeBuf[e.edgeOff : e.edgeOff+int32(e.edgeLen)] {
+				edges += fmt.Sprintf("%d,", eid)
+			}
+			descs = append(descs, entryDesc{
+				PatKey:  ix.pt.Get(e.Pattern).Key(),
+				Root:    e.Root,
+				Edges:   edges,
+				EdgeEnd: e.edgeEnd,
+				Len:     e.Terms.Len,
+				PR:      e.Terms.PR,
+				Sim:     e.Terms.Sim,
+			})
+		}
+		sort.Slice(descs, func(i, j int) bool {
+			a, b := descs[i], descs[j]
+			if a.PatKey != b.PatKey {
+				return a.PatKey < b.PatKey
+			}
+			if a.Root != b.Root {
+				return a.Root < b.Root
+			}
+			return a.Edges < b.Edges
+		})
+		out[surface] = descs
+	}
+	return out
+}
+
+func diffCanonical(t *testing.T, label string, inc, reb map[string][]entryDesc) {
+	t.Helper()
+	for w, want := range reb {
+		got, ok := inc[w]
+		if !ok {
+			t.Errorf("%s: incremental index lost word %q (%d postings)", label, w, len(want))
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: postings differ for %q:\n inc %+v\n reb %+v", label, w, got, want)
+		}
+	}
+	for w, got := range inc {
+		if _, ok := reb[w]; !ok {
+			t.Errorf("%s: incremental index has spurious word %q (%d postings)", label, w, len(got))
+		}
+	}
+}
+
+// randomMutGraph builds a random graph whose texts overlap heavily, so
+// posting lists genuinely share words across roots.
+func randomMutGraph(rng *rand.Rand) *kg.Graph {
+	vocab := []string{"alpha", "beta", "gamma", "delta", "omega", "sigma"}
+	types := []string{"City", "Person", "Company", "Product"}
+	attrs := []string{"knows", "owns", "near", "makes"}
+	b := kg.NewBuilder()
+	n := 8 + rng.Intn(16)
+	ids := make([]kg.NodeID, n)
+	for i := 0; i < n; i++ {
+		txt := vocab[rng.Intn(len(vocab))]
+		if rng.Intn(2) == 0 {
+			txt += " " + vocab[rng.Intn(len(vocab))]
+		}
+		ids[i] = b.Entity(types[rng.Intn(len(types))], txt)
+	}
+	for i := 0; i < 2*n; i++ {
+		b.Attr(ids[rng.Intn(n)], attrs[rng.Intn(len(attrs))], ids[rng.Intn(n)])
+	}
+	return b.MustFreeze()
+}
+
+// randomDelta stages 1..5 random valid mutations; ops that fail eager
+// validation (e.g. attaching to a literal) are simply skipped.
+func randomDelta(rng *rand.Rand, g *kg.Graph) *kg.Delta {
+	vocab := []string{"alpha", "beta", "gamma", "nu", "xi"}
+	types := []string{"City", "Person", "Startup"}
+	attrs := []string{"knows", "owns", "funds"}
+	d := kg.NewDelta(g)
+	staged := 0
+	var added []kg.NodeID
+	pick := func() kg.NodeID {
+		if len(added) > 0 && rng.Intn(3) == 0 {
+			return added[rng.Intn(len(added))]
+		}
+		return kg.NodeID(rng.Intn(g.NumNodes()))
+	}
+	for op := 0; op < 1+rng.Intn(5) || staged == 0; op++ {
+		if op > 30 {
+			break
+		}
+		switch rng.Intn(6) {
+		case 0:
+			if v, err := d.AddEntity(types[rng.Intn(len(types))], vocab[rng.Intn(len(vocab))]); err == nil {
+				added = append(added, v)
+				staged++
+			}
+		case 1:
+			if d.AddAttr(pick(), attrs[rng.Intn(len(attrs))], pick()) == nil {
+				staged++
+			}
+		case 2:
+			if _, err := d.AddTextAttr(pick(), "note", vocab[rng.Intn(len(vocab))]+" memo"); err == nil {
+				staged++
+			}
+		case 3:
+			if g.NumEdges() > 0 {
+				e := g.Edge(kg.EdgeID(rng.Intn(g.NumEdges())))
+				if _, err := d.RemoveEdge(e.Src, g.AttrName(e.Attr), e.Dst); err == nil {
+					staged++
+				}
+			}
+		case 4:
+			if d.RemoveEntity(kg.NodeID(rng.Intn(g.NumNodes()))) == nil {
+				staged++
+			}
+		case 5:
+			if d.SetText(kg.NodeID(rng.Intn(g.NumNodes())), vocab[rng.Intn(len(vocab))]) == nil {
+				staged++
+			}
+		}
+	}
+	return d
+}
+
+// TestApplyDeltaMatchesRebuild is the core maintenance property: after any
+// chain of random updates, the incrementally maintained index must be
+// content-identical to a from-scratch Build of the final snapshot — same
+// posting lists, same paths, same precomputed score terms — under both
+// uniform-PR and PageRank scoring.
+func TestApplyDeltaMatchesRebuild(t *testing.T) {
+	seqs := int64(60)
+	if testing.Short() {
+		seqs = 12
+	}
+	for seed := int64(0); seed < seqs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		uniform := seed%2 == 0 // odd seeds exercise the PageRank refresh path
+		d := 2 + rng.Intn(2)
+		opts := Options{D: d, UniformPR: uniform}
+		g := randomMutGraph(rng)
+		ix, err := Build(g, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		before := canonical(ix)
+
+		steps := 1 + rng.Intn(3)
+		cur := ix
+		for s := 0; s < steps; s++ {
+			ch, err := randomDelta(rng, cur.Graph()).Apply()
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, s, err)
+			}
+			next, ds, err := cur.ApplyDelta(ch, opts)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, s, err)
+			}
+			if ds.DirtyRoots == 0 {
+				t.Fatalf("seed %d step %d: change with no dirty roots", seed, s)
+			}
+			cur = next
+		}
+
+		reb, err := Build(cur.Graph(), opts)
+		if err != nil {
+			t.Fatalf("seed %d rebuild: %v", seed, err)
+		}
+		label := fmt.Sprintf("seed=%d d=%d uniform=%v", seed, d, uniform)
+		diffCanonical(t, label, canonical(cur), canonical(reb))
+		if cur.stats.NumEntries != reb.stats.NumEntries {
+			t.Errorf("%s: NumEntries %d vs %d", label, cur.stats.NumEntries, reb.stats.NumEntries)
+		}
+
+		// Copy-on-write: the base index must be untouched.
+		if !reflect.DeepEqual(canonical(ix), before) {
+			t.Fatalf("%s: ApplyDelta mutated the base index", label)
+		}
+
+		// Spot-check the derived views through the public API.
+		for _, w := range []string{"alpha", "beta", "knows", "person"} {
+			wi := cur.dict.Lookup(w)
+			wr := reb.dict.Lookup(w)
+			var rootsInc, rootsReb []kg.NodeID
+			if wi >= 0 {
+				rootsInc = cur.Roots(cur.dict.Canonical(wi))
+			}
+			if wr >= 0 {
+				rootsReb = reb.Roots(reb.dict.Canonical(wr))
+			}
+			if !reflect.DeepEqual(rootsInc, rootsReb) {
+				t.Errorf("%s: Roots(%q) differ: %v vs %v", label, w, rootsInc, rootsReb)
+			}
+			for i := 0; i < len(rootsInc); i++ {
+				if cur.NumPathsAt(cur.dict.Canonical(wi), rootsInc[i]) != reb.NumPathsAt(reb.dict.Canonical(wr), rootsReb[i]) {
+					t.Errorf("%s: NumPathsAt(%q, %d) differ", label, w, rootsInc[i])
+				}
+			}
+		}
+	}
+}
+
+// TestApplyDeltaValidation covers the guard rails.
+func TestApplyDeltaValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomMutGraph(rng)
+	ix, err := Build(g, Options{D: 3, UniformPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := randomDelta(rng, g).Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.ApplyDelta(nil, Options{}); err == nil {
+		t.Fatal("nil change accepted")
+	}
+	if _, _, err := ix.ApplyDelta(ch, Options{D: 2, UniformPR: true}); err == nil {
+		t.Fatal("mismatched D accepted")
+	}
+	// A change computed against a different snapshot must be rejected.
+	other, _ := Build(randomMutGraph(rand.New(rand.NewSource(2))), Options{D: 3, UniformPR: true})
+	if _, _, err := other.ApplyDelta(ch, Options{D: 3, UniformPR: true}); err == nil {
+		t.Fatal("change against foreign graph accepted")
+	}
+	// And the happy path still works after all those rejections.
+	if _, _, err := ix.ApplyDelta(ch, Options{D: 3, UniformPR: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyDeltaLocality: an edit in one corner of a long chain must not
+// dirty roots beyond its d-neighborhood — the whole point of incremental
+// maintenance.
+func TestApplyDeltaLocality(t *testing.T) {
+	b := kg.NewBuilder()
+	const n = 64
+	ids := make([]kg.NodeID, n)
+	for i := range ids {
+		ids[i] = b.Entity("Station", fmt.Sprintf("stop %d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Attr(ids[i], "next", ids[i+1])
+	}
+	g := b.MustFreeze()
+	ix, err := Build(g, Options{D: 3, UniformPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := kg.NewDelta(g)
+	if err := d.SetText(ids[n-1], "terminus"); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := d.Apply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, ds, err := ix.ApplyDelta(ch, Options{D: 3, UniformPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.DirtyRoots != 3 { // ids[n-3..n-1]: within 2 edges of the change
+		t.Fatalf("dirty roots = %d, want 3", ds.DirtyRoots)
+	}
+	reb, err := Build(ch.New, Options{D: 3, UniformPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCanonical(t, "chain", canonical(next), canonical(reb))
+}

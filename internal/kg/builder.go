@@ -97,58 +97,66 @@ func (b *Builder) NumNodes() int { return len(b.nodeType) }
 // Freeze validates the accumulated data and returns the immutable Graph.
 // Edges are re-ordered (stably) by source node to form the CSR layout.
 func (b *Builder) Freeze() (*Graph, error) {
-	n := len(b.nodeType)
-	for i, e := range b.edges {
-		if e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n {
-			return nil, fmt.Errorf("kg: edge %d (%d->%d) references node out of range [0,%d)", i, e.Src, e.Dst, n)
-		}
-	}
-
 	g := &Graph{
 		typeNames: b.typeNames,
 		attrNames: b.attrNames,
 		nodeType:  b.nodeType,
 		nodeText:  b.nodeText,
 	}
+	// Copy so later Builder use cannot alias the frozen graph's edges.
+	g.edges = make([]Edge, len(b.edges))
+	copy(g.edges, b.edges)
+	if err := freezeGraph(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
 
-	// Forward CSR: stable sort by Src keeps per-node insertion order, which
-	// makes EdgeIDs (and everything derived) deterministic.
-	edges := make([]Edge, len(b.edges))
-	copy(edges, b.edges)
-	sort.SliceStable(edges, func(i, j int) bool { return edges[i].Src < edges[j].Src })
-	g.edges = edges
+// freezeGraph validates g's edge list and derives the CSR structures in
+// place: forward CSR, backward CSR over EdgeIDs, and the per-type node
+// partition (which excludes tombstoned nodes). g.edges is stably re-sorted
+// by Src, so per-node insertion order — and everything derived from EdgeIDs
+// — stays deterministic. Shared by Builder.Freeze and Delta.Apply.
+func freezeGraph(g *Graph) error {
+	n := len(g.nodeType)
+	for i, e := range g.edges {
+		if e.Src < 0 || int(e.Src) >= n || e.Dst < 0 || int(e.Dst) >= n {
+			return fmt.Errorf("kg: edge %d (%d->%d) references node out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+	}
+
+	sort.SliceStable(g.edges, func(i, j int) bool { return g.edges[i].Src < g.edges[j].Src })
 	g.outStart = make([]int32, n+1)
-	for _, e := range edges {
+	for _, e := range g.edges {
 		g.outStart[e.Src+1]++
 	}
 	for i := 0; i < n; i++ {
 		g.outStart[i+1] += g.outStart[i]
 	}
 
-	// Backward CSR over EdgeIDs.
 	g.inStart = make([]int32, n+1)
-	for _, e := range edges {
+	for _, e := range g.edges {
 		g.inStart[e.Dst+1]++
 	}
 	for i := 0; i < n; i++ {
 		g.inStart[i+1] += g.inStart[i]
 	}
-	g.inEdges = make([]EdgeID, len(edges))
+	g.inEdges = make([]EdgeID, len(g.edges))
 	cursor := make([]int32, n)
 	copy(cursor, g.inStart[:n])
-	for id, e := range edges {
+	for id, e := range g.edges {
 		g.inEdges[cursor[e.Dst]] = EdgeID(id)
 		cursor[e.Dst]++
 	}
 
-	// Partition nodes by type.
-	g.nodesByType = make([][]NodeID, len(b.typeNames))
+	g.nodesByType = make([][]NodeID, len(g.typeNames))
 	for v := 0; v < n; v++ {
-		t := b.nodeType[v]
-		g.nodesByType[t] = append(g.nodesByType[t], NodeID(v))
+		if g.removed != nil && g.removed[v] {
+			continue
+		}
+		g.nodesByType[g.nodeType[v]] = append(g.nodesByType[g.nodeType[v]], NodeID(v))
 	}
-
-	return g, nil
+	return nil
 }
 
 // MustFreeze is Freeze that panics on error; for tests and fixtures where

@@ -59,6 +59,13 @@ type Graph struct {
 	// nodesByType[t] lists the NodeIDs of type t in ascending order;
 	// LINEARENUM-TOPK partitions candidate roots by this.
 	nodesByType [][]NodeID
+
+	// removed marks tombstoned nodes left behind by Delta.Apply: their
+	// NodeIDs stay valid (everything downstream references nodes by dense
+	// ID) but they carry no text, no edges, and are excluded from
+	// nodesByType, so no path and no posting can involve them. nil when the
+	// graph never saw a removal.
+	removed []bool
 }
 
 // NumNodes returns |V|.
@@ -109,9 +116,26 @@ func (g *Graph) InEdgeIDs(v NodeID) []EdgeID {
 	return g.inEdges[g.inStart[v]:g.inStart[v+1]]
 }
 
-// NodesOfType returns all nodes with type t in ascending NodeID order.
+// NodesOfType returns all live nodes with type t in ascending NodeID order.
 // The returned slice is shared and must not be modified.
 func (g *Graph) NodesOfType(t TypeID) []NodeID { return g.nodesByType[t] }
+
+// Removed reports whether v was tombstoned by a Delta. Removed nodes keep
+// their (now inert) slot so that surviving NodeIDs stay stable.
+func (g *Graph) Removed(v NodeID) bool {
+	return g.removed != nil && g.removed[v]
+}
+
+// NumRemoved returns the number of tombstoned nodes.
+func (g *Graph) NumRemoved() int {
+	n := 0
+	for _, r := range g.removed {
+		if r {
+			n++
+		}
+	}
+	return n
+}
 
 // LookupType returns the TypeID with the given name, or -1.
 func (g *Graph) LookupType(name string) TypeID {

@@ -9,7 +9,8 @@ import (
 )
 
 // graphWire is the gob wire format of a Graph. Only the builder-level data
-// is persisted; CSR structures are rebuilt on load, which keeps the format
+// is persisted (plus the tombstone bitmap, which no Builder call can
+// reproduce); CSR structures are rebuilt on load, which keeps the format
 // small and decouples it from in-memory layout.
 type graphWire struct {
 	TypeNames []string
@@ -17,6 +18,10 @@ type graphWire struct {
 	NodeType  []TypeID
 	NodeText  []string
 	Edges     []Edge
+	// Removed marks tombstoned nodes (nil when the graph never saw a
+	// removal — also what files written before live updates decode to).
+	// Dropping it would resurrect removed entities on load.
+	Removed []bool
 }
 
 // Encode serializes the graph with encoding/gob.
@@ -29,6 +34,7 @@ func (g *Graph) Encode(w io.Writer) error {
 		NodeType:  g.nodeType,
 		NodeText:  g.nodeText,
 		Edges:     g.edges,
+		Removed:   g.removed,
 	}
 	if err := enc.Encode(&wire); err != nil {
 		return fmt.Errorf("kg: encode graph: %w", err)
@@ -43,22 +49,34 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 	if err := dec.Decode(&wire); err != nil {
 		return nil, fmt.Errorf("kg: decode graph: %w", err)
 	}
-	b := &Builder{
-		typeIDs:   make(map[string]TypeID, len(wire.TypeNames)),
+	if len(wire.NodeType) != len(wire.NodeText) {
+		return nil, fmt.Errorf("kg: decode graph: %d node types for %d node texts", len(wire.NodeType), len(wire.NodeText))
+	}
+	if wire.Removed != nil && len(wire.Removed) != len(wire.NodeType) {
+		return nil, fmt.Errorf("kg: decode graph: removed bitmap covers %d of %d nodes", len(wire.Removed), len(wire.NodeType))
+	}
+	for v, t := range wire.NodeType {
+		if t < 0 || int(t) >= len(wire.TypeNames) {
+			return nil, fmt.Errorf("kg: decode graph: node %d has unknown type %d", v, t)
+		}
+	}
+	for i, e := range wire.Edges {
+		if e.Attr < 0 || int(e.Attr) >= len(wire.AttrNames) {
+			return nil, fmt.Errorf("kg: decode graph: edge %d has unknown attribute %d", i, e.Attr)
+		}
+	}
+	g := &Graph{
 		typeNames: wire.TypeNames,
-		attrIDs:   make(map[string]AttrID, len(wire.AttrNames)),
 		attrNames: wire.AttrNames,
 		nodeType:  wire.NodeType,
 		nodeText:  wire.NodeText,
 		edges:     wire.Edges,
+		removed:   wire.Removed,
 	}
-	for i, n := range wire.TypeNames {
-		b.typeIDs[n] = TypeID(i)
+	if err := freezeGraph(g); err != nil {
+		return nil, err
 	}
-	for i, n := range wire.AttrNames {
-		b.attrIDs[n] = AttrID(i)
-	}
-	return b.Freeze()
+	return g, nil
 }
 
 // SaveFile writes the graph to path.

@@ -1,0 +1,242 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kbtable/internal/core"
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+)
+
+// updateSequences is the per-dataset count of randomized update sequences
+// the maintenance property is checked over (the PR's acceptance floor is
+// 200 per dataset).
+const updateSequences = 200
+
+// renderFull snapshots a Result at row-level fidelity: rank order, exact
+// score bits, the rendered pattern, and the composed table. Two indexes
+// that agree on this for every query are indistinguishable to users.
+func renderFull(ix *index.Index, res *Result) []string {
+	out := make([]string, 0, len(res.Patterns))
+	for _, rp := range res.Patterns {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "score=%.17g count=%d\n", rp.Score, rp.Agg.Count)
+		sb.WriteString(rp.Pattern.Render(ix.Graph(), ix.PatternTable(), res.Stats.Surfaces))
+		sb.WriteByte('\n')
+		sb.WriteString(core.ComposeTable(ix.Graph(), ix.PatternTable(), rp.Pattern, rp.Trees).Render(-1))
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+// renderBaseline snapshots a BaselineResult at pattern/score/count
+// fidelity for cross-algorithm comparison.
+func renderBaseline(g *kg.Graph, res *BaselineResult) map[string]renderedPattern {
+	out := map[string]renderedPattern{}
+	for _, rp := range res.Patterns {
+		out[rp.Pattern.Render(g, res.Table, res.Stats.Surfaces)] = renderedPattern{Score: rp.Score, Count: rp.Agg.Count}
+	}
+	return out
+}
+
+// sampleQueries derives a deterministic query workload from the graph's
+// own texts, so every query has a fighting chance of answers.
+func sampleQueries(g *kg.Graph) []string {
+	var words []string
+	seen := map[string]bool{}
+	for v := 0; v < g.NumNodes() && len(words) < 8; v++ {
+		for _, f := range strings.Fields(strings.ToLower(g.Text(kg.NodeID(v)))) {
+			if len(f) > 2 && !seen[f] {
+				seen[f] = true
+				words = append(words, f)
+			}
+			if len(words) >= 8 {
+				break
+			}
+		}
+	}
+	qs := make([]string, 0, 5)
+	for i := 0; i < len(words) && len(qs) < 3; i++ {
+		qs = append(qs, words[i])
+	}
+	if len(words) >= 4 {
+		qs = append(qs, words[0]+" "+words[3])
+	}
+	if len(words) >= 6 {
+		qs = append(qs, words[2]+" "+words[5])
+	}
+	return qs
+}
+
+// randomGraphUpdate stages 1..4 random valid mutations drawn from the
+// graph's existing type/attribute vocabulary (ops failing eager validation
+// — e.g. picking a literal as an edge source — are skipped).
+func randomGraphUpdate(rng *rand.Rand, g *kg.Graph) (*kg.Changed, error) {
+	d := kg.NewDelta(g)
+	typeName := func() string {
+		t := kg.TypeID(1 + rng.Intn(g.NumTypes()-1)) // never Literal
+		return g.TypeName(t)
+	}
+	attrName := func() string { return g.AttrName(kg.AttrID(rng.Intn(g.NumAttrs()))) }
+	node := func() kg.NodeID { return kg.NodeID(rng.Intn(g.NumNodes())) }
+	texts := []string{"nova blend", "quartz", "ember field", "cobalt", "drift"}
+	staged := 0
+	for op := 0; op < 1+rng.Intn(4) || staged == 0; op++ {
+		if op > 40 {
+			break
+		}
+		switch rng.Intn(6) {
+		case 0:
+			if _, err := d.AddEntity(typeName(), texts[rng.Intn(len(texts))]); err == nil {
+				staged++
+			}
+		case 1:
+			if d.AddAttr(node(), attrName(), node()) == nil {
+				staged++
+			}
+		case 2:
+			if _, err := d.AddTextAttr(node(), attrName(), texts[rng.Intn(len(texts))]); err == nil {
+				staged++
+			}
+		case 3:
+			if g.NumEdges() > 0 {
+				e := g.Edge(kg.EdgeID(rng.Intn(g.NumEdges())))
+				if _, err := d.RemoveEdge(e.Src, g.AttrName(e.Attr), e.Dst); err == nil {
+					staged++
+				}
+			}
+		case 4:
+			if d.RemoveEntity(node()) == nil {
+				staged++
+			}
+		case 5:
+			if d.SetText(node(), texts[rng.Intn(len(texts))]) == nil {
+				staged++
+			}
+		}
+	}
+	return d.Apply()
+}
+
+// checkUpdateEquivalence drives one dataset through `seqs` randomized
+// update sequences. After each sequence the incrementally maintained index
+// must yield bit-identical top-k results to a from-scratch index.Build of
+// the final snapshot — for PATTERNENUM and LINEARENUM-TOPK, serial and
+// parallel — and the graph-driven baseline must agree on patterns, scores
+// and tree counts (serial and parallel), which also cross-checks the
+// delta-produced CSR itself.
+func checkUpdateEquivalence(t *testing.T, name string, base *kg.Graph, opts index.Options, seqs int) {
+	t.Helper()
+	baseIx, err := index.Build(base, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	queries := sampleQueries(base)
+	if len(queries) < 3 {
+		t.Fatalf("%s: dataset too small to derive queries (%v)", name, queries)
+	}
+	sopts := func(workers int) Options {
+		return Options{K: 8, MaxTreesPerPattern: 4, Workers: workers}
+	}
+	for seq := 0; seq < seqs; seq++ {
+		rng := rand.New(rand.NewSource(int64(seq) + 1))
+		cur := baseIx
+		steps := 1 + rng.Intn(2)
+		for s := 0; s < steps; s++ {
+			ch, err := randomGraphUpdate(rng, cur.Graph())
+			if err != nil {
+				t.Fatalf("%s seq %d step %d: %v", name, seq, s, err)
+			}
+			next, _, err := cur.ApplyDelta(ch, opts)
+			if err != nil {
+				t.Fatalf("%s seq %d step %d: %v", name, seq, s, err)
+			}
+			cur = next
+		}
+		g := cur.Graph()
+		reb, err := index.Build(g, opts)
+		if err != nil {
+			t.Fatalf("%s seq %d rebuild: %v", name, seq, err)
+		}
+		bl, err := NewBaseline(g, BaselineOptions{D: opts.D, UniformPR: opts.UniformPR})
+		if err != nil {
+			t.Fatalf("%s seq %d baseline: %v", name, seq, err)
+		}
+		for _, q := range queries {
+			for _, workers := range []int{1, 4} {
+				label := fmt.Sprintf("%s seq=%d q=%q workers=%d", name, seq, q, workers)
+				o := sopts(workers)
+				peInc, peReb := PETopK(cur, q, o), PETopK(reb, q, o)
+				if err := equalRenders(renderFull(cur, peInc), renderFull(reb, peReb)); err != nil {
+					t.Fatalf("%s: PATTERNENUM incremental != rebuild: %v", label, err)
+				}
+				leInc, leReb := LETopK(cur, q, o), LETopK(reb, q, o)
+				if err := equalRenders(renderFull(cur, leInc), renderFull(reb, leReb)); err != nil {
+					t.Fatalf("%s: LINEARENUM incremental != rebuild: %v", label, err)
+				}
+				// Cross-algorithm: the baseline works straight off the
+				// delta-produced graph, so agreement here also vouches for
+				// the new CSR. Compare the full (untruncated) pattern sets.
+				oAll := Options{K: 100000, SkipTrees: true, Workers: workers}
+				blRes := bl.Search(q, oAll)
+				gotBL := renderBaseline(g, blRes)
+				gotPE := renderPE(cur, PETopK(cur, q, oAll))
+				if len(gotBL) != len(gotPE) {
+					t.Fatalf("%s: baseline finds %d patterns, PATTERNENUM %d", label, len(gotBL), len(gotPE))
+				}
+				for k, v := range gotPE {
+					ov, ok := gotBL[k]
+					if !ok {
+						t.Fatalf("%s: baseline missing pattern\n%s", label, k)
+					}
+					if math.Abs(v.Score-ov.Score) > 1e-9 || v.Count != ov.Count {
+						t.Fatalf("%s: baseline disagrees on %q: %+v vs %+v", label, k, v, ov)
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalRenders(a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d vs %d answers", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("answer %d differs:\n--- incremental ---\n%s\n--- rebuild ---\n%s", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// TestIncrementalIndexEquivalenceSynthWiki checks the maintenance property
+// on the Wikipedia-like generator with uniform PageRank.
+func TestIncrementalIndexEquivalenceSynthWiki(t *testing.T) {
+	seqs := updateSequences
+	if testing.Short() {
+		seqs = 25
+	}
+	g := dataset.SynthWiki(dataset.WikiConfig{
+		Entities: 70, Types: 6, AttrVocab: 8, Vocab: 30,
+		MaxAttrsPerType: 4, FillProb: 0.7, Seed: 11,
+	})
+	checkUpdateEquivalence(t, "wiki", g, index.Options{D: 3, UniformPR: true}, seqs)
+}
+
+// TestIncrementalIndexEquivalenceSynthIMDB checks the maintenance property
+// on the IMDB-like generator with real PageRank scoring, exercising the
+// PR-refresh pass of ApplyDelta end to end.
+func TestIncrementalIndexEquivalenceSynthIMDB(t *testing.T) {
+	seqs := updateSequences
+	if testing.Short() {
+		seqs = 25
+	}
+	g := dataset.SynthIMDB(dataset.IMDBConfig{Movies: 28, Seed: 11})
+	checkUpdateEquivalence(t, "imdb", g, index.Options{D: 3}, seqs)
+}

@@ -1,7 +1,10 @@
 // Package serve turns a kbtable engine into a long-running HTTP search
 // service: a JSON POST /search endpoint with per-request timeouts, a
-// GET /healthz endpoint, an LRU cache over normalized queries, and
-// graceful shutdown. cmd/kbserve is the daemon entry point.
+// POST /update endpoint that applies live knowledge-base mutations with an
+// atomic epoch swap (in-flight searches finish on their snapshot), a
+// GET /healthz endpoint, an LRU cache over normalized queries with
+// word-precise invalidation, and graceful shutdown. cmd/kbserve is the
+// daemon entry point.
 package serve
 
 import (
@@ -69,6 +72,26 @@ func (c *LRU[V]) Put(key string, val V) {
 		delete(c.items, oldest.Value.(*lruEntry[V]).key)
 	}
 	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+}
+
+// DeleteFunc removes every entry for which pred returns true and reports
+// how many were removed. Used by live updates to invalidate exactly the
+// queries whose posting lists an update touched.
+func (c *LRU[V]) DeleteFunc(pred func(key string, val V) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*lruEntry[V])
+		if pred(ent.key, ent.val) {
+			c.ll.Remove(el)
+			delete(c.items, ent.key)
+			n++
+		}
+		el = next
+	}
+	return n
 }
 
 // Len returns the number of cached entries.

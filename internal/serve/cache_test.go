@@ -84,3 +84,23 @@ func TestLRUConcurrent(t *testing.T) {
 		t.Fatalf("cache exceeded capacity: %d", c.Len())
 	}
 }
+
+func TestLRUDeleteFunc(t *testing.T) {
+	c := NewLRU[int](8)
+	for i := 0; i < 6; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	n := c.DeleteFunc(func(_ string, v int) bool { return v%2 == 0 })
+	if n != 3 || c.Len() != 3 {
+		t.Fatalf("deleted %d, kept %d", n, c.Len())
+	}
+	for i := 0; i < 6; i++ {
+		_, ok := c.Get(fmt.Sprintf("k%d", i))
+		if ok != (i%2 == 1) {
+			t.Fatalf("k%d: cached=%v", i, ok)
+		}
+	}
+	if n := c.DeleteFunc(func(string, int) bool { return false }); n != 0 {
+		t.Fatalf("no-op pass deleted %d", n)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,23 @@ import (
 // implements it; tests substitute fakes.
 type Searcher interface {
 	SearchContext(ctx context.Context, query string, opts kbtable.SearchOptions) ([]kbtable.Answer, error)
+}
+
+// Updater is the mutation surface: applying a batch of KB updates yields a
+// NEW engine over the updated snapshot (the old one keeps serving until
+// the swap). *kbtable.Engine implements it; a Config.Engine that does not
+// leaves POST /update disabled.
+type Updater interface {
+	Searcher
+	ApplyUpdate(u kbtable.Update) (*kbtable.Engine, kbtable.UpdateResult, error)
+}
+
+// wordResolver lets the server tag cached responses with the canonical
+// words their query resolved to, enabling word-precise invalidation.
+// Engines that do not implement it still work; their cached entries are
+// simply dropped on every update.
+type wordResolver interface {
+	QueryWords(query string) []string
 }
 
 // Config configures a Server.
@@ -36,6 +54,10 @@ type Config struct {
 	// MaxRows caps table rows materialized per answer when the request
 	// does not set max_rows; default 50 (0 would materialize every row).
 	MaxRows int
+	// ReadOnly disables POST /update even when the engine supports it.
+	ReadOnly bool
+	// MaxUpdateOps caps the ops in one update batch; default 10000.
+	MaxUpdateOps int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,16 +73,49 @@ func (c Config) withDefaults() Config {
 	if c.MaxRows <= 0 {
 		c.MaxRows = 50
 	}
+	if c.MaxUpdateOps <= 0 {
+		c.MaxUpdateOps = 10000
+	}
 	return c
 }
 
-// Server is the HTTP search daemon: POST /search, GET /healthz.
+// engineState is one published epoch: an immutable engine snapshot plus
+// its sequence number. Searches load it once and use it end to end, so an
+// in-flight query keeps its snapshot even while an update swaps in the
+// next epoch.
+type engineState struct {
+	eng   Searcher
+	upd   Updater      // nil if the engine cannot apply updates
+	words wordResolver // nil if the engine cannot resolve query words
+	epoch uint64
+}
+
+// cacheEntry is one cached response tagged with the canonical words its
+// query resolved to (nil when unknown: such entries are invalidated by
+// every update).
+type cacheEntry struct {
+	resp  *SearchResponse
+	words []string
+}
+
+// Server is the HTTP search daemon: POST /search, POST /update,
+// GET /healthz.
 type Server struct {
 	cfg      Config
-	cache    *LRU[*SearchResponse]
+	cache    *LRU[*cacheEntry]
 	start    time.Time
 	requests atomic.Uint64
+	updates  atomic.Uint64
 	hs       *http.Server
+
+	// cur is the published epoch. updateMu serializes updates; swapMu
+	// fences cache writes against the invalidate-then-publish sequence so
+	// a result computed on epoch N can never enter the cache after the
+	// invalidation pass for epoch N+1 ran (which would leak a stale
+	// answer into the new epoch).
+	cur      atomic.Pointer[engineState]
+	updateMu sync.Mutex
+	swapMu   sync.RWMutex
 }
 
 // New returns a Server ready to ListenAndServe.
@@ -68,9 +123,15 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		cache: NewLRU[*SearchResponse](cfg.CacheSize),
+		cache: NewLRU[*cacheEntry](cfg.CacheSize),
 		start: time.Now(),
 	}
+	st := &engineState{eng: cfg.Engine, epoch: 0}
+	if !cfg.ReadOnly {
+		st.upd, _ = cfg.Engine.(Updater)
+	}
+	st.words, _ = cfg.Engine.(wordResolver)
+	s.cur.Store(st)
 	s.hs = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -85,9 +146,13 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
+
+// Epoch returns the currently published epoch number.
+func (s *Server) Epoch() uint64 { return s.cur.Load().epoch }
 
 // ListenAndServe blocks serving on addr until Shutdown or a listener
 // error; it returns nil after a clean shutdown.
@@ -131,15 +196,46 @@ type SearchAnswer struct {
 	Rows    [][]string `json:"rows"`
 }
 
-// SearchResponse is the POST /search reply.
+// SearchResponse is the POST /search reply. Epoch names the KB snapshot
+// that computed the answers: every response is consistent with exactly
+// that published epoch (cached responses keep the epoch they were
+// computed under — they are only retained while still valid).
 type SearchResponse struct {
 	Query     string         `json:"query"`
 	K         int            `json:"k"`
 	Algorithm string         `json:"algorithm"`
 	D         int            `json:"d"`
+	Epoch     uint64         `json:"epoch"`
 	Cached    bool           `json:"cached"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Answers   []SearchAnswer `json:"answers"`
+}
+
+// UpdateRequest is the POST /update body: an atomic batch of mutations
+// (see kbtable.UpdateOp for the op schema).
+type UpdateRequest struct {
+	Ops []kbtable.UpdateOp `json:"ops"`
+}
+
+// UpdateResponse is the POST /update reply.
+type UpdateResponse struct {
+	// Epoch is the newly published epoch; searches answered after this
+	// reply reflect the update (or carry an older epoch from cache only
+	// if the update could not have changed them).
+	Epoch uint64 `json:"epoch"`
+	// NewEntities resolves this batch's add_entity back-references.
+	NewEntities []int64 `json:"new_entities,omitempty"`
+	Entities    int     `json:"entities"`
+	Attributes  int     `json:"attributes"`
+	// DirtyRoots / entry counts describe the incremental index splice.
+	EntriesRemoved int64 `json:"entries_removed"`
+	EntriesAdded   int64 `json:"entries_added"`
+	DirtyRoots     int   `json:"dirty_roots"`
+	// TouchedWords and InvalidatedCache size the blast radius: how many
+	// posting lists changed and how many cached results were dropped.
+	TouchedWords     int     `json:"touched_words"`
+	InvalidatedCache int     `json:"invalidated_cache"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
 }
 
 // HealthResponse is the GET /healthz reply.
@@ -147,6 +243,9 @@ type HealthResponse struct {
 	Status        string     `json:"status"`
 	UptimeSeconds float64    `json:"uptime_seconds"`
 	Requests      uint64     `json:"requests"`
+	Epoch         uint64     `json:"epoch"`
+	Updates       uint64     `json:"updates"`
+	Updatable     bool       `json:"updatable"`
 	Cache         CacheStats `json:"cache"`
 }
 
@@ -219,9 +318,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Pin this request to the currently published snapshot: even if an
+	// update lands mid-query, we keep searching (and report) this epoch.
+	st := s.cur.Load()
+
 	key := cacheKey(query, algoName, req.K, req.D, req.MaxRows)
 	if hit, ok := s.cache.Get(key); ok {
-		resp := *hit // shallow copy: answers are shared read-only
+		resp := *hit.resp // shallow copy: answers are shared read-only
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, &resp)
 		return
@@ -230,7 +333,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	t0 := time.Now()
-	answers, err := s.cfg.Engine.SearchContext(ctx, query, kbtable.SearchOptions{
+	answers, err := st.eng.SearchContext(ctx, query, kbtable.SearchOptions{
 		K:               req.K,
 		Algorithm:       algo,
 		MaxRowsPerTable: req.MaxRows,
@@ -252,6 +355,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		K:         req.K,
 		Algorithm: algoName,
 		D:         req.D,
+		Epoch:     st.epoch,
 		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
 		Answers:   make([]SearchAnswer, 0, len(answers)),
 	}
@@ -265,8 +369,109 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Rows:    a.Rows,
 		})
 	}
-	s.cache.Put(key, resp)
+	ent := &cacheEntry{resp: resp}
+	if st.words != nil {
+		ent.words = st.words.QueryWords(query)
+	}
+	s.cachePut(st.epoch, key, ent)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// cachePut inserts a computed result unless its epoch has been superseded.
+// The read-lock excludes the invalidate-and-publish critical section: if
+// the published epoch still equals the computing epoch, the next update's
+// invalidation pass has not run yet and will see (and judge) this entry;
+// if it no longer does, the invalidation already ran and inserting would
+// smuggle a stale result past it, so the insert is dropped.
+func (s *Server) cachePut(epoch uint64, key string, ent *cacheEntry) {
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
+	if s.cur.Load().epoch == epoch {
+		s.cache.Put(key, ent)
+	}
+}
+
+// handleUpdate applies an atomic batch of KB mutations and publishes the
+// next epoch. Updates are serialized; searches are never blocked — they
+// run on the old snapshot until the new one is atomically swapped in, and
+// only cached entries whose query words the update touched are dropped.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req UpdateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, "update has no ops")
+		return
+	}
+	if len(req.Ops) > s.cfg.MaxUpdateOps {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("update has %d ops, limit is %d", len(req.Ops), s.cfg.MaxUpdateOps))
+		return
+	}
+
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	st := s.cur.Load()
+	if st.upd == nil {
+		writeError(w, http.StatusNotImplemented, "this server is read-only")
+		return
+	}
+	t0 := time.Now()
+	newEng, res, err := st.upd.ApplyUpdate(kbtable.Update{Ops: req.Ops})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	touched := make(map[string]bool, len(res.TouchedWords))
+	for _, wd := range res.TouchedWords {
+		touched[wd] = true
+	}
+	next := &engineState{eng: newEng, upd: newEng, words: newEng, epoch: st.epoch + 1}
+	s.swapMu.Lock()
+	invalidated := s.cache.DeleteFunc(func(_ string, ent *cacheEntry) bool {
+		if res.ScoresRefreshed {
+			// PageRank moved globally: no cached answer is provably
+			// unchanged, word precision does not apply.
+			return true
+		}
+		if ent.words == nil {
+			return true // untagged: cannot prove it unaffected
+		}
+		for _, wd := range ent.words {
+			if touched[wd] {
+				return true
+			}
+		}
+		return false
+	})
+	s.cur.Store(next)
+	s.swapMu.Unlock()
+	s.updates.Add(1)
+
+	ids := make([]int64, 0, len(res.NewEntities))
+	for _, id := range res.NewEntities {
+		ids = append(ids, int64(id))
+	}
+	writeJSON(w, http.StatusOK, &UpdateResponse{
+		Epoch:            next.epoch,
+		NewEntities:      ids,
+		Entities:         res.Entities,
+		Attributes:       res.Attributes,
+		EntriesRemoved:   res.EntriesRemoved,
+		EntriesAdded:     res.EntriesAdded,
+		DirtyRoots:       res.DirtyRoots,
+		TouchedWords:     len(res.TouchedWords),
+		InvalidatedCache: invalidated,
+		ElapsedMS:        float64(time.Since(t0).Microseconds()) / 1000,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -274,10 +479,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	st := s.cur.Load()
 	writeJSON(w, http.StatusOK, &HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
+		Epoch:         st.epoch,
+		Updates:       s.updates.Load(),
+		Updatable:     st.upd != nil,
 		Cache:         s.cache.Stats(),
 	})
 }

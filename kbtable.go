@@ -31,13 +31,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"kbtable/internal/core"
 	"kbtable/internal/index"
 	"kbtable/internal/kg"
 	"kbtable/internal/search"
+	"kbtable/internal/text"
 )
 
 // EntityID identifies an entity added through a Builder.
@@ -351,6 +354,261 @@ func NewEngineFromIndex(g *Graph, path string, opts EngineOptions) (*Engine, err
 		return nil, fmt.Errorf("kbtable: index was built with D=%d, requested D=%d", ix.D(), opts.D)
 	}
 	return &Engine{g: g, ix: ix, o: opts}, nil
+}
+
+// Graph returns the engine's knowledge-graph snapshot.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// NumRemoved returns the number of tombstoned (removed) entities; their
+// IDs stay reserved so surviving entity IDs never shift.
+func (g *Graph) NumRemoved() int { return g.g.NumRemoved() }
+
+// --- Live updates -----------------------------------------------------
+
+// UpdateOp is one declarative knowledge-base mutation. Op selects the
+// operation; the other fields are interpreted per op:
+//
+//	add_entity     Type, Text            — append an entity
+//	add_attr       Src, Attr, Dst        — add the edge Src.Attr = Dst
+//	add_text_attr  Src, Attr, Text       — add Src.Attr = "Text" (literal)
+//	remove_edge    Src, Attr, Dst        — cut every matching edge
+//	remove_entity  Node                  — tombstone Node and its edges
+//	set_text       Node, Text            — replace Node's text description
+//
+// Entity references (Src, Dst, Node) are either non-negative EntityIDs of
+// existing entities, or negative back-references into the same update:
+// -(i+1) denotes the entity created by the i-th add_entity op of this
+// batch (add_text_attr literals cannot be referenced). They are pointers
+// so that an absent (or misspelled) JSON field fails validation instead of
+// silently resolving to entity 0 — remove_entity on the wrong entity is
+// not a mistake to paper over.
+type UpdateOp struct {
+	Op   string `json:"op"`
+	Type string `json:"type,omitempty"`
+	Text string `json:"text,omitempty"`
+	Attr string `json:"attr,omitempty"`
+	Src  *int64 `json:"src,omitempty"`
+	Dst  *int64 `json:"dst,omitempty"`
+	Node *int64 `json:"node,omitempty"`
+}
+
+// Update is an atomic batch of mutations: it either applies completely,
+// yielding one new engine snapshot, or fails without side effects.
+type Update struct {
+	Ops []UpdateOp `json:"ops"`
+
+	// adds counts the add_entity ops among Ops[:counted], maintained
+	// incrementally so AddEntity back-references cost O(1) amortized.
+	// Appending to Ops by hand between helper calls is picked up by the
+	// catch-up scan; truncation triggers a full rescan. (Reordering Ops
+	// invalidates already-returned back-references regardless — they are
+	// positional — so no bookkeeping can support it.)
+	adds    int64
+	counted int
+}
+
+// Ref wraps an entity reference for an UpdateOp literal: an EntityID, or a
+// negative back-reference as returned by AddEntity.
+func Ref(v int64) *int64 { return &v }
+
+// AddEntity stages an entity and returns a negative back-reference usable
+// as Src/Dst/Node in later ops of the same update.
+func (u *Update) AddEntity(typeName, text string) int64 {
+	if u.counted > len(u.Ops) {
+		u.adds, u.counted = 0, 0
+	}
+	for ; u.counted < len(u.Ops); u.counted++ {
+		if u.Ops[u.counted].Op == "add_entity" {
+			u.adds++
+		}
+	}
+	u.Ops = append(u.Ops, UpdateOp{Op: "add_entity", Type: typeName, Text: text})
+	u.counted++
+	u.adds++
+	return -u.adds
+}
+
+// AddAttr stages the attribute edge src.attr = dst.
+func (u *Update) AddAttr(src int64, attr string, dst int64) {
+	u.Ops = append(u.Ops, UpdateOp{Op: "add_attr", Src: Ref(src), Attr: attr, Dst: Ref(dst)})
+}
+
+// AddTextAttr stages src.attr = value for a plain-text value.
+func (u *Update) AddTextAttr(src int64, attr, value string) {
+	u.Ops = append(u.Ops, UpdateOp{Op: "add_text_attr", Src: Ref(src), Attr: attr, Text: value})
+}
+
+// RemoveEdge stages the removal of every edge src.attr = dst.
+func (u *Update) RemoveEdge(src int64, attr string, dst int64) {
+	u.Ops = append(u.Ops, UpdateOp{Op: "remove_edge", Src: Ref(src), Attr: attr, Dst: Ref(dst)})
+}
+
+// RemoveEntity stages the removal of an entity and all its edges.
+func (u *Update) RemoveEntity(node int64) {
+	u.Ops = append(u.Ops, UpdateOp{Op: "remove_entity", Node: Ref(node)})
+}
+
+// SetText stages a replacement text description for an entity.
+func (u *Update) SetText(node int64, text string) {
+	u.Ops = append(u.Ops, UpdateOp{Op: "set_text", Node: Ref(node), Text: text})
+}
+
+// UpdateResult reports what one applied update did.
+type UpdateResult struct {
+	// NewEntities are the resolved IDs of this update's add_entity ops, in
+	// op order (what the negative back-references resolved to).
+	NewEntities []EntityID
+	// Entities / Attributes are the new snapshot's totals (tombstones
+	// included in Entities).
+	Entities   int
+	Attributes int
+	// DirtyRoots is how many roots were re-enumerated; a full index
+	// rebuild would have enumerated every entity.
+	DirtyRoots int
+	// EntriesRemoved / EntriesAdded count spliced index postings.
+	EntriesRemoved int64
+	EntriesAdded   int64
+	// TouchedWords are the canonical words whose posting lists changed —
+	// exactly the queries whose cached answers may now be stale, unless
+	// ScoresRefreshed is set.
+	TouchedWords []string
+	// ScoresRefreshed reports that PageRank scoring rewrote score terms
+	// globally (any structural change under non-uniform PageRank): cached
+	// answers for ALL queries may be stale, not just TouchedWords'.
+	ScoresRefreshed bool
+	// Elapsed is the wall-clock time of graph apply + index maintenance.
+	Elapsed time.Duration
+}
+
+// ApplyUpdate applies a batch of mutations and returns a NEW engine over
+// the updated knowledge base. The receiver is not modified and remains
+// fully usable, so in-flight searches (and callers holding the old engine)
+// keep a consistent snapshot; the path-pattern index is maintained
+// incrementally by re-enumerating only roots whose d-neighborhood the
+// update touched. The update is validated eagerly (dangling references,
+// edges out of literals, double removals, …) and applies atomically or
+// not at all.
+func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
+	start := time.Now()
+	var res UpdateResult
+	if len(u.Ops) == 0 {
+		return nil, res, errors.New("kbtable: update has no ops")
+	}
+	d := kg.NewDelta(e.g.g)
+	var created []kg.NodeID
+	resolve := func(r *int64, what string) (kg.NodeID, error) {
+		if r == nil {
+			return -1, fmt.Errorf("kbtable: missing %s", what)
+		}
+		ref := *r
+		if ref >= 0 {
+			if ref > int64(e.g.g.NumNodes())+int64(len(u.Ops)) {
+				return -1, fmt.Errorf("kbtable: %s %d out of range", what, ref)
+			}
+			return kg.NodeID(ref), nil
+		}
+		i := -ref - 1
+		if int(i) >= len(created) {
+			return -1, fmt.Errorf("kbtable: %s %d references add_entity #%d, but only %d precede it", what, ref, i, len(created))
+		}
+		return created[i], nil
+	}
+	for i, op := range u.Ops {
+		var err error
+		switch op.Op {
+		case "add_entity":
+			var id kg.NodeID
+			if id, err = d.AddEntity(op.Type, op.Text); err == nil {
+				created = append(created, id)
+			}
+		case "add_attr":
+			var src, dst kg.NodeID
+			if src, err = resolve(op.Src, "src"); err == nil {
+				if dst, err = resolve(op.Dst, "dst"); err == nil {
+					err = d.AddAttr(src, op.Attr, dst)
+				}
+			}
+		case "add_text_attr":
+			var src kg.NodeID
+			if src, err = resolve(op.Src, "src"); err == nil {
+				_, err = d.AddTextAttr(src, op.Attr, op.Text)
+			}
+		case "remove_edge":
+			var src, dst kg.NodeID
+			if src, err = resolve(op.Src, "src"); err == nil {
+				if dst, err = resolve(op.Dst, "dst"); err == nil {
+					_, err = d.RemoveEdge(src, op.Attr, dst)
+				}
+			}
+		case "remove_entity":
+			var v kg.NodeID
+			if v, err = resolve(op.Node, "node"); err == nil {
+				err = d.RemoveEntity(v)
+			}
+		case "set_text":
+			var v kg.NodeID
+			if v, err = resolve(op.Node, "node"); err == nil {
+				err = d.SetText(v, op.Text)
+			}
+		default:
+			err = fmt.Errorf("kbtable: unknown op %q", op.Op)
+		}
+		if err != nil {
+			return nil, res, fmt.Errorf("kbtable: op %d (%s): %w", i, op.Op, err)
+		}
+	}
+	ch, err := d.Apply()
+	if err != nil {
+		return nil, res, fmt.Errorf("kbtable: %w", err)
+	}
+	nix, ds, err := e.ix.ApplyDelta(ch, index.Options{
+		D:         e.o.D,
+		UniformPR: e.o.UniformPageRank,
+		Workers:   e.o.Workers,
+	})
+	if err != nil {
+		return nil, res, fmt.Errorf("kbtable: %w", err)
+	}
+	ne := &Engine{g: &Graph{g: ch.New}, ix: nix, o: e.o}
+	res = UpdateResult{
+		NewEntities:     created,
+		Entities:        ch.New.NumNodes(),
+		Attributes:      ch.New.NumEdges(),
+		DirtyRoots:      ds.DirtyRoots,
+		EntriesRemoved:  ds.EntriesRemoved,
+		EntriesAdded:    ds.EntriesAdded,
+		TouchedWords:    ds.TouchedWords,
+		ScoresRefreshed: ds.ScoresRefreshed,
+		Elapsed:         time.Since(start),
+	}
+	return ne, res, nil
+}
+
+// QueryWords returns the sorted canonical words a query resolves to
+// (known words through stemming and synonym aliasing, unknown words as
+// their stem). Matched against UpdateResult.TouchedWords, it tells a
+// cache whether an update could have changed this query's answers.
+func (e *Engine) QueryWords(query string) []string {
+	ids, surfaces := e.ix.Dict().QueryTokens(query)
+	seen := make(map[string]struct{}, len(ids))
+	out := make([]string, 0, len(ids))
+	for i, id := range ids {
+		w := ""
+		if id == text.NoWord {
+			// Unknown today — but an update may introduce it, and its
+			// postings would then live under the stem.
+			w = text.Stem(surfaces[i])
+		} else {
+			w = e.ix.Dict().Word(id)
+		}
+		if _, ok := seen[w]; ok {
+			continue
+		}
+		seen[w] = struct{}{}
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // CSV renders the answer's table as CSV.

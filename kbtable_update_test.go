@@ -1,0 +1,190 @@
+package kbtable
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fig1EngineForUpdate builds the Figure 1 KB and an engine over it.
+func fig1EngineForUpdate(t *testing.T) (*Engine, map[string]EntityID) {
+	t.Helper()
+	b := NewBuilder()
+	ids := map[string]EntityID{}
+	ids["sql"] = b.Entity("Software", "SQL Server")
+	ids["rel"] = b.Entity("Model", "Relational database")
+	ids["ms"] = b.Entity("Company", "Microsoft")
+	b.Attr(ids["sql"], "Genre", ids["rel"])
+	b.Attr(ids["sql"], "Developer", ids["ms"])
+	ids["rev"] = b.TextAttr(ids["ms"], "Revenue", "US$ 77 billion")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(g, EngineOptions{D: 3, UniformPageRank: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ids
+}
+
+func TestApplyUpdateEndToEnd(t *testing.T) {
+	eng, ids := fig1EngineForUpdate(t)
+
+	// Before: "oracle" is unknown.
+	if ans, err := eng.Search("oracle database", 5); err != nil || len(ans) != 0 {
+		t.Fatalf("pre-update search: %v answers, err=%v", ans, err)
+	}
+
+	var u Update
+	oracle := u.AddEntity("Company", "Oracle Corp")
+	odb := u.AddEntity("Software", "Oracle DB")
+	u.AddAttr(odb, "Developer", oracle)
+	u.AddAttr(odb, "Genre", int64(ids["rel"]))
+	u.AddTextAttr(oracle, "Revenue", "US$ 37 billion")
+
+	ne, res, err := eng.ApplyUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NewEntities) != 2 {
+		t.Fatalf("NewEntities = %v", res.NewEntities)
+	}
+	if res.Entities != eng.Graph().NumEntities()+3 { // oracle, odb, revenue literal
+		t.Fatalf("entities = %d", res.Entities)
+	}
+	if res.DirtyRoots == 0 || res.EntriesAdded == 0 {
+		t.Fatalf("suspicious maintenance stats: %+v", res)
+	}
+
+	// The new snapshot answers queries involving the new entities; the old
+	// engine still answers from its epoch.
+	ans, err := ne.Search("oracle database", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) == 0 {
+		t.Fatal("updated engine has no answers for the new entity")
+	}
+	if old, _ := eng.Search("oracle database", 5); len(old) != 0 {
+		t.Fatal("old engine sees the update")
+	}
+
+	// All three algorithms agree on the updated snapshot.
+	for _, algo := range []Algorithm{PatternEnum, LinearEnum, Baseline} {
+		got, err := ne.SearchOpts("software company revenue", SearchOptions{K: 10, Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		// SQL Server and Oracle DB share the Software–Developer–Company–
+		// Revenue pattern, so the top answer's table now has both rows.
+		if len(got) == 0 || got[0].NumRows < 2 {
+			t.Fatalf("%v: answers %d, top rows %v", algo, len(got), got)
+		}
+	}
+
+	// Chained update: remove what we added.
+	var u2 Update
+	u2.RemoveEntity(int64(res.NewEntities[1])) // Oracle DB
+	ne2, res2, err := ne.ApplyUpdate(u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ne2.Graph().NumRemoved() != 1 {
+		t.Fatalf("NumRemoved = %d", ne2.Graph().NumRemoved())
+	}
+	if ans, _ := ne2.Search("oracle database", 5); len(ans) != 0 {
+		t.Fatalf("removed entity still answers: %v", ans)
+	}
+	if len(res2.TouchedWords) == 0 {
+		t.Fatal("removal touched no words")
+	}
+}
+
+func TestApplyUpdateValidation(t *testing.T) {
+	eng, ids := fig1EngineForUpdate(t)
+	cases := []Update{
+		{},                                    // empty
+		{Ops: []UpdateOp{{Op: "frobnicate"}}}, // unknown op
+		{Ops: []UpdateOp{{Op: "add_entity"}}}, // empty type
+		{Ops: []UpdateOp{{Op: "set_text", Node: Ref(9999), Text: "x"}}},                          // dangling
+		{Ops: []UpdateOp{{Op: "add_attr", Src: Ref(-5), Attr: "X", Dst: Ref(0)}}},                // bad backref
+		{Ops: []UpdateOp{{Op: "add_attr", Src: Ref(int64(ids["rev"])), Attr: "X", Dst: Ref(0)}}}, // literal src
+		{Ops: []UpdateOp{{Op: "remove_edge", Src: Ref(int64(ids["sql"])), Attr: "Publisher", Dst: Ref(int64(ids["ms"]))}}},
+		{Ops: []UpdateOp{{Op: "remove_entity"}}},                    // missing node ref
+		{Ops: []UpdateOp{{Op: "add_attr", Src: Ref(0), Attr: "X"}}}, // missing dst ref
+	}
+	for i, u := range cases {
+		if _, _, err := eng.ApplyUpdate(u); err == nil {
+			t.Errorf("case %d: invalid update accepted", i)
+		}
+	}
+	// Failed updates must leave the engine usable.
+	if _, err := eng.Search("database software", 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryWords(t *testing.T) {
+	eng, _ := fig1EngineForUpdate(t)
+	got := eng.QueryWords("Databases  SOFTWARE nonesuchword")
+	// "databases" stems to the same canonical word as "database";
+	// "nonesuchword" is unknown and appears as its stem.
+	want := map[string]bool{}
+	for _, w := range got {
+		want[w] = true
+	}
+	if len(got) != 3 {
+		t.Fatalf("QueryWords = %v", got)
+	}
+	if !reflect.DeepEqual(got, append([]string(nil), got...)) || !sortedStrings(got) {
+		t.Fatalf("QueryWords not sorted: %v", got)
+	}
+
+	// The canonical forms line up with TouchedWords: updating an entity
+	// text containing "software" must touch a word QueryWords reports.
+	var u Update
+	u.AddEntity("Software", "Visual FoxPro")
+	_, res, err := eng.ApplyUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qw := eng.QueryWords("software visual")
+	touched := map[string]bool{}
+	for _, w := range res.TouchedWords {
+		touched[w] = true
+	}
+	hit := false
+	for _, w := range qw {
+		if touched[w] {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no overlap between query words %v and touched words %v", qw, res.TouchedWords)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAddEntityBackrefs: back-references stay correct when helper calls
+// are interleaved with manual Ops appends, and after truncation.
+func TestAddEntityBackrefs(t *testing.T) {
+	var u Update
+	r1 := u.AddEntity("A", "one")
+	u.Ops = append(u.Ops, UpdateOp{Op: "add_entity", Type: "A", Text: "manual"})
+	r3 := u.AddEntity("A", "three")
+	if r1 != -1 || r3 != -3 {
+		t.Fatalf("refs %d, %d; want -1, -3", r1, r3)
+	}
+	u.Ops = u.Ops[:0] // truncate: bookkeeping must self-heal
+	if r := u.AddEntity("A", "fresh"); r != -1 {
+		t.Fatalf("ref after truncation = %d, want -1", r)
+	}
+}
