@@ -35,8 +35,19 @@ cover:
 # The same short fuzz bursts CI runs.
 fuzz:
 	$(GO) test -fuzz='^FuzzSearchNeverPanics$$' -fuzztime=10s -run='^$$' .
+	$(GO) test -fuzz='^FuzzUpdateOps$$' -fuzztime=10s -run='^$$' .
 	$(GO) test -fuzz='^FuzzIndexRoundTrip$$' -fuzztime=10s -run='^$$' .
 	$(GO) test -fuzz='^FuzzDictQueryTokens$$' -fuzztime=10s -run='^$$' ./internal/text
+
+# Refresh the golden-corpus answer files after an intentional behavior
+# change (regenerates testdata/corpus and testdata/golden).
+golden:
+	$(GO) test -run TestGoldenCorpus -update .
+
+# The BENCH trajectory CI uploads as an artifact: shard-scaling ns/op,
+# allocs, and speedup vs the serial engine, written to BENCH_kbtable.json.
+bench-json:
+	$(GO) run ./cmd/kbbench -json -bench-entities 2500 -bench-queries 8
 
 # Run the HTTP daemon on the built-in demo knowledge base.
 serve:

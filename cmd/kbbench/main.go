@@ -7,12 +7,19 @@
 //	kbbench                      # full suite at default scale
 //	kbbench -only fig7,fig11     # selected experiments
 //	kbbench -entities 6000 -perm 10   # smaller/faster
+//	kbbench -json                # shard-scaling trajectory -> BENCH_kbtable.json
+//
+// With -json the paper suite is skipped and the shard-scaling benchmark
+// (query ns/op, allocs, and speedup vs the serial engine for 1/2/4
+// shards) is written to -json-out — the BENCH trajectory CI uploads as an
+// artifact on every run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -30,7 +37,36 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed")
 	only := flag.String("only", "", "comma-separated subset: fig6,fig7,fig8,fig9,fig10,expk,fig11,fig12,fig13,case,fig16,ablations")
 	caseQuery := flag.String("case-query", "washington city", "case-study query (Figures 14-15)")
+	jsonBench := flag.Bool("json", false, "run the shard-scaling benchmark and write its JSON report instead of the paper suite")
+	jsonOut := flag.String("json-out", "BENCH_kbtable.json", "output path for -json")
+	benchEntities := flag.Int("bench-entities", 4000, "-json: SynthWiki entities")
+	benchQueries := flag.Int("bench-queries", 12, "-json: workload queries per op")
 	flag.Parse()
+
+	if *jsonBench {
+		report, err := bench.RunShardBench(bench.ShardBenchConfig{
+			Entities: *benchEntities,
+			Queries:  *benchQueries,
+			K:        *k,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report.String())
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	env := bench.NewEnv(bench.Config{
 		WikiEntities: *entities,

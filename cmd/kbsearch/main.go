@@ -5,11 +5,13 @@
 //
 //	kbsearch -kb wiki.kb -k 5 "washington city population"
 //	kbsearch -kb imdb.kb            # interactive: one query per line
+//	kbsearch -kb wiki.kb -shards 4  # partitioned indexes, scatter-gather
 //	kbsearch -kind fig1 "database software company revenue"
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +24,7 @@ import (
 	"kbtable/internal/index"
 	"kbtable/internal/kg"
 	"kbtable/internal/search"
+	"kbtable/internal/shard"
 )
 
 func main() {
@@ -33,6 +36,7 @@ func main() {
 	k := flag.Int("k", 5, "number of table answers")
 	algo := flag.String("algo", "pe", "algorithm: pe (PATTERNENUM), le (LINEARENUM), baseline")
 	rows := flag.Int("rows", 8, "max table rows to print per answer")
+	shards := flag.Int("shards", 1, "partition candidate roots across this many index shards")
 	format := flag.String("format", "table", "output format: table, csv, json, md")
 	lambda := flag.Int64("lambda", 0, "LETopK sampling threshold Λ (0 = exact)")
 	rho := flag.Float64("rho", 0.1, "LETopK sampling rate ρ")
@@ -59,43 +63,89 @@ func main() {
 	fmt.Printf("graph: %d entities, %d edges, %d types\n", s.Nodes, s.Edges, s.Types)
 
 	t0 := time.Now()
-	ix, err := index.Build(g, index.Options{D: *d})
-	if err != nil {
-		log.Fatal(err)
+	var ix *index.Index
+	var se *shard.Engine
+	if *shards > 1 {
+		if se, err = shard.NewEngine(g, *shards, index.Options{D: *d}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("index: %d shards built in %v\n", *shards, time.Since(t0).Round(time.Millisecond))
+	} else {
+		if ix, err = index.Build(g, index.Options{D: *d}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("index: built in %v (%s)\n", time.Since(t0).Round(time.Millisecond), ix.Stats())
 	}
-	fmt.Printf("index: built in %v (%s)\n", time.Since(t0).Round(time.Millisecond), ix.Stats())
 
 	var bl *search.BaselineIndex
-	if *algo == "baseline" {
+	if *algo == "baseline" && se == nil {
 		if bl, err = search.NewBaseline(g, search.BaselineOptions{D: *d}); err != nil {
 			log.Fatal(err)
 		}
 	}
 
+	// answer is one ranked pattern in algorithm- and shard-neutral form
+	// (pattern IDs resolve in pt, which is per-shard under -shards).
+	type answer struct {
+		pattern core.TreePattern
+		pt      *core.PatternTable
+		score   float64
+		count   int
+		trees   []core.Subtree
+	}
 	run := func(q string) {
 		opts := search.Options{K: *k, Lambda: *lambda, Rho: *rho, MaxTreesPerPattern: *rows}
-		var patterns []search.RankedPattern
+		var answers []answer
 		var surfaces []string
 		var elapsed time.Duration
-		var pt *core.PatternTable
-		switch *algo {
-		case "pe":
-			res := search.PETopK(ix, q, opts)
-			patterns, surfaces, elapsed, pt = res.Patterns, res.Stats.Surfaces, res.Stats.Elapsed, ix.PatternTable()
-		case "le":
-			res := search.LETopK(ix, q, opts)
-			patterns, surfaces, elapsed, pt = res.Patterns, res.Stats.Surfaces, res.Stats.Elapsed, ix.PatternTable()
-		case "baseline":
-			res := bl.Search(q, opts)
-			patterns, surfaces, elapsed, pt = res.Patterns, res.Stats.Surfaces, res.Stats.Elapsed, res.Table
-		default:
-			log.Fatalf("unknown -algo %q", *algo)
+		collect := func(patterns []search.RankedPattern, pt *core.PatternTable) {
+			for _, rp := range patterns {
+				answers = append(answers, answer{pattern: rp.Pattern, pt: pt, score: rp.Score, count: rp.Agg.Count, trees: rp.Trees})
+			}
 		}
-		fmt.Printf("\n%d pattern answers in %v\n", len(patterns), elapsed.Round(time.Microsecond))
-		for i, rp := range patterns {
-			tab := core.ComposeTable(g, pt, rp.Pattern, rp.Trees)
-			fmt.Printf("\n#%d  score=%.4f  rows=%d\n%s\n", i+1, rp.Score, rp.Agg.Count,
-				rp.Pattern.Render(g, pt, surfaces))
+		if se != nil {
+			var a shard.Algo
+			switch *algo {
+			case "pe":
+				a = shard.PatternEnum
+			case "le":
+				a = shard.LinearEnum
+			case "baseline":
+				a = shard.Baseline
+			default:
+				log.Fatalf("unknown -algo %q", *algo)
+			}
+			res, err := se.Search(context.Background(), a, q, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
+			for _, rp := range res.Patterns {
+				answers = append(answers, answer{pattern: rp.Pattern, pt: rp.Table, score: rp.Score, count: rp.Agg.Count, trees: rp.Trees})
+			}
+		} else {
+			switch *algo {
+			case "pe":
+				res := search.PETopK(ix, q, opts)
+				surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
+				collect(res.Patterns, ix.PatternTable())
+			case "le":
+				res := search.LETopK(ix, q, opts)
+				surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
+				collect(res.Patterns, ix.PatternTable())
+			case "baseline":
+				res := bl.Search(q, opts)
+				surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
+				collect(res.Patterns, res.Table)
+			default:
+				log.Fatalf("unknown -algo %q", *algo)
+			}
+		}
+		fmt.Printf("\n%d pattern answers in %v\n", len(answers), elapsed.Round(time.Microsecond))
+		for i, rp := range answers {
+			tab := core.ComposeTable(g, rp.pt, rp.pattern, rp.trees)
+			fmt.Printf("\n#%d  score=%.4f  rows=%d\n%s\n", i+1, rp.score, rp.count,
+				rp.pattern.Render(g, rp.pt, surfaces))
 			switch *format {
 			case "table":
 				fmt.Print(tab.Render(*rows))

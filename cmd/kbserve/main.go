@@ -9,6 +9,7 @@
 // Usage:
 //
 //	kbserve -kb wiki.kb -addr :8080          # serve a kbgen-built KB
+//	kbserve -kb wiki.kb -shards 4            # partitioned indexes, scatter-gather
 //	kbserve -kb wiki.kb -index wiki.ix       # skip index construction
 //	kbserve -demo                            # built-in Figure 1 KB
 //	kbserve -demo -readonly                  # disable POST /update
@@ -47,6 +48,7 @@ func main() {
 	ixPath := flag.String("index", "", "prebuilt index file written by kbindex (optional)")
 	demo := flag.Bool("demo", false, "serve the built-in Figure 1 mini knowledge base")
 	d := flag.Int("d", 3, "height threshold for tree patterns")
+	shards := flag.Int("shards", 1, "partition candidate roots across this many index shards (scatter-gather queries, per-shard update routing)")
 	workers := flag.Int("workers", 0, "per-query worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 512, "LRU query-result cache entries (negative disables)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request search timeout")
@@ -73,10 +75,13 @@ func main() {
 	log.Printf("graph: %d entities, %d attributes, %d types",
 		g.NumEntities(), g.NumAttributes(), g.NumTypes())
 
-	opts := kbtable.EngineOptions{D: *d, Workers: *workers}
+	opts := kbtable.EngineOptions{D: *d, Workers: *workers, Shards: *shards}
 	var eng *kbtable.Engine
 	t0 := time.Now()
 	if *ixPath != "" {
+		if *shards > 1 {
+			log.Fatal("-index is incompatible with -shards > 1 (sharded engines build their partitioned indexes at startup)")
+		}
 		eng, err = kbtable.NewEngineFromIndex(g, *ixPath, opts)
 	} else {
 		eng, err = kbtable.NewEngine(g, opts)
@@ -87,6 +92,9 @@ func main() {
 	st := eng.IndexStats()
 	log.Printf("index: d=%d, %d patterns, %d entries, %.1f MB, ready in %v",
 		st.D, st.Patterns, st.Entries, st.SizeMB, time.Since(t0).Round(time.Millisecond))
+	if info := eng.ShardInfo(); info.Count > 1 {
+		log.Printf("shards: %d (roots per shard %v)", info.Count, info.Roots)
+	}
 
 	srv := serve.New(serve.Config{
 		Engine:    eng,

@@ -1,0 +1,22 @@
+package kbtable
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestExamplesBuild compiles every example program with the ambient Go
+// toolchain, so examples drifting from the public API fail tier-1
+// (`go test ./...`) with a readable compiler error, not just a later CI
+// step. The examples are real main packages in this module; `go build`
+// here is cheap (warm build cache) and exact.
+func TestExamplesBuild(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command(gobin, "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples do not compile: %v\n%s", err, out)
+	}
+}

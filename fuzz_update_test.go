@@ -1,0 +1,135 @@
+package kbtable
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fuzzUpdateState is the shared immutable ground truth FuzzUpdateOps
+// checks rejected updates against: the base engine plus its rendered
+// answers for a fixed probe workload. Engines are copy-on-write, so many
+// fuzz workers can share one.
+var (
+	fuzzUpdOnce    sync.Once
+	fuzzUpdEng     *Engine
+	fuzzUpdProbes  = []string{"database software", "software company revenue", "revenue"}
+	fuzzUpdAnswers map[string]string
+)
+
+func fuzzUpdateEngine(t testing.TB) (*Engine, map[string]string) {
+	fuzzUpdOnce.Do(func() {
+		b := NewBuilder()
+		sql := b.Entity("Software", "SQL Server")
+		ms := b.Entity("Company", "Microsoft")
+		model := b.Entity("Model", "Relational database")
+		b.Attr(sql, "Developer", ms)
+		b.Attr(sql, "Genre", model)
+		b.TextAttr(ms, "Revenue", "US$ 77 billion")
+		g, err := b.Build()
+		if err != nil {
+			return
+		}
+		eng, err := NewEngine(g, EngineOptions{D: 3, UniformPageRank: true})
+		if err != nil {
+			return
+		}
+		answers := make(map[string]string, len(fuzzUpdProbes))
+		for _, q := range fuzzUpdProbes {
+			answers[q] = renderAll(eng, q)
+		}
+		fuzzUpdEng, fuzzUpdAnswers = eng, answers
+	})
+	if fuzzUpdEng == nil {
+		t.Fatal("engine build failed")
+	}
+	return fuzzUpdEng, fuzzUpdAnswers
+}
+
+// renderAll snapshots an engine's answers for one probe query at full
+// fidelity.
+func renderAll(eng *Engine, q string) string {
+	answers, err := eng.Search(q, 10)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	var sb strings.Builder
+	for _, a := range answers {
+		sb.WriteString(a.Render(-1))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FuzzUpdateOps decodes arbitrary bytes as an update-op batch and applies
+// it: malformed JSON and invalid batches must be rejected without panics
+// AND without side effects — the original engine must keep answering
+// exactly as before (ApplyUpdate promises atomicity and copy-on-write).
+// Accepted batches must yield a functioning new engine.
+func FuzzUpdateOps(f *testing.F) {
+	seed := func(u Update) {
+		data, err := json.Marshal(u.Ops)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	var ok Update
+	pg := ok.AddEntity("Software", "Postgres")
+	ok.AddAttr(pg, "Genre", 2)
+	ok.AddTextAttr(pg, "License", "open source")
+	seed(ok)
+	var rm Update
+	rm.RemoveEdge(0, "Developer", 1)
+	rm.SetText(1, "Microsoft Corporation")
+	seed(rm)
+	var bad Update
+	bad.RemoveEntity(99999) // out of range: must reject atomically
+	bad.AddEntity("Software", "never applied")
+	seed(bad)
+	f.Add([]byte(`[{"op":"add_attr","src":-5,"attr":"Genre","dst":0}]`))
+	f.Add([]byte(`[{"op":"nonsense"}]`))
+	f.Add([]byte(`[{"op":"add_entity","type":"","text":""}]`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`[{"op":"remove_entity"}]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng, golden := fuzzUpdateEngine(t)
+		var ops []UpdateOp
+		if err := json.Unmarshal(data, &ops); err != nil {
+			return // not an op batch; decoding itself must not panic
+		}
+		ne, res, err := eng.ApplyUpdate(Update{Ops: ops})
+		if err != nil {
+			// Rejected: the receiver must answer byte-identically to its
+			// pre-update ground truth.
+			if ne != nil {
+				t.Fatalf("rejected update returned an engine: %v", err)
+			}
+			for _, q := range fuzzUpdProbes {
+				if got := renderAll(eng, q); got != golden[q] {
+					t.Fatalf("rejected update (%v) changed answers for %q:\nbefore:\n%s\nafter:\n%s",
+						err, q, golden[q], got)
+				}
+			}
+			return
+		}
+		// Accepted: the new engine must answer without panicking and
+		// report a consistent result, while the old engine still serves
+		// its snapshot unchanged.
+		if ne == nil {
+			t.Fatal("accepted update returned nil engine")
+		}
+		if res.Entities != ne.Graph().NumEntities() || res.Attributes != ne.Graph().NumAttributes() {
+			t.Fatalf("result totals %d/%d disagree with graph %d/%d",
+				res.Entities, res.Attributes, ne.Graph().NumEntities(), ne.Graph().NumAttributes())
+		}
+		for _, q := range fuzzUpdProbes {
+			_ = renderAll(ne, q)
+			if got := renderAll(eng, q); got != golden[q] {
+				t.Fatalf("applied update mutated the OLD engine's answers for %q", q)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+	"kbtable/internal/search"
+	"kbtable/internal/shard"
+)
+
+// ShardBenchConfig scales the shard-scaling benchmark (the BENCH
+// trajectory emitted as BENCH_kbtable.json).
+type ShardBenchConfig struct {
+	// Entities / Types scale the SynthWiki corpus; defaults 4000 / 60.
+	Entities int
+	Types    int
+	// Queries is the number of workload queries; default 12.
+	Queries int
+	// K is the top-k cutoff; default 10.
+	K int
+	// Shards are the partition widths measured; default {1, 2, 4}.
+	Shards []int
+	// Seed fixes dataset and workload; default 1.
+	Seed int64
+}
+
+func (c ShardBenchConfig) withDefaults() ShardBenchConfig {
+	if c.Entities == 0 {
+		c.Entities = 4000
+	}
+	if c.Types == 0 {
+		c.Types = 60
+	}
+	if c.Queries == 0 {
+		c.Queries = 12
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 2, 4}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ShardBenchResult is one measured configuration.
+type ShardBenchResult struct {
+	// Name identifies the configuration ("serial" or "shards-N").
+	Name string `json:"name"`
+	// Shards is 0 for the unsharded serial reference.
+	Shards int `json:"shards"`
+	// NsPerOp / BytesPerOp / AllocsPerOp are per benchmark op; one op
+	// answers the whole query workload once (PATTERNENUM, top-K).
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SpeedupVsSerial is serial ns/op divided by this configuration's.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// ShardBenchReport is the BENCH_kbtable.json schema.
+type ShardBenchReport struct {
+	GoVersion  string             `json:"go_version"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Entities   int                `json:"entities"`
+	Edges      int                `json:"edges"`
+	Queries    int                `json:"queries"`
+	K          int                `json:"k"`
+	Results    []ShardBenchResult `json:"results"`
+}
+
+// RunShardBench measures query throughput of the serial engine against
+// scatter-gather engines at each shard width, on one SynthWiki corpus and
+// a fixed keyword workload. One benchmark op = the full workload, so ns/op
+// compares end-to-end query cost; allocations come from testing.Benchmark.
+func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
+	c := cfg.withDefaults()
+	g := dataset.SynthWiki(dataset.WikiConfig{Entities: c.Entities, Types: c.Types, Seed: c.Seed})
+	queries := dataset.Workload(g, dataset.WorkloadConfig{PerM: (c.Queries + 2) / 3, MaxM: 3, Seed: c.Seed})
+	qs := make([]string, 0, c.Queries)
+	for _, q := range queries {
+		if len(qs) == c.Queries {
+			break
+		}
+		qs = append(qs, q.Text)
+	}
+	report := &ShardBenchReport{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Entities:   g.NumNodes(),
+		Edges:      g.NumEdges(),
+		Queries:    len(qs),
+		K:          c.K,
+	}
+
+	opts := search.Options{K: c.K, SkipTrees: true}
+
+	// Serial reference: one index, Workers=1.
+	ix, err := index.Build(g, index.Options{D: 3, Workers: 0})
+	if err != nil {
+		return nil, err
+	}
+	serialOpts := opts
+	serialOpts.Workers = 1
+	serial := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				search.PETopK(ix, q, serialOpts)
+			}
+		}
+	})
+	report.Results = append(report.Results, ShardBenchResult{
+		Name:            "serial",
+		NsPerOp:         serial.NsPerOp(),
+		BytesPerOp:      serial.AllocedBytesPerOp(),
+		AllocsPerOp:     serial.AllocsPerOp(),
+		SpeedupVsSerial: 1,
+	})
+
+	for _, n := range c.Shards {
+		eng, err := shard.NewEngine(g, n, index.Options{D: 3})
+		if err != nil {
+			return nil, err
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, err := eng.Search(context.Background(), shard.PatternEnum, q, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		report.Results = append(report.Results, ShardBenchResult{
+			Name:            fmt.Sprintf("shards-%d", n),
+			Shards:          n,
+			NsPerOp:         r.NsPerOp(),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			AllocsPerOp:     r.AllocsPerOp(),
+			SpeedupVsSerial: float64(serial.NsPerOp()) / float64(r.NsPerOp()),
+		})
+	}
+	return report, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *ShardBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the report as a human-readable table.
+func (r *ShardBenchReport) String() string {
+	t := Table{
+		Title: fmt.Sprintf("Shard scaling — %d entities, %d queries, k=%d, GOMAXPROCS=%d",
+			r.Entities, r.Queries, r.K, r.GoMaxProcs),
+		Header: []string{"config", "ns/op", "B/op", "allocs/op", "speedup"},
+	}
+	for _, res := range r.Results {
+		t.Rows = append(t.Rows, []string{
+			res.Name,
+			fmt.Sprintf("%d", res.NsPerOp),
+			fmt.Sprintf("%d", res.BytesPerOp),
+			fmt.Sprintf("%d", res.AllocsPerOp),
+			fmt.Sprintf("%.2fx", res.SpeedupVsSerial),
+		})
+	}
+	return t.String()
+}

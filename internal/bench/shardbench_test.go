@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunShardBench smoke-tests the BENCH trajectory at tiny scale: every
+// configured width is measured, the serial reference anchors speedup at 1,
+// and the JSON report round-trips.
+func TestRunShardBench(t *testing.T) {
+	report, err := RunShardBench(ShardBenchConfig{
+		Entities: 300, Types: 10, Queries: 3, K: 5, Shards: []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 3 {
+		t.Fatalf("got %d results, want serial + 2 shard widths", len(report.Results))
+	}
+	if report.Results[0].Name != "serial" || report.Results[0].SpeedupVsSerial != 1 {
+		t.Fatalf("serial reference malformed: %+v", report.Results[0])
+	}
+	for _, r := range report.Results {
+		if r.NsPerOp <= 0 || r.AllocsPerOp <= 0 || r.SpeedupVsSerial <= 0 {
+			t.Fatalf("unmeasured config: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ShardBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(report.Results) || back.Results[2].Shards != 2 {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+	if report.String() == "" {
+		t.Fatal("empty human-readable report")
+	}
+}

@@ -66,6 +66,9 @@ func Build(g *kg.Graph, opts Options) (*Index, error) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for r := lo; r < hi; r++ {
+				if opts.RootFilter != nil && !opts.RootFilter(kg.NodeID(r)) {
+					continue
+				}
 				st.dfsRoot(kg.NodeID(r))
 			}
 		}(lo, hi)

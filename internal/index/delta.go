@@ -102,8 +102,23 @@ func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, e
 	pt := core.TableFromSnapshot(ix.pt.Snapshot())
 
 	// Dirty roots: every node that could reach a touched element within
-	// d-1 edges, in the old or the new snapshot.
-	dirty := kg.AffectedRoots(ch, ix.d-1)
+	// d-1 edges, in the old or the new snapshot. A root-filtered index
+	// (Options.RootFilter) only ever held postings for accepted roots, so
+	// only accepted dirty roots are cut out and re-enumerated; the rest of
+	// the dirty set belongs to sibling shards.
+	dirty := opts.DirtyRoots
+	if dirty == nil {
+		dirty = kg.AffectedRoots(ch, ix.d-1)
+	}
+	if opts.RootFilter != nil {
+		owned := make([]kg.NodeID, 0, len(dirty))
+		for _, r := range dirty {
+			if opts.RootFilter(r) {
+				owned = append(owned, r)
+			}
+		}
+		dirty = owned
+	}
 	ds.DirtyRoots = len(dirty)
 	dirtySet := make([]bool, newG.NumNodes())
 	for _, r := range dirty {
@@ -226,6 +241,20 @@ func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, e
 	nix.stats.BuildTime = time.Since(start)
 	ds.Elapsed = nix.stats.BuildTime
 	return nix, ds, nil
+}
+
+// Rebind returns an index identical to ix but reading node texts, types
+// and edges from g — the new snapshot of a delta that did not touch any of
+// ix's postings. It is the untouched-shard fast path of a sharded engine:
+// valid only when the delta had no dirty roots accepted by ix's
+// RootFilter, an identity edge map (ch.EdgeMap == nil), and no PageRank
+// refresh (DeltaStats.ScoresRefreshed false on the shards that did
+// splice). All posting storage is shared with the receiver; both indexes
+// stay valid.
+func (ix *Index) Rebind(g *kg.Graph) *Index {
+	nix := *ix
+	nix.g = g
+	return &nix
 }
 
 // mapEdge translates an old EdgeID through the delta's edge map.

@@ -42,6 +42,21 @@ type Options struct {
 	Synonyms map[string]string
 	// Workers bounds construction parallelism; defaults to GOMAXPROCS.
 	Workers int
+	// RootFilter, when non-nil, restricts the index to paths ROOTED at
+	// accepted nodes: Build only DFSes from accepted roots, and ApplyDelta
+	// only re-enumerates accepted dirty roots. Paths still traverse (and
+	// words are still tokenized from) the whole graph — only the candidate
+	// roots are partitioned. The shard layer passes its ownership test
+	// here; an engine holding one filtered index per shard covers every
+	// root exactly once. The same filter must be passed to every
+	// maintenance call on indexes built with it.
+	RootFilter func(kg.NodeID) bool
+	// DirtyRoots optionally injects a precomputed kg.AffectedRoots(ch, D-1)
+	// into ApplyDelta (before RootFilter is applied), so an engine applying
+	// one delta to many shard indexes runs the affected-roots BFS once
+	// instead of once per shard. Ignored by Build. nil means ApplyDelta
+	// computes it.
+	DirtyRoots []kg.NodeID
 }
 
 // Entry is one indexed path for one word: the path from Root following

@@ -26,6 +26,8 @@ type BaselineIndex struct {
 	nodeMatches [][]nodeMatch // per canonical word
 	attrMatches [][]attrMatch // per canonical word
 	edgesByAttr [][]kg.EdgeID // attr -> edges carrying it
+
+	rootFilter func(kg.NodeID) bool // nil = every node may root answers
 }
 
 type nodeMatch struct {
@@ -47,6 +49,11 @@ type BaselineOptions struct {
 	UniformPR bool
 	// Synonyms as in index.Options.
 	Synonyms map[string]string
+	// RootFilter, when non-nil, restricts candidate roots to nodes it
+	// accepts (the shard layer passes its partition's ownership test).
+	// Keyword matches anywhere in the graph still count — only the roots
+	// of answers are filtered.
+	RootFilter func(kg.NodeID) bool
 }
 
 // NewBaseline builds the baseline's keyword-match index.
@@ -65,7 +72,7 @@ func NewBaseline(g *kg.Graph, opts BaselineOptions) (*BaselineIndex, error) {
 	if len(pr) != g.NumNodes() {
 		return nil, fmt.Errorf("search: PageRank vector has %d entries for %d nodes", len(pr), g.NumNodes())
 	}
-	b := &BaselineIndex{g: g, d: opts.D, dict: text.NewDict(), pr: pr}
+	b := &BaselineIndex{g: g, d: opts.D, dict: text.NewDict(), pr: pr, rootFilter: opts.RootFilter}
 	for alias, canon := range opts.Synonyms {
 		b.dict.AddSynonym(alias, canon)
 	}
@@ -261,7 +268,7 @@ func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Option
 	}
 	var patterns []RankedPattern
 	for _, de := range top.Results() {
-		rp := RankedPattern{Pattern: de.tp, Agg: de.agg, Score: de.agg.Value(o.Agg)}
+		rp := RankedPattern{Pattern: de.tp, Agg: de.agg, Score: de.agg.Value(o.Agg), RootAggs: de.rootAggs}
 		if !o.SkipTrees {
 			rp.Trees = de.trees
 		}
@@ -274,9 +281,10 @@ func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Option
 // baselineEntry is a TreeDict slot: the paper's baseline keeps every valid
 // subtree of every pattern in memory, which is exactly its bottleneck.
 type baselineEntry struct {
-	tp    core.TreePattern
-	agg   core.PatternScore
-	trees []core.Subtree
+	tp       core.TreePattern
+	agg      core.PatternScore
+	trees    []core.Subtree
+	rootAggs []RootAgg // per-root partials, kept under CollectRootAggs
 }
 
 // backward runs one multi-source reverse BFS per keyword and intersects
@@ -331,7 +339,7 @@ func (b *BaselineIndex) backward(words []text.WordID) []kg.NodeID {
 	all := uint16(1)<<uint(len(words)) - 1
 	var out []kg.NodeID
 	for v := 0; v < n; v++ {
-		if reach[v] == all {
+		if reach[v] == all && (b.rootFilter == nil || b.rootFilter(kg.NodeID(v))) {
 			out = append(out, kg.NodeID(v))
 		}
 	}
@@ -437,12 +445,17 @@ type patternedPath struct {
 }
 
 // expandOnline products the per-keyword path lists of one root and folds
-// each tuple into the dictionary under its tree pattern.
+// each tuple into the dictionary under its tree pattern. Subtree scores
+// fold into per-(pattern, root) partials that merge into the dictionary at
+// the end of the root's expansion — the same two-level fold as
+// aggregatePattern, so baseline scores are bit-identical to PE/LE and to
+// the re-folded shard gather.
 func (b *BaselineIndex) expandOnline(words []text.WordID, r kg.NodeID, lists [][]patternedPath, o Options, pt *core.PatternTable, treeDict map[string]*baselineEntry) {
 	m := len(words)
 	choice := make([]core.PatternID, m)
 	paths := make([]core.Path, m)
 	terms := make([]core.ScoreTerms, m)
+	locals := map[string]*core.PatternScore{}
 	var rec func(i int)
 	rec = func(i int) {
 		if i == m {
@@ -459,7 +472,12 @@ func (b *BaselineIndex) expandOnline(words []text.WordID, r kg.NodeID, lists [][
 				de = &baselineEntry{tp: core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}}
 				treeDict[key] = de
 			}
-			de.agg.Add(o.Scorer.Tree(terms))
+			local, ok := locals[key]
+			if !ok {
+				local = &core.PatternScore{}
+				locals[key] = local
+			}
+			local.Add(o.Scorer.Tree(terms))
 			if o.MaxTreesPerPattern == 0 || len(de.trees) < o.MaxTreesPerPattern {
 				de.trees = append(de.trees, core.Subtree{
 					Root:  r,
@@ -477,4 +495,11 @@ func (b *BaselineIndex) expandOnline(words []text.WordID, r kg.NodeID, lists [][
 		}
 	}
 	rec(0)
+	for key, local := range locals {
+		de := treeDict[key]
+		de.agg.Merge(*local)
+		if o.CollectRootAggs {
+			de.rootAggs = append(de.rootAggs, RootAgg{Root: r, Agg: *local})
+		}
+	}
 }

@@ -35,8 +35,9 @@ func LETopKCtx(ctx context.Context, ix *index.Index, query string, opts Options)
 
 // dictEntry is one tree pattern accumulating in TreeDict.
 type dictEntry struct {
-	tp  core.TreePattern
-	agg core.PatternScore
+	tp       core.TreePattern
+	agg      core.PatternScore
+	rootAggs []RootAgg // per-root partials, kept under CollectRootAggs
 }
 
 // LETopKWords is LETopK on pre-resolved keywords.
@@ -120,7 +121,11 @@ func LETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, s
 			// top-k exactly over all roots of this type in one filtered
 			// pass (each root only expands pattern combinations that can
 			// still hit a selected pattern).
-			local := core.NewTopK[*dictEntry](o.K)
+			selK := o.SampleSelectK
+			if selK <= 0 {
+				selK = o.K
+			}
+			local := core.NewTopK[*dictEntry](selK)
 			for _, de := range treeDict {
 				est := de.agg.Scale(1 / rate).Value(o.Agg)
 				local.Offer(est, de.tp.ContentKey(pt), de)
@@ -129,16 +134,16 @@ func LETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, s
 			exacts := aggregateSelected(ix, words, selected, rc, o, pc)
 			for _, de := range selected {
 				exact, ok := exacts[de.tp.Key()]
-				if !ok || exact.Count == 0 {
+				if !ok || exact.agg.Count == 0 {
 					continue
 				}
-				ltop.Offer(exact.Value(o.Agg), de.tp.ContentKey(pt),
-					RankedPattern{Pattern: de.tp, Agg: *exact, Score: exact.Value(o.Agg)})
+				ltop.Offer(exact.agg.Value(o.Agg), de.tp.ContentKey(pt),
+					RankedPattern{Pattern: de.tp, Agg: exact.agg, Score: exact.agg.Value(o.Agg), RootAggs: exact.rootAggs})
 			}
 		} else {
 			for _, de := range treeDict {
 				ltop.Offer(de.agg.Value(o.Agg), de.tp.ContentKey(pt),
-					RankedPattern{Pattern: de.tp, Agg: de.agg, Score: de.agg.Value(o.Agg)})
+					RankedPattern{Pattern: de.tp, Agg: de.agg, Score: de.agg.Value(o.Agg), RootAggs: de.rootAggs})
 			}
 		}
 	})
@@ -162,6 +167,22 @@ func NumCandidateRoots(ix *index.Index, query string) int {
 		rootLists[i] = ix.Roots(w)
 	}
 	return len(intersectSorted(rootLists))
+}
+
+// SubtreeCount returns the query's total valid-subtree count
+// Σ_r Π_i |Paths(wi, r)| over the candidate roots, without enumerating
+// anything (index lookups only). The sharded Explain sums this across
+// shards before deciding whether pattern enumeration fits its budget.
+func SubtreeCount(ix *index.Index, query string) int64 {
+	words, _ := ResolveQuery(ix, query)
+	if !queryable(ix, words) {
+		return 0
+	}
+	rootLists := make([][]kg.NodeID, len(words))
+	for i, w := range words {
+		rootLists[i] = ix.Roots(w)
+	}
+	return subtreeCount(ix, words, intersectSorted(rootLists))
 }
 
 // subtreeCount computes NR = Σ_r Π_i |Paths(wi, r)|, saturating at
@@ -205,6 +226,17 @@ func expandRoot(ix *index.Index, words []text.WordID, r kg.NodeID, o Options, tr
 	var rec func(i int)
 	rec = func(i int) {
 		if i == m {
+			// Two-level fold (see aggregatePattern): this root's subtrees
+			// fold into a local partial that merges into the dictionary
+			// entry, so LE produces the same bits as PE and as the
+			// re-folded shard gather.
+			var local core.PatternScore
+			productPaths(ix.Graph(), chosenPaths, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+				local.Add(o.Scorer.Tree(terms))
+			})
+			if local.Count == 0 {
+				return // every tuple filtered out (RequireTreeShape)
+			}
 			tp := core.TreePattern{Paths: choice}
 			key := tp.Key()
 			de, ok := treeDict[key]
@@ -212,9 +244,10 @@ func expandRoot(ix *index.Index, words []text.WordID, r kg.NodeID, o Options, tr
 				de = &dictEntry{tp: core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}}
 				treeDict[key] = de
 			}
-			productPaths(ix.Graph(), chosenPaths, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
-				de.agg.Add(o.Scorer.Tree(terms))
-			})
+			de.agg.Merge(local)
+			if o.CollectRootAggs {
+				de.rootAggs = append(de.rootAggs, RootAgg{Root: r, Agg: local})
+			}
 			return
 		}
 		for j, p := range patLists[i] {
@@ -227,7 +260,8 @@ func expandRoot(ix *index.Index, words []text.WordID, r kg.NodeID, o Options, tr
 }
 
 // aggregatePatternRF exactly scores pattern tp over the given roots using
-// the root-first index (used by tests as the re-scoring reference).
+// the root-first index (used by tests as the re-scoring reference). The
+// fold is two-level like every aggregation site (see aggregatePattern).
 func aggregatePatternRF(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options) core.PatternScore {
 	var agg core.PatternScore
 	lists := make([][]pathTerm, len(words))
@@ -243,11 +277,22 @@ func aggregatePatternRF(ix *index.Index, words []text.WordID, tp core.TreePatter
 		if !ok {
 			continue
 		}
+		var local core.PatternScore
 		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
-			agg.Add(o.Scorer.Tree(terms))
+			local.Add(o.Scorer.Tree(terms))
 		})
+		if local.Count > 0 {
+			agg.Merge(local)
+		}
 	}
 	return agg
+}
+
+// selAgg is one selected pattern's exact re-score with its per-root
+// decomposition.
+type selAgg struct {
+	agg      core.PatternScore
+	rootAggs []RootAgg
 }
 
 // aggregateSelected exactly scores a set of selected tree patterns over
@@ -256,15 +301,15 @@ func aggregatePatternRF(ix *index.Index, words []text.WordID, tp core.TreePatter
 // only surviving combinations are expanded. Roots containing none of the
 // selected patterns are skipped after m sorted intersections. A hit on pc
 // returns early with partial scores; the caller is aborting anyway.
-func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEntry, roots []kg.NodeID, o Options, pc *pollCancel) map[string]*core.PatternScore {
+func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEntry, roots []kg.NodeID, o Options, pc *pollCancel) map[string]*selAgg {
 	m := len(words)
-	out := make(map[string]*core.PatternScore, len(selected))
+	out := make(map[string]*selAgg, len(selected))
 	pos := make([]map[core.PatternID]bool, m)
 	for i := range pos {
 		pos[i] = map[core.PatternID]bool{}
 	}
 	for _, de := range selected {
-		out[de.tp.Key()] = &core.PatternScore{}
+		out[de.tp.Key()] = &selAgg{}
 		for i, p := range de.tp.Paths {
 			pos[i][p] = true
 		}
@@ -295,13 +340,21 @@ func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEnt
 		var rec func(i int)
 		rec = func(i int) {
 			if i == m {
-				agg, hit := out[core.TreePattern{Paths: choice}.Key()]
+				sa, hit := out[core.TreePattern{Paths: choice}.Key()]
 				if !hit {
 					return // combination exists but was not selected
 				}
+				var local core.PatternScore
 				productPaths(ix.Graph(), chosen, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
-					agg.Add(o.Scorer.Tree(terms))
+					local.Add(o.Scorer.Tree(terms))
 				})
+				if local.Count == 0 {
+					return
+				}
+				sa.agg.Merge(local)
+				if o.CollectRootAggs {
+					sa.rootAggs = append(sa.rootAggs, RootAgg{Root: r, Agg: local})
+				}
 				return
 			}
 			for _, p := range cand[i] {
@@ -330,18 +383,38 @@ func CountAll(ix *index.Index, query string) (patterns int, trees int64) {
 // patterns = -1. The experiment harness uses this to identify explosion
 // queries cheaply.
 func CountAllCapped(ix *index.Index, query string, budget int64) (patterns int, trees int64, exceeded bool) {
+	seen, trees, exceeded := countAllKeyed(ix, query, budget, func(tp core.TreePattern) string { return tp.Key() })
+	if exceeded {
+		return -1, trees, true
+	}
+	return len(seen), trees, false
+}
+
+// CountAllContent is CountAllCapped with content-derived pattern keys: the
+// returned set identifies tree patterns by their path-pattern contents, so
+// sets computed over indexes with independently interned PatternIDs (the
+// per-shard indexes of a scatter-gather engine) union correctly. A nil set
+// with exceeded=true means the budget was hit.
+func CountAllContent(ix *index.Index, query string, budget int64) (patterns map[string]struct{}, trees int64, exceeded bool) {
+	pt := ix.PatternTable()
+	return countAllKeyed(ix, query, budget, func(tp core.TreePattern) string { return tp.ContentKey(pt) })
+}
+
+// countAllKeyed enumerates the candidate roots' pattern products, filing
+// each distinct tree pattern under keyFn.
+func countAllKeyed(ix *index.Index, query string, budget int64, keyFn func(core.TreePattern) string) (map[string]struct{}, int64, bool) {
 	words, _ := ResolveQuery(ix, query)
 	if !queryable(ix, words) {
-		return 0, 0, false
+		return map[string]struct{}{}, 0, false
 	}
 	rootLists := make([][]kg.NodeID, len(words))
 	for i, w := range words {
 		rootLists[i] = ix.Roots(w)
 	}
 	candidates := intersectSorted(rootLists)
-	trees = subtreeCount(ix, words, candidates)
+	trees := subtreeCount(ix, words, candidates)
 	if budget > 0 && trees > budget {
-		return -1, trees, true
+		return nil, trees, true
 	}
 
 	seen := map[string]struct{}{}
@@ -363,7 +436,7 @@ func CountAllCapped(ix *index.Index, query string, budget int64) (patterns int, 
 		var rec func(i int)
 		rec = func(i int) {
 			if i == m {
-				seen[core.TreePattern{Paths: choice}.Key()] = struct{}{}
+				seen[keyFn(core.TreePattern{Paths: choice})] = struct{}{}
 				return
 			}
 			for _, p := range patLists[i] {
@@ -373,5 +446,5 @@ func CountAllCapped(ix *index.Index, query string, budget int64) (patterns int, 
 		}
 		rec(0)
 	}
-	return len(seen), trees, false
+	return seen, trees, false
 }

@@ -126,7 +126,7 @@ func PETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, s
 		rec = func(i int, r []kg.NodeID) {
 			if i == m {
 				tp := core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}
-				agg, n := aggregatePattern(ix, words, tp, r, o, pc)
+				agg, n, rootAggs := aggregatePattern(ix, words, tp, r, o, pc)
 				if pc.hit() {
 					return // partial aggregate; the query is aborting
 				}
@@ -137,7 +137,8 @@ func PETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, s
 				}
 				st.PatternsFound++
 				st.TreesFound += n
-				ltop.Offer(agg.Value(o.Agg), tp.ContentKey(pt), RankedPattern{Pattern: tp, Agg: agg, Score: agg.Value(o.Agg)})
+				ltop.Offer(agg.Value(o.Agg), tp.ContentKey(pt),
+					RankedPattern{Pattern: tp, Agg: agg, Score: agg.Value(o.Agg), RootAggs: rootAggs})
 				return
 			}
 			w := tt.order[i]

@@ -61,6 +61,19 @@ type Options struct {
 	// Parallel execution returns exactly the serial results (parallel.go
 	// explains why the sharding preserves bit-identical scores).
 	Workers int
+	// CollectRootAggs records, per ranked pattern, the per-candidate-root
+	// partial aggregates (Theorem 5's decomposition). A scatter-gather
+	// engine whose shards partition the candidate roots needs these to
+	// merge the same tree pattern across shards bit-exactly: partials are
+	// re-folded in ascending root order, reproducing the unsharded fold.
+	CollectRootAggs bool
+	// SampleSelectK decouples LINEARENUM's sampled-selection width from K
+	// (0 means "use K"): the estimated per-type local top-SampleSelectK
+	// is re-scored exactly, everything else is dropped. The shard layer
+	// retains every pattern (K is effectively unbounded there) but must
+	// keep sampling's work bound at the caller's k. Ignored when sampling
+	// is off.
+	SampleSelectK int
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +100,16 @@ type RankedPattern struct {
 	Agg     core.PatternScore
 	Score   float64
 	Trees   []core.Subtree
+	// RootAggs is the per-root decomposition of Agg in ascending root
+	// order, populated only under Options.CollectRootAggs. Folding these
+	// with PatternScore.Merge in root order reproduces Agg bit-exactly.
+	RootAggs []RootAgg
+}
+
+// RootAgg is one candidate root's contribution to a pattern's aggregate.
+type RootAgg struct {
+	Root kg.NodeID
+	Agg  core.PatternScore
 }
 
 // QueryStats instruments one query execution.
@@ -245,9 +268,17 @@ func pathsRF(ix *index.Index, w text.WordID, r kg.NodeID, p core.PatternID) []pa
 // aggregatePattern scores every subtree of tree pattern tp across the given
 // roots using the pattern-first index, without materializing trees. A hit
 // on pc returns early with a partial score; the caller is aborting anyway.
-func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options, pc *pollCancel) (core.PatternScore, int64) {
+//
+// The fold is canonically two-level — subtree scores fold into a per-root
+// partial, per-root partials Merge in ascending root order — so that the
+// shard layer, which re-folds per-root partials gathered from disjoint
+// root partitions, reproduces exactly these bits (see Options.
+// CollectRootAggs). Every aggregation site in this package uses the same
+// shape.
+func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options, pc *pollCancel) (core.PatternScore, int64, []RootAgg) {
 	var agg core.PatternScore
 	var n int64
+	var rootAggs []RootAgg
 	lists := make([][]pathTerm, len(words))
 	for _, r := range roots {
 		if pc.hit() {
@@ -264,12 +295,20 @@ func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern,
 		if !ok {
 			continue
 		}
+		var local core.PatternScore
 		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
-			agg.Add(o.Scorer.Tree(terms))
+			local.Add(o.Scorer.Tree(terms))
 			n++
 		})
+		if local.Count == 0 {
+			continue // every tuple filtered out (RequireTreeShape)
+		}
+		agg.Merge(local)
+		if o.CollectRootAggs {
+			rootAggs = append(rootAggs, RootAgg{Root: r, Agg: local})
+		}
 	}
-	return agg, n
+	return agg, n, rootAggs
 }
 
 // materializeTrees collects the valid subtrees of tp (up to the per-pattern
@@ -313,6 +352,16 @@ func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern,
 		}
 	}
 	return out
+}
+
+// MaterializeTrees collects the valid subtrees of one ranked tree pattern
+// (up to Options.MaxTreesPerPattern, in ascending root order) through the
+// pattern-first index. The scatter-gather engine uses it to fill in tables
+// for globally ranked patterns after the per-shard searches ran with
+// SkipTrees.
+func MaterializeTrees(ctx context.Context, ix *index.Index, words []text.WordID, tp core.TreePattern, opts Options) []core.Subtree {
+	o := opts.withDefaults()
+	return materializeTrees(ix, words, tp, o, &pollCancel{ctx: ctx})
 }
 
 // finalizeCtx materializes subtrees for the ranked top-k patterns (fanned

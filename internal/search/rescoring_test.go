@@ -53,12 +53,12 @@ func TestAggregateSelectedMatchesPerPatternRescoring(t *testing.T) {
 			if !ok {
 				t.Fatalf("seed %d: pattern missing from batched result", seed)
 			}
-			if got.Count != ref.Count || math.Abs(got.Sum-ref.Sum) > 1e-9 || got.Max != ref.Max {
-				t.Fatalf("seed %d: batched %+v != reference %+v", seed, *got, ref)
+			if got.agg.Count != ref.Count || math.Abs(got.agg.Sum-ref.Sum) > 1e-9 || got.agg.Max != ref.Max {
+				t.Fatalf("seed %d: batched %+v != reference %+v", seed, got.agg, ref)
 			}
 			// Both must also equal the expansion-time accumulation.
-			if got.Count != de.agg.Count || math.Abs(got.Sum-de.agg.Sum) > 1e-9 {
-				t.Fatalf("seed %d: re-scoring disagrees with expansion: %+v vs %+v", seed, *got, de.agg)
+			if got.agg.Count != de.agg.Count || math.Abs(got.agg.Sum-de.agg.Sum) > 1e-9 {
+				t.Fatalf("seed %d: re-scoring disagrees with expansion: %+v vs %+v", seed, got.agg, de.agg)
 			}
 		}
 	}

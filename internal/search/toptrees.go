@@ -114,6 +114,16 @@ func treeKey(pt *core.PatternTable, tp core.TreePattern, st core.Subtree) string
 	return sb.String()
 }
 
+// TreeMergeKey is the deterministic ranking key of an individual subtree,
+// derived from pattern content, root and concrete edges — never from
+// interned PatternIDs. Shard gathers use it to merge per-shard TopTrees
+// results into a global top-k with exactly the tie-breaks a single engine
+// would apply (tree ranking is exact under sharding: an individual subtree
+// lives wholly on the shard owning its root).
+func TreeMergeKey(ix *index.Index, rt RankedTree) string {
+	return treeKey(ix.PatternTable(), rt.Pattern, rt.Tree)
+}
+
 // wordIDsOf is a small helper for tests needing raw resolution.
 func wordIDsOf(ix *index.Index, q string) []text.WordID {
 	ids, _ := ResolveQuery(ix, q)

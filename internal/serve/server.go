@@ -37,6 +37,12 @@ type wordResolver interface {
 	QueryWords(query string) []string
 }
 
+// shardInfoer lets GET /healthz report the engine's shard layout.
+// *kbtable.Engine implements it; fakes that do not simply omit the field.
+type shardInfoer interface {
+	ShardInfo() kbtable.ShardInfo
+}
+
 // Config configures a Server.
 type Config struct {
 	// Engine answers the queries. Required.
@@ -84,10 +90,11 @@ func (c Config) withDefaults() Config {
 // in-flight query keeps its snapshot even while an update swaps in the
 // next epoch.
 type engineState struct {
-	eng   Searcher
-	upd   Updater      // nil if the engine cannot apply updates
-	words wordResolver // nil if the engine cannot resolve query words
-	epoch uint64
+	eng    Searcher
+	upd    Updater      // nil if the engine cannot apply updates
+	words  wordResolver // nil if the engine cannot resolve query words
+	shards shardInfoer  // nil if the engine cannot describe its shards
+	epoch  uint64
 }
 
 // cacheEntry is one cached response tagged with the canonical words its
@@ -131,6 +138,7 @@ func New(cfg Config) *Server {
 		st.upd, _ = cfg.Engine.(Updater)
 	}
 	st.words, _ = cfg.Engine.(wordResolver)
+	st.shards, _ = cfg.Engine.(shardInfoer)
 	s.cur.Store(st)
 	s.hs = &http.Server{
 		Handler:           s.Handler(),
@@ -233,20 +241,35 @@ type UpdateResponse struct {
 	DirtyRoots     int   `json:"dirty_roots"`
 	// TouchedWords and InvalidatedCache size the blast radius: how many
 	// posting lists changed and how many cached results were dropped.
-	TouchedWords     int     `json:"touched_words"`
-	InvalidatedCache int     `json:"invalidated_cache"`
-	ElapsedMS        float64 `json:"elapsed_ms"`
+	TouchedWords     int `json:"touched_words"`
+	InvalidatedCache int `json:"invalidated_cache"`
+	// AffectedShards counts shards whose postings the update touched
+	// (0 on unsharded engines).
+	AffectedShards int     `json:"affected_shards,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+}
+
+// ShardHealth is the /healthz view of the engine's shard layout.
+type ShardHealth struct {
+	Count int `json:"count"`
+	// Epochs / Roots / Entries are per-shard (absent on unsharded
+	// engines): the shard's update epoch, live owned roots, and index
+	// postings.
+	Epochs  []uint64 `json:"epochs,omitempty"`
+	Roots   []int    `json:"roots,omitempty"`
+	Entries []int64  `json:"entries,omitempty"`
 }
 
 // HealthResponse is the GET /healthz reply.
 type HealthResponse struct {
-	Status        string     `json:"status"`
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Requests      uint64     `json:"requests"`
-	Epoch         uint64     `json:"epoch"`
-	Updates       uint64     `json:"updates"`
-	Updatable     bool       `json:"updatable"`
-	Cache         CacheStats `json:"cache"`
+	Status        string       `json:"status"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Requests      uint64       `json:"requests"`
+	Epoch         uint64       `json:"epoch"`
+	Updates       uint64       `json:"updates"`
+	Updatable     bool         `json:"updatable"`
+	Cache         CacheStats   `json:"cache"`
+	Shards        *ShardHealth `json:"shards,omitempty"`
 }
 
 type errorResponse struct {
@@ -434,7 +457,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for _, wd := range res.TouchedWords {
 		touched[wd] = true
 	}
-	next := &engineState{eng: newEng, upd: newEng, words: newEng, epoch: st.epoch + 1}
+	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, epoch: st.epoch + 1}
 	s.swapMu.Lock()
 	invalidated := s.cache.DeleteFunc(func(_ string, ent *cacheEntry) bool {
 		if res.ScoresRefreshed {
@@ -470,6 +493,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		DirtyRoots:       res.DirtyRoots,
 		TouchedWords:     len(res.TouchedWords),
 		InvalidatedCache: invalidated,
+		AffectedShards:   res.AffectedShards,
 		ElapsedMS:        float64(time.Since(t0).Microseconds()) / 1000,
 	})
 }
@@ -480,7 +504,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.cur.Load()
-	writeJSON(w, http.StatusOK, &HealthResponse{
+	resp := &HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Requests:      s.requests.Load(),
@@ -488,7 +512,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Updates:       s.updates.Load(),
 		Updatable:     st.upd != nil,
 		Cache:         s.cache.Stats(),
-	})
+	}
+	if st.shards != nil {
+		info := st.shards.ShardInfo()
+		resp.Shards = &ShardHealth{
+			Count:   info.Count,
+			Epochs:  info.Epochs,
+			Roots:   info.Roots,
+			Entries: info.Entries,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

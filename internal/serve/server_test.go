@@ -17,6 +17,16 @@ import (
 // fig1Engine builds an engine over the paper's Figure 1 knowledge base.
 func fig1Engine(t *testing.T) *kbtable.Engine {
 	t.Helper()
+	eng, err := kbtable.NewEngine(fig1Graph(t), kbtable.EngineOptions{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// fig1Graph builds the paper's Figure 1 knowledge base.
+func fig1Graph(t *testing.T) *kbtable.Graph {
+	t.Helper()
 	b := kbtable.NewBuilder()
 	sqlServer := b.Entity("Software", "SQL Server")
 	relDB := b.Entity("Model", "Relational database")
@@ -41,11 +51,7 @@ func fig1Engine(t *testing.T) *kbtable.Engine {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := kbtable.NewEngine(g, kbtable.EngineOptions{D: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return eng
+	return g
 }
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {

@@ -1,0 +1,369 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/search"
+	"kbtable/internal/text"
+)
+
+// Algo selects the per-shard query algorithm.
+type Algo int
+
+// The paper's three algorithms, run shard-locally and gathered exactly.
+const (
+	PatternEnum Algo = iota
+	LinearEnum
+	Baseline
+)
+
+// allK makes per-shard executors retain every pattern they find. Local
+// top-k pruning would be incorrect here: a pattern whose roots split
+// across shards can rank below each shard's k-th local score yet inside
+// the global top-k once its partials merge, so shards must surface every
+// pattern and the cut happens only after the gather. The flip side is
+// that a sharded query's transient memory is proportional to the full
+// pattern/root answer set, not to k (the same regime as LINEARENUM's
+// aggregation dictionary); explosion queries should be fenced with
+// Engine.CountAllContent / kbtable.Explain before execution, exactly as
+// the paper fences exact enumeration. A bounded two-phase gather with
+// score upper bounds is the known follow-up if this bites in production.
+const allK = 1 << 30
+
+// RankedPattern is one globally ranked pattern after the gather. Pattern's
+// IDs resolve in Table — the pattern table of the lowest-numbered
+// contributing shard (for the baseline, that shard's per-query online
+// table); Trees are merged across all contributing shards in ascending
+// root order.
+type RankedPattern struct {
+	Shard   int
+	Pattern core.TreePattern
+	Table   *core.PatternTable
+	Agg     core.PatternScore
+	Score   float64
+	Trees   []core.Subtree
+}
+
+// Result is the gathered output of one sharded query.
+type Result struct {
+	Patterns []RankedPattern
+	Stats    search.QueryStats
+}
+
+// shardOut is one shard's scatter result in algorithm-neutral form.
+type shardOut struct {
+	patterns []search.RankedPattern
+	table    *core.PatternTable
+	stats    search.QueryStats
+	words    []text.WordID // the shard's resolution of the query
+	err      error
+}
+
+// mergedPat accumulates one pattern signature across shards.
+type mergedPat struct {
+	rep      int
+	pattern  core.TreePattern
+	table    *core.PatternTable
+	rootAggs []search.RootAgg
+	agg      core.PatternScore // fold of rootAggs in ascending root order
+	contrib  []contribRef
+	trees    []core.Subtree // baseline only: gathered during the scatter
+}
+
+// contribRef names a contributing shard and the pattern's local identity
+// there (PatternIDs are shard-local).
+type contribRef struct {
+	shard   int
+	pattern core.TreePattern
+}
+
+// Search scatters the query across every shard, merges same-signature
+// patterns exactly, and returns the global top-k.
+//
+// Exactness: every valid subtree roots at exactly one shard, so per-shard
+// per-root partial aggregates (search.RootAgg) partition the unsharded
+// engine's two-level fold; re-folding them in ascending root order yields
+// bit-identical scores, and the (score, content-key) total order makes the
+// global top-k independent of gather order. LinearEnum's Λ/ρ sampling is
+// the one shard-local behavior: per-type subtree counts and sample draws
+// happen within each shard, so a sampled sharded run is a different (still
+// unbiased) estimate than a sampled unsharded run; exact mode (Lambda <=
+// 0) is identical to the unsharded engine.
+func (e *Engine) Search(ctx context.Context, algo Algo, query string, opts search.Options) (*Result, error) {
+	start := time.Now()
+
+	so := opts
+	so.K = allK
+	so.CollectRootAggs = true
+	// The per-query worker budget is split across the shard scatter (like
+	// the build path): N shard goroutines each running a pool of
+	// Workers/N, not N full pools competing for the same cores. Parallel
+	// execution is result-identical at any pool size, so this is purely a
+	// scheduling choice.
+	so.Workers = e.splitWorkers(opts.Workers)
+	// LINEARENUM's sampled path selects its estimated local top-k for
+	// exact re-scoring; selection must stay at the caller's k (per shard,
+	// mirroring the unsharded per-type selection) rather than the
+	// unbounded retention heap, or sampling would re-score everything and
+	// stop saving work. Sharded sampling is shard-local and approximate
+	// either way.
+	if opts.Lambda > 0 {
+		so.SampleSelectK = opts.K
+		if so.SampleSelectK <= 0 {
+			so.SampleSelectK = 100
+		}
+	}
+	// Trees for PE/LE are materialized after the global cut; the baseline
+	// necessarily collects trees while enumerating (its dictionary IS the
+	// materialization), so its per-shard caps are merged instead.
+	so.SkipTrees = algo != Baseline
+
+	outs := make([]shardOut, e.n)
+	var wg sync.WaitGroup
+	for si := 0; si < e.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			outs[si] = e.searchShard(ctx, si, algo, query, so)
+		}(si)
+	}
+	wg.Wait()
+	for si := range outs {
+		if outs[si].err != nil {
+			return nil, outs[si].err
+		}
+	}
+
+	// Gather: merge pattern signatures across shards by content key.
+	byKey := map[string]*mergedPat{}
+	for si := range outs {
+		for _, rp := range outs[si].patterns {
+			key := rp.Pattern.ContentKey(outs[si].table)
+			mp, ok := byKey[key]
+			if !ok {
+				mp = &mergedPat{rep: si, pattern: rp.Pattern, table: outs[si].table}
+				byKey[key] = mp
+			}
+			mp.rootAggs = append(mp.rootAggs, rp.RootAggs...)
+			mp.contrib = append(mp.contrib, contribRef{shard: si, pattern: rp.Pattern})
+			mp.trees = append(mp.trees, rp.Trees...)
+		}
+	}
+
+	// Fold each pattern's per-root partials in ascending root order — the
+	// exact sequence the unsharded engine folds — then cut to the global
+	// top-k.
+	k := opts.K
+	if k == 0 {
+		k = 100
+	}
+	top := core.NewTopK[*mergedPat](k)
+	for key, mp := range byKey {
+		sort.SliceStable(mp.rootAggs, func(i, j int) bool { return mp.rootAggs[i].Root < mp.rootAggs[j].Root })
+		for _, ra := range mp.rootAggs {
+			mp.agg.Merge(ra.Agg)
+		}
+		top.Offer(mp.agg.Value(opts.Agg), key, mp)
+	}
+
+	stats := e.mergeStats(algo, outs)
+	stats.PatternsFound = len(byKey)
+
+	res := &Result{Patterns: make([]RankedPattern, 0, top.Len())}
+	for _, mp := range top.Results() {
+		res.Patterns = append(res.Patterns, RankedPattern{
+			Shard:   mp.rep,
+			Pattern: mp.pattern,
+			Table:   mp.table,
+			Agg:     mp.agg,
+			Score:   mp.agg.Value(opts.Agg),
+		})
+	}
+
+	// Materialize tables for the winners only. Baseline trees were
+	// gathered above; PE/LE trees come from each contributing shard's
+	// pattern-first index now.
+	if !opts.SkipTrees {
+		if err := e.fillTrees(ctx, algo, outs, top.Results(), res.Patterns, opts); err != nil {
+			return nil, err
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	res.Stats = stats
+	return res, nil
+}
+
+// searchShard runs one shard's local query.
+func (e *Engine) searchShard(ctx context.Context, si int, algo Algo, query string, so search.Options) shardOut {
+	switch algo {
+	case PatternEnum, LinearEnum:
+		ix := e.units[si].ix
+		var res *search.Result
+		var err error
+		if algo == PatternEnum {
+			res, err = search.PETopKCtx(ctx, ix, query, so)
+		} else {
+			res, err = search.LETopKCtx(ctx, ix, query, so)
+		}
+		if err != nil {
+			return shardOut{err: err}
+		}
+		// Stats.Words is this shard's resolution of the query; keep it for
+		// the tree-materialization pass instead of resolving again.
+		return shardOut{patterns: res.Patterns, table: ix.PatternTable(), stats: res.Stats, words: res.Stats.Words}
+	default:
+		bl, err := e.baseline(si)
+		if err != nil {
+			return shardOut{err: err}
+		}
+		res, err := bl.SearchCtx(ctx, query, so)
+		if err != nil {
+			return shardOut{err: err}
+		}
+		return shardOut{patterns: res.Patterns, table: res.Table, stats: res.Stats}
+	}
+}
+
+// mergeStats folds the per-shard counters. Candidate-root partitions are
+// disjoint, so counts add; EmptyChecked is the summed per-shard waste (a
+// combination can be empty on one shard and populated on another, so it is
+// not comparable to an unsharded run's counter).
+func (e *Engine) mergeStats(algo Algo, outs []shardOut) search.QueryStats {
+	stats := search.QueryStats{Surfaces: outs[0].stats.Surfaces, Words: outs[0].stats.Words}
+	stats.CandidateRoots = -1
+	if algo != PatternEnum {
+		stats.CandidateRoots = 0
+		for i := range outs {
+			stats.CandidateRoots += outs[i].stats.CandidateRoots
+		}
+	}
+	for i := range outs {
+		stats.SampledRoots += outs[i].stats.SampledRoots
+		stats.TreesFound += outs[i].stats.TreesFound
+		stats.EmptyChecked += outs[i].stats.EmptyChecked
+	}
+	return stats
+}
+
+// fillTrees merges each winning pattern's table rows across its
+// contributing shards in ascending root order, truncated to the
+// per-pattern cap — exactly the rows an unsharded materialization pass
+// produces, which walks roots ascending and stops at the cap.
+func (e *Engine) fillTrees(ctx context.Context, algo Algo, outs []shardOut, winners []*mergedPat, patterns []RankedPattern, opts search.Options) error {
+	maxTrees := opts.MaxTreesPerPattern
+	finish := func(trees []core.Subtree) []core.Subtree {
+		sort.SliceStable(trees, func(i, j int) bool { return trees[i].Root < trees[j].Root })
+		if maxTrees > 0 && len(trees) > maxTrees {
+			trees = trees[:maxTrees]
+		}
+		return trees
+	}
+	if algo == Baseline {
+		for i, mp := range winners {
+			patterns[i].Trees = finish(mp.trees)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	for i, mp := range winners {
+		wg.Add(1)
+		go func(i int, mp *mergedPat) {
+			defer wg.Done()
+			var trees []core.Subtree
+			for _, c := range mp.contrib {
+				trees = append(trees, search.MaterializeTrees(ctx, e.units[c.shard].ix, outs[c.shard].words, c.pattern, opts)...)
+			}
+			patterns[i].Trees = finish(trees)
+		}(i, mp)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// RankedTree is one globally ranked subtree; Pattern's IDs resolve in
+// Table (the owning shard's pattern table).
+type RankedTree struct {
+	search.RankedTree
+	Table *core.PatternTable
+}
+
+// TopTrees ranks individual valid subtrees across all shards. A subtree
+// lives wholly on the shard owning its root, so per-shard top-k lists
+// merge exactly under the same (score, content key) order a single engine
+// uses.
+func (e *Engine) TopTrees(query string, k int, opts search.Options) ([]RankedTree, search.QueryStats) {
+	type out struct {
+		trees []search.RankedTree
+		keys  []string
+		table *core.PatternTable
+		stats search.QueryStats
+	}
+	outs := make([]out, e.n)
+	var wg sync.WaitGroup
+	for si := 0; si < e.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			ix := e.units[si].ix
+			trees, stats := search.TopTrees(ix, query, k, opts)
+			keys := make([]string, len(trees))
+			for i, rt := range trees {
+				keys[i] = search.TreeMergeKey(ix, rt)
+			}
+			outs[si] = out{trees: trees, keys: keys, table: ix.PatternTable(), stats: stats}
+		}(si)
+	}
+	wg.Wait()
+	top := core.NewTopK[RankedTree](k)
+	stats := search.QueryStats{Surfaces: outs[0].stats.Surfaces, Words: outs[0].stats.Words}
+	for si := range outs {
+		for i, rt := range outs[si].trees {
+			top.Offer(rt.Score, outs[si].keys[i], RankedTree{RankedTree: rt, Table: outs[si].table})
+		}
+		stats.CandidateRoots += outs[si].stats.CandidateRoots
+		stats.TreesFound += outs[si].stats.TreesFound
+	}
+	return top.Results(), stats
+}
+
+// NumCandidateRoots sums the per-shard candidate-root counts (the shards
+// partition the unsharded candidate set).
+func (e *Engine) NumCandidateRoots(query string) int {
+	n := 0
+	for si := 0; si < e.n; si++ {
+		n += search.NumCandidateRoots(e.units[si].ix, query)
+	}
+	return n
+}
+
+// CountAllContent unions the per-shard pattern content-key sets and sums
+// subtree counts (for query explanation), with search.CountAllCapped's
+// budget semantics: the full subtree count — cheap, no enumeration — is
+// computed first across all shards, and only when it fits the budget is
+// pattern enumeration (whose cost the subtree count bounds) attempted.
+func (e *Engine) CountAllContent(query string, budget int64) (patterns int, trees int64, exceeded bool) {
+	for si := 0; si < e.n; si++ {
+		t := search.SubtreeCount(e.units[si].ix, query)
+		if t > math.MaxInt64-trees { // per-shard counts saturate; so does the sum
+			trees = math.MaxInt64
+			break
+		}
+		trees += t
+	}
+	if budget > 0 && trees > budget {
+		return -1, trees, true
+	}
+	seen := map[string]struct{}{}
+	for si := 0; si < e.n; si++ {
+		keys, _, _ := search.CountAllContent(e.units[si].ix, query, 0)
+		for k := range keys {
+			seen[k] = struct{}{}
+		}
+	}
+	return len(seen), trees, false
+}

@@ -1,0 +1,222 @@
+// Package shard partitions a knowledge base's candidate roots across N
+// independent index shards and answers queries scatter-gather.
+//
+// The unit of partitioning is the candidate root: the paper's three
+// algorithms all aggregate a tree pattern from per-root subtree sets
+// (Theorem 5 decomposes every pattern score per candidate root), and a
+// valid subtree lives entirely under its root, so assigning each root —
+// with read access to its d-neighborhood — to exactly one shard splits a
+// query into N disjoint sub-queries. Each shard runs the existing
+// serial/parallel executors over a root-filtered index; the gather stage
+// re-folds per-root partial aggregates in ascending root order, which
+// reproduces the unsharded engine's two-level fold bit for bit (see
+// search.Options.CollectRootAggs). The same tree pattern discovered on two
+// shards — its roots hash apart — merges into ONE pattern (content-keyed:
+// per-shard pattern tables intern IDs independently) with one table.
+//
+// Roots are assigned by a type-aware hash of (τ(v), v), fixed at node
+// creation time and never reassigned (removal retypes tombstones, so the
+// assignment is recorded, not recomputed). Updates route to the shards
+// owning dirty roots; untouched shards rebind to the new snapshot without
+// copying postings, and each shard keeps its own epoch counter.
+//
+// Shards currently share the immutable *kg.Graph in process; because every
+// shard is a self-contained index (own dictionary, own pattern table) and
+// the gather protocol only exchanges per-root aggregates, trees, and
+// content keys, shards can move behind process or machine boundaries
+// without changing the merge.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/rank"
+	"kbtable/internal/search"
+)
+
+// MaxShards bounds the shard count (ownership is stored in one byte per
+// node).
+const MaxShards = 256
+
+// ownerOf assigns a node to a shard by a type-aware hash: the node's type
+// participates so that IDs clustered by insertion order (generators emit
+// whole types consecutively) still spread evenly. The splitmix64 finalizer
+// scrambles the combined key.
+func ownerOf(t kg.TypeID, v kg.NodeID, n int) uint8 {
+	x := uint64(uint32(t))<<32 | uint64(uint32(v))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint8(x % uint64(n))
+}
+
+// unit is one shard: a root-filtered path index plus the lazily built
+// root-filtered baseline, and the shard's epoch (bumped whenever an update
+// splices this shard's postings).
+type unit struct {
+	ix    *index.Index
+	epoch uint64
+
+	blOnce sync.Once
+	bl     *search.BaselineIndex
+	blErr  error
+}
+
+// Engine is a sharded knowledge-base engine over one graph snapshot.
+// Engines are immutable: searches may run concurrently, and ApplyDelta
+// returns a new Engine while the receiver keeps serving its snapshot.
+type Engine struct {
+	g     *kg.Graph
+	n     int
+	opts  index.Options // base build options; RootFilter/DirtyRoots/PageRank are per-call
+	owner []uint8       // node -> shard, fixed at node creation
+	pr    []float64     // PageRank of g, shared by shards and baselines (nil under UniformPR)
+	units []*unit
+}
+
+// NewEngine partitions g's roots across n shards and builds the per-shard
+// indexes in parallel. opts applies to every shard; opts.RootFilter,
+// opts.DirtyRoots and opts.PageRank are reserved for the shard layer
+// itself. PageRank (a whole-graph property) is computed once and shared.
+func NewEngine(g *kg.Graph, n int, opts index.Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", n, MaxShards)
+	}
+	if opts.RootFilter != nil || opts.DirtyRoots != nil || opts.PageRank != nil {
+		return nil, fmt.Errorf("shard: RootFilter/DirtyRoots/PageRank are managed by the shard layer")
+	}
+	if opts.D == 0 {
+		opts.D = 3
+	}
+	owner := make([]uint8, g.NumNodes())
+	for v := range owner {
+		owner[v] = ownerOf(g.Type(kg.NodeID(v)), kg.NodeID(v), n)
+	}
+	e := &Engine{g: g, n: n, opts: opts, owner: owner}
+	if !opts.UniformPR {
+		e.pr = rank.PageRank(g, rank.Options{})
+	}
+
+	// Build the shards in parallel; each build also parallelizes
+	// internally, so split the worker budget across shards.
+	perShard := e.splitWorkers(opts.Workers)
+	e.units = make([]*unit, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for si := 0; si < n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			so := opts
+			so.Workers = perShard
+			so.RootFilter = e.filter(si)
+			so.PageRank = e.pr
+			ix, err := index.Build(g, so)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			e.units[si] = &unit{ix: ix}
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// splitWorkers divides a per-query worker budget (0 = GOMAXPROCS) across
+// the N-way shard scatter.
+func (e *Engine) splitWorkers(w int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w = w / e.n; w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// filter returns the ownership test for shard si over the engine's owner
+// table. The closure captures the table by reference; owner tables are
+// append-only per engine, so concurrent readers are safe.
+func (e *Engine) filter(si int) func(kg.NodeID) bool {
+	owner := e.owner
+	return func(v kg.NodeID) bool {
+		return int(v) < len(owner) && owner[v] == uint8(si)
+	}
+}
+
+// NumShards returns the shard count.
+func (e *Engine) NumShards() int { return e.n }
+
+// Graph returns the engine's graph snapshot.
+func (e *Engine) Graph() *kg.Graph { return e.g }
+
+// D returns the height threshold shared by every shard.
+func (e *Engine) D() int { return e.opts.D }
+
+// Index returns shard si's path index (read-only).
+func (e *Engine) Index(si int) *index.Index { return e.units[si].ix }
+
+// Owner returns the shard owning node v.
+func (e *Engine) Owner(v kg.NodeID) int { return int(e.owner[v]) }
+
+// Epochs returns each shard's update epoch: the number of updates that
+// actually spliced that shard's postings since the engine chain began.
+func (e *Engine) Epochs() []uint64 {
+	out := make([]uint64, e.n)
+	for i, u := range e.units {
+		out[i] = u.epoch
+	}
+	return out
+}
+
+// ShardStat describes one shard for monitoring.
+type ShardStat struct {
+	Roots   int    // live nodes owned by the shard
+	Entries int64  // postings in the shard's index
+	Epoch   uint64 // update epoch
+}
+
+// Stats returns per-shard statistics; roots are counted over live nodes.
+func (e *Engine) Stats() []ShardStat {
+	out := make([]ShardStat, e.n)
+	for si, u := range e.units {
+		out[si].Entries = u.ix.Stats().NumEntries
+		out[si].Epoch = u.epoch
+	}
+	for v := 0; v < e.g.NumNodes(); v++ {
+		if !e.g.Removed(kg.NodeID(v)) {
+			out[e.owner[v]].Roots++
+		}
+	}
+	return out
+}
+
+// baseline returns shard si's lazily built baseline index.
+func (e *Engine) baseline(si int) (*search.BaselineIndex, error) {
+	u := e.units[si]
+	u.blOnce.Do(func() {
+		u.bl, u.blErr = search.NewBaseline(e.g, search.BaselineOptions{
+			D:          e.opts.D,
+			UniformPR:  e.opts.UniformPR,
+			PageRank:   e.pr,
+			Synonyms:   e.opts.Synonyms,
+			RootFilter: e.filter(si),
+		})
+	})
+	return u.bl, u.blErr
+}

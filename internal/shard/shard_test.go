@@ -1,0 +1,160 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"kbtable/internal/core"
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/search"
+)
+
+// shardCounts are the partition widths the acceptance criteria pin,
+// including a prime that never divides the synthetic type counts.
+var shardCounts = []int{1, 2, 4, 7}
+
+// testDatasets builds the reduced-scale synthetic corpora.
+func testDatasets(t testing.TB) map[string]*kg.Graph {
+	t.Helper()
+	return map[string]*kg.Graph{
+		"wiki": dataset.SynthWiki(dataset.WikiConfig{Entities: 600, Types: 24, Seed: 7}),
+		"imdb": dataset.SynthIMDB(dataset.IMDBConfig{Movies: 220, Seed: 7}),
+	}
+}
+
+// testQueries derives a deterministic workload from the graph's texts.
+func testQueries(g *kg.Graph) []string {
+	var words []string
+	seen := map[string]bool{}
+	for v := 0; v < g.NumNodes() && len(words) < 10; v++ {
+		for _, f := range strings.Fields(strings.ToLower(g.Text(kg.NodeID(v)))) {
+			if len(f) > 2 && !seen[f] {
+				seen[f] = true
+				words = append(words, f)
+			}
+			if len(words) >= 10 {
+				break
+			}
+		}
+	}
+	qs := append([]string(nil), words[:min(3, len(words))]...)
+	if len(words) >= 5 {
+		qs = append(qs, words[0]+" "+words[4])
+	}
+	if len(words) >= 7 {
+		qs = append(qs, words[2]+" "+words[6])
+	}
+	if len(words) >= 9 {
+		qs = append(qs, words[1]+" "+words[5]+" "+words[8])
+	}
+	return qs
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// renderPattern snapshots one ranked pattern at full user-visible
+// fidelity: exact score bits, aggregate, pattern text and composed table.
+func renderPattern(g *kg.Graph, pt *core.PatternTable, p core.TreePattern, score float64, agg core.PatternScore, trees []core.Subtree, surfaces []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "score=%.17g sum=%.17g max=%.17g count=%d\n", score, agg.Sum, agg.Max, agg.Count)
+	sb.WriteString(p.Render(g, pt, surfaces))
+	sb.WriteByte('\n')
+	sb.WriteString(core.ComposeTable(g, pt, p, trees).Render(-1))
+	return sb.String()
+}
+
+// unshardedResult runs the reference single-index engine.
+func unshardedResult(t testing.TB, g *kg.Graph, ix *index.Index, bl *search.BaselineIndex, algo Algo, query string, opts search.Options) []string {
+	t.Helper()
+	var out []string
+	switch algo {
+	case PatternEnum, LinearEnum:
+		var res *search.Result
+		var err error
+		if algo == PatternEnum {
+			res, err = search.PETopKCtx(context.Background(), ix, query, opts)
+		} else {
+			res, err = search.LETopKCtx(context.Background(), ix, query, opts)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rp := range res.Patterns {
+			out = append(out, renderPattern(g, ix.PatternTable(), rp.Pattern, rp.Score, rp.Agg, rp.Trees, res.Stats.Surfaces))
+		}
+	default:
+		res, err := bl.SearchCtx(context.Background(), query, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rp := range res.Patterns {
+			out = append(out, renderPattern(g, res.Table, rp.Pattern, rp.Score, rp.Agg, rp.Trees, res.Stats.Surfaces))
+		}
+	}
+	return out
+}
+
+// shardedResult runs the scatter-gather engine at the same fidelity.
+func shardedResult(t testing.TB, e *Engine, algo Algo, query string, opts search.Options) []string {
+	t.Helper()
+	res, err := e.Search(context.Background(), algo, query, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(res.Patterns))
+	for _, rp := range res.Patterns {
+		out = append(out, renderPattern(e.Graph(), rp.Table, rp.Pattern, rp.Score, rp.Agg, rp.Trees, res.Stats.Surfaces))
+	}
+	return out
+}
+
+// TestShardEquivalence: for every synthetic dataset, algorithm and shard
+// count, the sharded top-k — scores (exact bits), pattern signatures, and
+// row multisets (in fact full row order) — is identical to the unsharded
+// engine's.
+func TestShardEquivalence(t *testing.T) {
+	for name, g := range testDatasets(t) {
+		for _, uniform := range []bool{true, false} {
+			iopts := index.Options{D: 3, UniformPR: uniform}
+			ix, err := index.Build(g, iopts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bl, err := search.NewBaseline(g, search.BaselineOptions{D: 3, UniformPR: uniform})
+			if err != nil {
+				t.Fatal(err)
+			}
+			engines := make([]*Engine, 0, len(shardCounts))
+			for _, n := range shardCounts {
+				e, err := NewEngine(g, n, iopts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				engines = append(engines, e)
+			}
+			opts := search.Options{K: 10, MaxTreesPerPattern: 8}
+			for _, algo := range []Algo{PatternEnum, LinearEnum, Baseline} {
+				for _, q := range testQueries(g) {
+					want := unshardedResult(t, g, ix, bl, algo, q, opts)
+					for ei, e := range engines {
+						got := shardedResult(t, e, algo, q, opts)
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("%s uniform=%v algo=%d shards=%d query=%q:\nunsharded (%d):\n%s\nsharded (%d):\n%s",
+								name, uniform, algo, shardCounts[ei], q, len(want), strings.Join(want, "\n---\n"), len(got), strings.Join(got, "\n---\n"))
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/rank"
+)
+
+// UpdateStats reports how one delta routed across the shards.
+type UpdateStats struct {
+	// DirtyRoots is the total number of re-enumerated roots (the dirty
+	// sets of the individual shards partition kg.AffectedRoots).
+	DirtyRoots int
+	// AffectedShards counts shards whose postings were actually spliced;
+	// the remaining shards rebound to the new snapshot without copying.
+	AffectedShards int
+	// EntriesRemoved / EntriesAdded sum the spliced postings.
+	EntriesRemoved int64
+	EntriesAdded   int64
+	// TouchedWords is the sorted union of the shards' touched posting
+	// lists.
+	TouchedWords []string
+	// ScoresRefreshed reports that PageRank scoring rewrote score terms
+	// (set on any structural change under non-uniform PageRank; such
+	// updates necessarily touch every shard).
+	ScoresRefreshed bool
+}
+
+// ApplyDelta routes a graph change to the shards owning its dirty roots
+// and returns a NEW engine over ch.New; the receiver keeps serving its
+// snapshot. Shards with no owned dirty roots skip re-enumeration entirely;
+// when the delta also kept edge IDs and PageRank terms intact they share
+// their postings with the old epoch via Rebind and their epoch counter
+// does not advance. PageRank (whole-graph) and kg.AffectedRoots (one
+// backward BFS) are computed once, not per shard.
+func (e *Engine) ApplyDelta(ch *kg.Changed) (*Engine, UpdateStats, error) {
+	var us UpdateStats
+	if ch == nil || ch.Old == nil || ch.New == nil {
+		return nil, us, fmt.Errorf("shard: nil change")
+	}
+	if ch.Old != e.g {
+		return nil, us, fmt.Errorf("shard: change was computed against a different graph snapshot")
+	}
+
+	// Extend the ownership table for appended nodes; existing assignments
+	// never move (a tombstoned node keeps its shard so the owner cuts its
+	// postings).
+	owner := e.owner
+	if n := ch.New.NumNodes(); n > len(owner) {
+		owner = make([]uint8, n)
+		copy(owner, e.owner)
+		for v := len(e.owner); v < n; v++ {
+			owner[v] = ownerOf(ch.New.Type(kg.NodeID(v)), kg.NodeID(v), e.n)
+		}
+	}
+
+	dirty := kg.AffectedRoots(ch, e.opts.D-1)
+	ownedDirty := make([]int, e.n)
+	for _, r := range dirty {
+		ownedDirty[owner[r]]++
+	}
+	structural := ch.AddedNodes > 0 || ch.RemovedNodes > 0 || ch.AddedEdges > 0 || ch.RemovedEdges > 0
+	refreshPR := structural && !e.opts.UniformPR
+	identityEdges := ch.EdgeMap == nil
+
+	ne := &Engine{g: ch.New, n: e.n, opts: e.opts, owner: owner}
+	if !e.opts.UniformPR {
+		if structural {
+			ne.pr = rank.PageRank(ch.New, rank.Options{})
+		} else {
+			// Text edits cannot move PageRank; the vector is unchanged.
+			ne.pr = e.pr
+		}
+	}
+
+	ne.units = make([]*unit, e.n)
+	stats := make([]index.DeltaStats, e.n)
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	for si := 0; si < e.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			u := e.units[si]
+			if ownedDirty[si] == 0 && identityEdges && !refreshPR {
+				// Untouched shard: same postings, new snapshot.
+				ne.units[si] = &unit{ix: u.ix.Rebind(ch.New), epoch: u.epoch}
+				return
+			}
+			so := e.opts
+			so.RootFilter = ne.filter(si)
+			so.DirtyRoots = dirty
+			so.PageRank = ne.pr
+			nix, ds, err := u.ix.ApplyDelta(ch, so)
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			epoch := u.epoch
+			if ds.DirtyRoots > 0 || ds.WordsTouched > 0 || ds.ScoresRefreshed {
+				// Postings or scores actually moved. A pure edge-ID remap
+				// (another shard's structural change re-sorted the CSR)
+				// rewrites storage but no observable answer, so the epoch
+				// holds.
+				epoch++
+			}
+			ne.units[si] = &unit{ix: nix, epoch: epoch}
+			stats[si] = ds
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, us, fmt.Errorf("shard: %w", err)
+		}
+	}
+
+	words := map[string]struct{}{}
+	for si := range stats {
+		ds := &stats[si]
+		if ne.units[si].epoch != e.units[si].epoch {
+			us.AffectedShards++
+		}
+		us.DirtyRoots += ds.DirtyRoots
+		us.EntriesRemoved += ds.EntriesRemoved
+		us.EntriesAdded += ds.EntriesAdded
+		us.ScoresRefreshed = us.ScoresRefreshed || ds.ScoresRefreshed
+		for _, w := range ds.TouchedWords {
+			words[w] = struct{}{}
+		}
+	}
+	us.TouchedWords = make([]string, 0, len(words))
+	for w := range words {
+		us.TouchedWords = append(us.TouchedWords, w)
+	}
+	sort.Strings(us.TouchedWords)
+	return ne, us, nil
+}

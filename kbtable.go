@@ -40,6 +40,7 @@ import (
 	"kbtable/internal/index"
 	"kbtable/internal/kg"
 	"kbtable/internal/search"
+	"kbtable/internal/shard"
 	"kbtable/internal/text"
 )
 
@@ -146,6 +147,17 @@ type EngineOptions struct {
 	// global queue. Parallel queries return exactly the serial results.
 	// 0 (or negative) means GOMAXPROCS; 1 forces serial execution.
 	Workers int
+	// Shards partitions the knowledge base's candidate roots across this
+	// many independent index shards (type-aware root hash, fixed at
+	// entity creation). Queries scatter to every shard and gather
+	// exactly: merged answers — scores, pattern signatures, table rows —
+	// are identical to an unsharded engine's, and updates route only to
+	// the shards owning affected roots, each with its own epoch. 0 or 1
+	// disables sharding. Sharded engines build their indexes in parallel
+	// and cannot currently Save/load prebuilt index files. LinearEnum's
+	// Λ/ρ sampling becomes shard-local (still unbiased, no longer
+	// bit-identical to unsharded sampling); exact queries are unaffected.
+	Shards int
 }
 
 // SearchOptions configure one query beyond the basic top-k.
@@ -167,10 +179,12 @@ type SearchOptions struct {
 }
 
 // Engine answers keyword queries over one graph using prebuilt path
-// indexes.
+// indexes. With EngineOptions.Shards > 1 the indexes are partitioned by
+// candidate root and queries run scatter-gather (sh is set, ix is nil).
 type Engine struct {
 	g  *Graph
 	ix *index.Index
+	sh *shard.Engine
 	o  EngineOptions
 
 	blOnce sync.Once // lazy baseline build, safe under concurrent Search
@@ -188,12 +202,20 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 	if opts.D == 0 {
 		opts.D = 3
 	}
-	ix, err := index.Build(g.g, index.Options{
+	iopts := index.Options{
 		D:         opts.D,
 		UniformPR: opts.UniformPageRank,
 		Synonyms:  opts.Synonyms,
 		Workers:   opts.Workers,
-	})
+	}
+	if opts.Shards > 1 {
+		sh, err := shard.NewEngine(g.g, opts.Shards, iopts)
+		if err != nil {
+			return nil, fmt.Errorf("kbtable: %w", err)
+		}
+		return &Engine{g: g, sh: sh, o: opts}, nil
+	}
+	ix, err := index.Build(g.g, iopts)
 	if err != nil {
 		return nil, fmt.Errorf("kbtable: %w", err)
 	}
@@ -209,8 +231,23 @@ type IndexStats struct {
 	D            int
 }
 
-// IndexStats returns construction statistics.
+// IndexStats returns construction statistics. For a sharded engine the
+// sizes sum across shards and BuildSeconds is the slowest shard (the
+// builds run in parallel).
 func (e *Engine) IndexStats() IndexStats {
+	if e.sh != nil {
+		out := IndexStats{D: e.o.D}
+		for i := 0; i < e.sh.NumShards(); i++ {
+			s := e.sh.Index(i).Stats()
+			if bs := s.BuildTime.Seconds(); bs > out.BuildSeconds {
+				out.BuildSeconds = bs
+			}
+			out.SizeMB += float64(s.Bytes) / (1 << 20)
+			out.Entries += s.NumEntries
+			out.Patterns += s.NumPatterns
+		}
+		return out
+	}
 	s := e.ix.Stats()
 	return IndexStats{
 		BuildSeconds: s.BuildTime.Seconds(),
@@ -280,6 +317,24 @@ func (e *Engine) SearchContext(ctx context.Context, query string, opts SearchOpt
 		MaxTreesPerPattern: opts.MaxRowsPerTable,
 		Workers:            e.o.Workers,
 	}
+	if e.sh != nil {
+		var algo shard.Algo
+		switch opts.Algorithm {
+		case PatternEnum:
+			algo = shard.PatternEnum
+		case LinearEnum:
+			algo = shard.LinearEnum
+		case Baseline:
+			algo = shard.Baseline
+		default:
+			return nil, fmt.Errorf("kbtable: unknown algorithm %d", opts.Algorithm)
+		}
+		res, err := e.sh.Search(ctx, algo, query, so)
+		if err != nil {
+			return nil, fmt.Errorf("kbtable: %w", err)
+		}
+		return e.shardAnswers(res), nil
+	}
 	switch opts.Algorithm {
 	case PatternEnum:
 		res, err := search.PETopKCtx(ctx, e.ix, query, so)
@@ -323,6 +378,16 @@ func (e *Engine) toAnswers(res *search.Result) []Answer {
 	return out
 }
 
+func (e *Engine) shardAnswers(res *shard.Result) []Answer {
+	out := make([]Answer, 0, len(res.Patterns))
+	for i, rp := range res.Patterns {
+		tab := core.ComposeTable(e.g.g, rp.Table, rp.Pattern, rp.Trees)
+		sp := search.RankedPattern{Pattern: rp.Pattern, Agg: rp.Agg, Score: rp.Score}
+		out = append(out, answerFrom(i, sp, tab, rp.Pattern.Render(e.g.g, rp.Table, res.Stats.Surfaces)))
+	}
+	return out
+}
+
 func (e *Engine) baselineAnswers(res *search.BaselineResult) []Answer {
 	out := make([]Answer, 0, len(res.Patterns))
 	for i, rp := range res.Patterns {
@@ -334,14 +399,23 @@ func (e *Engine) baselineAnswers(res *search.BaselineResult) []Answer {
 
 // SaveIndex persists the engine's path indexes so future engines over the
 // same graph can skip Algorithm 1 (NewEngineFromIndex). The graph is not
-// included; pair the file with Graph.Save's output.
-func (e *Engine) SaveIndex(path string) error { return e.ix.SaveFile(path) }
+// included; pair the file with Graph.Save's output. Sharded engines do
+// not support index persistence yet (each shard is a separate index).
+func (e *Engine) SaveIndex(path string) error {
+	if e.sh != nil {
+		return errors.New("kbtable: sharded engines cannot save indexes yet")
+	}
+	return e.ix.SaveFile(path)
+}
 
 // NewEngineFromIndex loads previously saved indexes for g instead of
 // rebuilding them. Loading verifies the index matches the graph.
 func NewEngineFromIndex(g *Graph, path string, opts EngineOptions) (*Engine, error) {
 	if g == nil {
 		return nil, errors.New("kbtable: nil graph")
+	}
+	if opts.Shards > 1 {
+		return nil, errors.New("kbtable: prebuilt index files are incompatible with sharding; build with NewEngine")
 	}
 	ix, err := index.LoadFile(path, g.g)
 	if err != nil {
@@ -358,6 +432,39 @@ func NewEngineFromIndex(g *Graph, path string, opts EngineOptions) (*Engine, err
 
 // Graph returns the engine's knowledge-graph snapshot.
 func (e *Engine) Graph() *Graph { return e.g }
+
+// ShardInfo describes the engine's shard layout for monitoring surfaces
+// like kbserve's /healthz.
+type ShardInfo struct {
+	// Count is the number of shards (1 for an unsharded engine).
+	Count int
+	// Epochs, Roots and Entries are per-shard: the shard's update epoch
+	// (how many updates spliced its postings), its live owned roots, and
+	// its index posting count. Nil on unsharded engines.
+	Epochs  []uint64
+	Roots   []int
+	Entries []int64
+}
+
+// ShardInfo reports the current shard layout.
+func (e *Engine) ShardInfo() ShardInfo {
+	if e.sh == nil {
+		return ShardInfo{Count: 1}
+	}
+	sts := e.sh.Stats()
+	info := ShardInfo{
+		Count:   e.sh.NumShards(),
+		Epochs:  make([]uint64, len(sts)),
+		Roots:   make([]int, len(sts)),
+		Entries: make([]int64, len(sts)),
+	}
+	for i, st := range sts {
+		info.Epochs[i] = st.Epoch
+		info.Roots[i] = st.Roots
+		info.Entries[i] = st.Entries
+	}
+	return info
+}
 
 // NumRemoved returns the number of tombstoned (removed) entities; their
 // IDs stay reserved so surviving entity IDs never shift.
@@ -476,6 +583,10 @@ type UpdateResult struct {
 	// globally (any structural change under non-uniform PageRank): cached
 	// answers for ALL queries may be stale, not just TouchedWords'.
 	ScoresRefreshed bool
+	// AffectedShards counts the shards whose postings this update
+	// actually touched (0 on unsharded engines; untouched shards rebind
+	// to the new snapshot without re-enumerating anything).
+	AffectedShards int
 	// Elapsed is the wall-clock time of graph apply + index maintenance.
 	Elapsed time.Duration
 }
@@ -561,6 +672,26 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 	if err != nil {
 		return nil, res, fmt.Errorf("kbtable: %w", err)
 	}
+	res = UpdateResult{
+		NewEntities: created,
+		Entities:    ch.New.NumNodes(),
+		Attributes:  ch.New.NumEdges(),
+	}
+	if e.sh != nil {
+		nsh, us, err := e.sh.ApplyDelta(ch)
+		if err != nil {
+			return nil, res, fmt.Errorf("kbtable: %w", err)
+		}
+		ne := &Engine{g: &Graph{g: ch.New}, sh: nsh, o: e.o}
+		res.DirtyRoots = us.DirtyRoots
+		res.EntriesRemoved = us.EntriesRemoved
+		res.EntriesAdded = us.EntriesAdded
+		res.TouchedWords = us.TouchedWords
+		res.ScoresRefreshed = us.ScoresRefreshed
+		res.AffectedShards = us.AffectedShards
+		res.Elapsed = time.Since(start)
+		return ne, res, nil
+	}
 	nix, ds, err := e.ix.ApplyDelta(ch, index.Options{
 		D:         e.o.D,
 		UniformPR: e.o.UniformPageRank,
@@ -570,18 +701,31 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 		return nil, res, fmt.Errorf("kbtable: %w", err)
 	}
 	ne := &Engine{g: &Graph{g: ch.New}, ix: nix, o: e.o}
-	res = UpdateResult{
-		NewEntities:     created,
-		Entities:        ch.New.NumNodes(),
-		Attributes:      ch.New.NumEdges(),
-		DirtyRoots:      ds.DirtyRoots,
-		EntriesRemoved:  ds.EntriesRemoved,
-		EntriesAdded:    ds.EntriesAdded,
-		TouchedWords:    ds.TouchedWords,
-		ScoresRefreshed: ds.ScoresRefreshed,
-		Elapsed:         time.Since(start),
-	}
+	res.DirtyRoots = ds.DirtyRoots
+	res.EntriesRemoved = ds.EntriesRemoved
+	res.EntriesAdded = ds.EntriesAdded
+	res.TouchedWords = ds.TouchedWords
+	res.ScoresRefreshed = ds.ScoresRefreshed
+	res.Elapsed = time.Since(start)
 	return ne, res, nil
+}
+
+// dict returns the engine's query dictionary. A sharded engine uses shard
+// 0's: every shard tokenizes the full corpus in the same deterministic
+// order, so the dictionaries agree on canonical words.
+func (e *Engine) dict() *text.Dict {
+	if e.sh != nil {
+		return e.sh.Index(0).Dict()
+	}
+	return e.ix.Dict()
+}
+
+// resolveIndex returns an index suitable for query-word resolution.
+func (e *Engine) resolveIndex() *index.Index {
+	if e.sh != nil {
+		return e.sh.Index(0)
+	}
+	return e.ix
 }
 
 // QueryWords returns the sorted canonical words a query resolves to
@@ -589,7 +733,8 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 // their stem). Matched against UpdateResult.TouchedWords, it tells a
 // cache whether an update could have changed this query's answers.
 func (e *Engine) QueryWords(query string) []string {
-	ids, surfaces := e.ix.Dict().QueryTokens(query)
+	d := e.dict()
+	ids, surfaces := d.QueryTokens(query)
 	seen := make(map[string]struct{}, len(ids))
 	out := make([]string, 0, len(ids))
 	for i, id := range ids {
@@ -599,7 +744,7 @@ func (e *Engine) QueryWords(query string) []string {
 			// postings would then live under the stem.
 			w = text.Stem(surfaces[i])
 		} else {
-			w = e.ix.Dict().Word(id)
+			w = d.Word(id)
 		}
 		if _, ok := seen[w]; ok {
 			continue
@@ -663,9 +808,11 @@ type Explanation struct {
 // ExplainBudget bounds the work Explain spends counting patterns.
 const ExplainBudget = 5_000_000
 
-// Explain analyzes a query without ranking answers.
+// Explain analyzes a query without ranking answers. On a sharded engine
+// candidate roots and subtrees sum across the shards' disjoint root
+// partitions and patterns are unioned by content.
 func (e *Engine) Explain(query string) Explanation {
-	words, surfaces := search.ResolveQuery(e.ix, query)
+	words, surfaces := search.ResolveQuery(e.resolveIndex(), query)
 	ex := Explanation{}
 	for i, w := range words {
 		if w < 0 {
@@ -673,6 +820,11 @@ func (e *Engine) Explain(query string) Explanation {
 		} else {
 			ex.Keywords = append(ex.Keywords, surfaces[i])
 		}
+	}
+	if e.sh != nil {
+		ex.CandidateRoots = e.sh.NumCandidateRoots(query)
+		ex.Patterns, ex.Subtrees, ex.Capped = e.sh.CountAllContent(query, ExplainBudget)
+		return ex
 	}
 	ex.CandidateRoots = search.NumCandidateRoots(e.ix, query)
 	ex.Patterns, ex.Subtrees, ex.Capped = search.CountAllCapped(e.ix, query, ExplainBudget)
@@ -698,14 +850,34 @@ func (e *Engine) SearchTrees(query string, k int) ([]TreeAnswer, error) {
 	if k <= 0 {
 		k = 10
 	}
-	trees, stats := search.TopTrees(e.ix, query, k, search.Options{})
+	type rankedTree struct {
+		tree    core.Subtree
+		pattern core.TreePattern
+		table   *core.PatternTable
+		score   float64
+	}
+	var trees []rankedTree
+	var stats search.QueryStats
+	if e.sh != nil {
+		sts, st := e.sh.TopTrees(query, k, search.Options{})
+		stats = st
+		for _, rt := range sts {
+			trees = append(trees, rankedTree{tree: rt.Tree, pattern: rt.Pattern, table: rt.Table, score: rt.Score})
+		}
+	} else {
+		sts, st := search.TopTrees(e.ix, query, k, search.Options{})
+		stats = st
+		for _, rt := range sts {
+			trees = append(trees, rankedTree{tree: rt.Tree, pattern: rt.Pattern, table: e.ix.PatternTable(), score: rt.Score})
+		}
+	}
 	out := make([]TreeAnswer, 0, len(trees))
 	for i, rt := range trees {
-		tab := core.ComposeTable(e.g.g, e.ix.PatternTable(), rt.Pattern, []core.Subtree{rt.Tree})
+		tab := core.ComposeTable(e.g.g, rt.table, rt.pattern, []core.Subtree{rt.tree})
 		ta := TreeAnswer{
 			Rank:    i + 1,
-			Score:   rt.Score,
-			Pattern: rt.Pattern.Render(e.g.g, e.ix.PatternTable(), stats.Surfaces),
+			Score:   rt.score,
+			Pattern: rt.pattern.Render(e.g.g, rt.table, stats.Surfaces),
 		}
 		for _, c := range tab.Columns {
 			ta.Columns = append(ta.Columns, c.Name)

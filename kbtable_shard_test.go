@@ -1,0 +1,154 @@
+package kbtable
+
+import (
+	"reflect"
+	"testing"
+)
+
+// shardedPair builds an unsharded and a sharded engine over the same
+// graph.
+func shardedPair(t *testing.T, shards int) (*Engine, *Engine) {
+	t.Helper()
+	g := buildFig1Public(t)
+	flat, err := NewEngine(g, EngineOptions{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewEngine(g, EngineOptions{D: 3, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat, sh
+}
+
+// TestShardedEngineMatchesUnsharded pins the public-API contract: a
+// sharded engine renders byte-identical answers for every algorithm.
+func TestShardedEngineMatchesUnsharded(t *testing.T) {
+	flat, sh := shardedPair(t, 4)
+	queries := []string{"database software", "software company revenue", "founder person"}
+	for _, algo := range []Algorithm{PatternEnum, LinearEnum, Baseline} {
+		for _, q := range queries {
+			want, err := flat.SearchOpts(q, SearchOptions{K: 10, Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sh.SearchOpts(q, SearchOptions{K: 10, Algorithm: algo})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) != len(got) {
+				t.Fatalf("%v %q: %d vs %d answers", algo, q, len(want), len(got))
+			}
+			for i := range want {
+				if want[i].Render(-1) != got[i].Render(-1) {
+					t.Fatalf("%v %q answer %d:\nflat:\n%s\nsharded:\n%s",
+						algo, q, i, want[i].Render(-1), got[i].Render(-1))
+				}
+			}
+		}
+	}
+}
+
+// TestShardedUpdateAndInfo exercises ApplyUpdate routing and ShardInfo
+// through the public API.
+func TestShardedUpdateAndInfo(t *testing.T) {
+	flat, sh := shardedPair(t, 4)
+	info := sh.ShardInfo()
+	if info.Count != 4 || len(info.Epochs) != 4 {
+		t.Fatalf("ShardInfo = %+v", info)
+	}
+	total := 0
+	for _, r := range info.Roots {
+		total += r
+	}
+	if total != sh.Graph().NumEntities() {
+		t.Fatalf("shard roots sum to %d, want %d", total, sh.Graph().NumEntities())
+	}
+	if fi := flat.ShardInfo(); fi.Count != 1 || fi.Epochs != nil {
+		t.Fatalf("unsharded ShardInfo = %+v", fi)
+	}
+
+	var u Update
+	pg := u.AddEntity("Software", "Postgres")
+	u.AddTextAttr(pg, "License", "open source license")
+	nf, fres, err := flat.ApplyUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, sres, err := sh.ApplyUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fres.NewEntities, sres.NewEntities) {
+		t.Fatalf("new entity IDs diverge: %v vs %v", fres.NewEntities, sres.NewEntities)
+	}
+	if sres.AffectedShards < 1 || sres.AffectedShards > 4 {
+		t.Fatalf("AffectedShards = %d", sres.AffectedShards)
+	}
+	if fres.AffectedShards != 0 {
+		t.Fatalf("unsharded AffectedShards = %d", fres.AffectedShards)
+	}
+	if !reflect.DeepEqual(fres.TouchedWords, sres.TouchedWords) {
+		t.Fatalf("touched words diverge: %v vs %v", fres.TouchedWords, sres.TouchedWords)
+	}
+	for _, q := range []string{"postgres license", "database software"} {
+		want, err := nf.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ns.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%q after update: %d vs %d answers", q, len(want), len(got))
+		}
+		for i := range want {
+			if want[i].Render(-1) != got[i].Render(-1) {
+				t.Fatalf("%q after update differs at %d", q, i)
+			}
+		}
+	}
+	// The old sharded engine still serves its snapshot.
+	if ans, err := sh.Search("postgres license", 5); err != nil || len(ans) != 0 {
+		t.Fatalf("old snapshot sees the update: %v, %v", ans, err)
+	}
+}
+
+// TestShardedExplainAndTrees pins the auxiliary query surfaces.
+func TestShardedExplainAndTrees(t *testing.T) {
+	flat, sh := shardedPair(t, 3)
+	fx, sx := flat.Explain("database software revenue"), sh.Explain("database software revenue")
+	if fx.CandidateRoots != sx.CandidateRoots || fx.Patterns != sx.Patterns || fx.Subtrees != sx.Subtrees {
+		t.Fatalf("Explain diverges: %+v vs %+v", fx, sx)
+	}
+	if !reflect.DeepEqual(flat.QueryWords("Databases SOFTWARE"), sh.QueryWords("Databases SOFTWARE")) {
+		t.Fatal("QueryWords diverges")
+	}
+	ft, err := flat.SearchTrees("database software", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sh.SearchTrees("database software", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ft, st) {
+		t.Fatalf("SearchTrees diverges:\nflat:    %+v\nsharded: %+v", ft, st)
+	}
+}
+
+// TestShardedEngineErrors pins the unsupported-surface errors.
+func TestShardedEngineErrors(t *testing.T) {
+	g := buildFig1Public(t)
+	if _, err := NewEngine(g, EngineOptions{Shards: 1000}); err == nil {
+		t.Fatal("absurd shard count accepted")
+	}
+	_, sh := shardedPair(t, 2)
+	if err := sh.SaveIndex(t.TempDir() + "/ix"); err == nil {
+		t.Fatal("sharded SaveIndex should fail")
+	}
+	if _, err := NewEngineFromIndex(g, "nope", EngineOptions{Shards: 2}); err == nil {
+		t.Fatal("sharded NewEngineFromIndex should fail")
+	}
+}
