@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check cover fuzz serve clean
+.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan serve clean
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,16 @@ golden:
 	$(GO) test -run TestGoldenCorpus -update .
 
 # The BENCH trajectory CI uploads as an artifact: shard-scaling ns/op,
-# allocs, and speedup vs the serial engine, written to BENCH_kbtable.json.
+# allocs, and speedup vs the serial engine, plus the planner ablation
+# (PE vs LE vs Auto per corpus), written to BENCH_kbtable.json.
 bench-json:
 	$(GO) run ./cmd/kbbench -json -bench-entities 2500 -bench-queries 8
+
+# The planner-focused run of the same report at a scale where the PE/LE
+# split is visible: compare the auto rows' ns/op and chose_pe/chose_le
+# against the explicit pe/le rows to judge the cost model.
+bench-plan:
+	$(GO) run ./cmd/kbbench -json -bench-entities 4000 -bench-queries 12
 
 # Run the HTTP daemon on the built-in demo knowledge base.
 serve:

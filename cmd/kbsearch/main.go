@@ -6,6 +6,7 @@
 //	kbsearch -kb wiki.kb -k 5 "washington city population"
 //	kbsearch -kb imdb.kb            # interactive: one query per line
 //	kbsearch -kb wiki.kb -shards 4  # partitioned indexes, scatter-gather
+//	kbsearch -kb wiki.kb -algo auto -explain "city population"
 //	kbsearch -kind fig1 "database software company revenue"
 package main
 
@@ -34,12 +35,14 @@ func main() {
 	kind := flag.String("kind", "", "generate instead of loading: wiki, imdb, or fig1")
 	d := flag.Int("d", 3, "height threshold for tree patterns")
 	k := flag.Int("k", 5, "number of table answers")
-	algo := flag.String("algo", "pe", "algorithm: pe (PATTERNENUM), le (LINEARENUM), baseline")
+	algo := flag.String("algo", "pe", "algorithm: pe (PATTERNENUM), le (LINEARENUM), baseline, auto (cost-based planner)")
+	explain := flag.Bool("explain", false, "print the resolved plan and per-stage timings for each query")
 	rows := flag.Int("rows", 8, "max table rows to print per answer")
 	shards := flag.Int("shards", 1, "partition candidate roots across this many index shards")
 	format := flag.String("format", "table", "output format: table, csv, json, md")
 	lambda := flag.Int64("lambda", 0, "LETopK sampling threshold Λ (0 = exact)")
 	rho := flag.Float64("rho", 0.1, "LETopK sampling rate ρ")
+	autoBias := flag.Float64("auto-bias", 0, "-algo auto: planner PE preference multiplier (0 = default 1; larger favors PE)")
 	flag.Parse()
 
 	var g *kg.Graph
@@ -77,9 +80,24 @@ func main() {
 		fmt.Printf("index: built in %v (%s)\n", time.Since(t0).Round(time.Millisecond), ix.Stats())
 	}
 
-	var bl *search.BaselineIndex
-	if *algo == "baseline" && se == nil {
-		if bl, err = search.NewBaseline(g, search.BaselineOptions{D: *d}); err != nil {
+	var salgo search.Algo
+	var shalgo shard.Algo
+	switch *algo {
+	case "pe":
+		salgo, shalgo = search.AlgoPE, shard.PatternEnum
+	case "le":
+		salgo, shalgo = search.AlgoLE, shard.LinearEnum
+	case "baseline":
+		salgo, shalgo = search.AlgoBaseline, shard.Baseline
+	case "auto":
+		salgo, shalgo = search.AlgoAuto, shard.Auto
+	default:
+		log.Fatalf("unknown -algo %q (want pe, le, baseline or auto)", *algo)
+	}
+
+	ex := search.Executor{Ix: ix}
+	if salgo == search.AlgoBaseline && se == nil {
+		if ex.BL, err = search.NewBaseline(g, search.BaselineOptions{D: *d}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -94,54 +112,49 @@ func main() {
 		trees   []core.Subtree
 	}
 	run := func(q string) {
-		opts := search.Options{K: *k, Lambda: *lambda, Rho: *rho, MaxTreesPerPattern: *rows}
+		opts := search.Options{K: *k, Lambda: *lambda, Rho: *rho, MaxTreesPerPattern: *rows, AutoBias: *autoBias}
 		var answers []answer
 		var surfaces []string
 		var elapsed time.Duration
-		collect := func(patterns []search.RankedPattern, pt *core.PatternTable) {
-			for _, rp := range patterns {
-				answers = append(answers, answer{pattern: rp.Pattern, pt: pt, score: rp.Score, count: rp.Agg.Count, trees: rp.Trees})
-			}
-		}
+		var plan search.Plan
+		var stages search.StageTimings
 		if se != nil {
-			var a shard.Algo
-			switch *algo {
-			case "pe":
-				a = shard.PatternEnum
-			case "le":
-				a = shard.LinearEnum
-			case "baseline":
-				a = shard.Baseline
-			default:
-				log.Fatalf("unknown -algo %q", *algo)
-			}
-			res, err := se.Search(context.Background(), a, q, opts)
+			res, err := se.Search(context.Background(), shalgo, q, opts)
 			if err != nil {
 				log.Fatal(err)
 			}
 			surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
+			plan, stages = res.Plan, res.Stats.Stages
 			for _, rp := range res.Patterns {
 				answers = append(answers, answer{pattern: rp.Pattern, pt: rp.Table, score: rp.Score, count: rp.Agg.Count, trees: rp.Trees})
 			}
 		} else {
-			switch *algo {
-			case "pe":
-				res := search.PETopK(ix, q, opts)
-				surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
-				collect(res.Patterns, ix.PatternTable())
-			case "le":
-				res := search.LETopK(ix, q, opts)
-				surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
-				collect(res.Patterns, ix.PatternTable())
-			case "baseline":
-				res := bl.Search(q, opts)
-				surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
-				collect(res.Patterns, res.Table)
-			default:
-				log.Fatalf("unknown -algo %q", *algo)
+			res, err := ex.Search(context.Background(), q, salgo, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			surfaces, elapsed = res.Stats.Surfaces, res.Stats.Elapsed
+			plan, stages = res.Plan, res.Stats.Stages
+			pt := res.Table
+			if pt == nil {
+				pt = ix.PatternTable()
+			}
+			for _, rp := range res.Patterns {
+				answers = append(answers, answer{pattern: rp.Pattern, pt: pt, score: rp.Score, count: rp.Agg.Count, trees: rp.Trees})
 			}
 		}
 		fmt.Printf("\n%d pattern answers in %v\n", len(answers), elapsed.Round(time.Microsecond))
+		if *explain {
+			fmt.Printf("plan: algorithm=%s auto=%t\n", plan.Algo, plan.Auto)
+			if plan.Reason != "" {
+				fmt.Printf("      %s\n", plan.Reason)
+			}
+			fmt.Printf("      candidate_roots=%d root_types=%d pattern_space=%d frontier=%d\n",
+				plan.Stats.CandidateRoots, plan.Stats.RootTypes, plan.Stats.PatternSpace, plan.Stats.Frontier)
+			fmt.Printf("stages: prepare=%v enumerate=%v aggregate=%v rank=%v\n",
+				stages.Prepare.Round(time.Microsecond), stages.Enumerate.Round(time.Microsecond),
+				stages.Aggregate.Round(time.Microsecond), stages.Rank.Round(time.Microsecond))
+		}
 		for i, rp := range answers {
 			tab := core.ComposeTable(g, rp.pt, rp.pattern, rp.trees)
 			fmt.Printf("\n#%d  score=%.4f  rows=%d\n%s\n", i+1, rp.score, rp.count,

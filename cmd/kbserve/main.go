@@ -55,6 +55,7 @@ func main() {
 	maxK := flag.Int("max-k", 1000, "largest k a request may ask for")
 	maxRows := flag.Int("max-rows", 50, "default cap on table rows per answer")
 	readOnly := flag.Bool("readonly", false, "disable POST /update (serve a frozen snapshot)")
+	defaultAlgo := flag.String("default-algo", "patternenum", "algorithm for requests that omit one: patternenum, linearenum, baseline, or auto (cost-based planner)")
 	flag.Parse()
 
 	var g *kbtable.Graph
@@ -96,14 +97,18 @@ func main() {
 		log.Printf("shards: %d (roots per shard %v)", info.Count, info.Roots)
 	}
 
+	if _, _, err := serve.ParseAlgorithm(*defaultAlgo); err != nil {
+		log.Fatalf("-default-algo: %v", err)
+	}
 	srv := serve.New(serve.Config{
-		Engine:    eng,
-		D:         st.D,
-		CacheSize: *cacheSize,
-		Timeout:   *timeout,
-		MaxK:      *maxK,
-		MaxRows:   *maxRows,
-		ReadOnly:  *readOnly,
+		Engine:           eng,
+		D:                st.D,
+		CacheSize:        *cacheSize,
+		Timeout:          *timeout,
+		MaxK:             *maxK,
+		MaxRows:          *maxRows,
+		ReadOnly:         *readOnly,
+		DefaultAlgorithm: *defaultAlgo,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -211,6 +211,11 @@ func goldenVariants() []goldenVariant {
 		{"pe-sharded5", 0, 5, PatternEnum},
 		{"le-sharded3", 0, 3, LinearEnum},
 		{"baseline-sharded4", 0, 4, Baseline},
+		// The planner may pick either algorithm per query; whatever it
+		// picks must reproduce the same golden bytes.
+		{"auto-serial", 1, 0, Auto},
+		{"auto-parallel", 4, 0, Auto},
+		{"auto-sharded3", 0, 3, Auto},
 	}
 }
 

@@ -20,6 +20,9 @@ type ShardBenchConfig struct {
 	// Entities / Types scale the SynthWiki corpus; defaults 4000 / 60.
 	Entities int
 	Types    int
+	// Movies scales the SynthIMDB corpus of the planner ablation;
+	// default 1200.
+	Movies int
 	// Queries is the number of workload queries; default 12.
 	Queries int
 	// K is the top-k cutoff; default 10.
@@ -36,6 +39,9 @@ func (c ShardBenchConfig) withDefaults() ShardBenchConfig {
 	}
 	if c.Types == 0 {
 		c.Types = 60
+	}
+	if c.Movies == 0 {
+		c.Movies = 1200
 	}
 	if c.Queries == 0 {
 		c.Queries = 12
@@ -67,6 +73,24 @@ type ShardBenchResult struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
+// PlannerBenchResult is one planner-ablation row: a corpus × algorithm
+// cell of the PE vs LE vs Auto comparison.
+type PlannerBenchResult struct {
+	// Corpus is "wiki" or "imdb".
+	Corpus string `json:"corpus"`
+	// Algo is "pe", "le" or "auto".
+	Algo string `json:"algo"`
+	// NsPerOp answers the corpus's whole query workload once.
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SpeedupVsPE is the pe row's ns/op divided by this row's.
+	SpeedupVsPE float64 `json:"speedup_vs_pe"`
+	// ChosePE / ChoseLE split the planner's per-query decisions across
+	// the workload (auto rows only).
+	ChosePE int `json:"chose_pe,omitempty"`
+	ChoseLE int `json:"chose_le,omitempty"`
+}
+
 // ShardBenchReport is the BENCH_kbtable.json schema.
 type ShardBenchReport struct {
 	GoVersion  string             `json:"go_version"`
@@ -76,6 +100,8 @@ type ShardBenchReport struct {
 	Queries    int                `json:"queries"`
 	K          int                `json:"k"`
 	Results    []ShardBenchResult `json:"results"`
+	// Planner is the PE vs LE vs Auto ablation per corpus.
+	Planner []PlannerBenchResult `json:"planner"`
 }
 
 // RunShardBench measures query throughput of the serial engine against
@@ -149,6 +175,67 @@ func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
 			SpeedupVsSerial: float64(serial.NsPerOp()) / float64(r.NsPerOp()),
 		})
 	}
+
+	// Planner ablation: the same workload under explicit PE, explicit LE
+	// and the Auto planner, on both corpora. The wiki corpus and index are
+	// reused from the shard rows; IMDB gets its own workload.
+	imdb := dataset.SynthIMDB(dataset.IMDBConfig{Movies: c.Movies, Seed: c.Seed})
+	imdbIx, err := index.Build(imdb, index.Options{D: 3, Workers: 0})
+	if err != nil {
+		return nil, err
+	}
+	imdbQueries := dataset.Workload(imdb, dataset.WorkloadConfig{PerM: (c.Queries + 2) / 3, MaxM: 3, Seed: c.Seed})
+	iqs := make([]string, 0, c.Queries)
+	for _, q := range imdbQueries {
+		if len(iqs) == c.Queries {
+			break
+		}
+		iqs = append(iqs, q.Text)
+	}
+	for _, corpus := range []struct {
+		name    string
+		ix      *index.Index
+		queries []string
+	}{{"wiki", ix, qs}, {"imdb", imdbIx, iqs}} {
+		var peNs int64
+		for _, algo := range []struct {
+			name string
+			a    search.Algo
+		}{{"pe", search.AlgoPE}, {"le", search.AlgoLE}, {"auto", search.AlgoAuto}} {
+			row := PlannerBenchResult{Corpus: corpus.name, Algo: algo.name}
+			if algo.a == search.AlgoAuto {
+				// One pass outside the timer records the planner's
+				// decisions across the workload.
+				for _, q := range corpus.queries {
+					res, err := search.Execute(context.Background(), corpus.ix, q, algo.a, opts)
+					if err != nil {
+						return nil, err
+					}
+					if res.Plan.Algo == search.AlgoLE {
+						row.ChoseLE++
+					} else {
+						row.ChosePE++
+					}
+				}
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, q := range corpus.queries {
+						if _, err := search.Execute(context.Background(), corpus.ix, q, algo.a, opts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			row.NsPerOp = r.NsPerOp()
+			row.AllocsPerOp = r.AllocsPerOp()
+			if algo.name == "pe" {
+				peNs = r.NsPerOp()
+			}
+			row.SpeedupVsPE = float64(peNs) / float64(r.NsPerOp())
+			report.Planner = append(report.Planner, row)
+		}
+	}
 	return report, nil
 }
 
@@ -175,5 +262,26 @@ func (r *ShardBenchReport) String() string {
 			fmt.Sprintf("%.2fx", res.SpeedupVsSerial),
 		})
 	}
-	return t.String()
+	if len(r.Planner) == 0 {
+		return t.String()
+	}
+	p := Table{
+		Title:  "Planner ablation — PE vs LE vs Auto per corpus",
+		Header: []string{"corpus", "algo", "ns/op", "allocs/op", "vs pe", "auto: pe/le"},
+	}
+	for _, res := range r.Planner {
+		choice := ""
+		if res.Algo == "auto" {
+			choice = fmt.Sprintf("%d/%d", res.ChosePE, res.ChoseLE)
+		}
+		p.Rows = append(p.Rows, []string{
+			res.Corpus,
+			res.Algo,
+			fmt.Sprintf("%d", res.NsPerOp),
+			fmt.Sprintf("%d", res.AllocsPerOp),
+			fmt.Sprintf("%.2fx", res.SpeedupVsPE),
+			choice,
+		})
+	}
+	return t.String() + "\n" + p.String()
 }

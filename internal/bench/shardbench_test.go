@@ -11,7 +11,7 @@ import (
 // and the JSON report round-trips.
 func TestRunShardBench(t *testing.T) {
 	report, err := RunShardBench(ShardBenchConfig{
-		Entities: 300, Types: 10, Queries: 3, K: 5, Shards: []int{1, 2},
+		Entities: 300, Types: 10, Movies: 60, Queries: 3, K: 5, Shards: []int{1, 2},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -27,6 +27,18 @@ func TestRunShardBench(t *testing.T) {
 			t.Fatalf("unmeasured config: %+v", r)
 		}
 	}
+	if len(report.Planner) != 6 {
+		t.Fatalf("got %d planner rows, want 2 corpora x 3 algorithms", len(report.Planner))
+	}
+	for _, p := range report.Planner {
+		if p.NsPerOp <= 0 || p.SpeedupVsPE <= 0 {
+			t.Fatalf("unmeasured planner row: %+v", p)
+		}
+		if p.Algo == "auto" && p.ChosePE+p.ChoseLE != 3 {
+			t.Fatalf("auto row decisions don't cover the workload: %+v", p)
+		}
+	}
+
 	var buf bytes.Buffer
 	if err := report.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

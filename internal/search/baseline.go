@@ -158,6 +158,7 @@ type BaselineResult struct {
 	Patterns []RankedPattern
 	Table    *core.PatternTable
 	Stats    QueryStats
+	Plan     Plan
 }
 
 // Search runs the enumeration–aggregation approach: (1) adapted backward
@@ -183,9 +184,15 @@ func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Option
 	o := opts.withDefaults()
 	pt := core.NewPatternTable()
 	stats := QueryStats{}
+	plan := Plan{Algo: AlgoBaseline}
 	top := core.NewTopK[*baselineEntry](o.K)
 
-	// Resolve keywords against the baseline dictionary.
+	// Prepare stage: resolve keywords against the baseline dictionary (it
+	// has no prebuilt path postings; backward search below is its posting
+	// lookup, so it counts toward prepare too).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	raw, surf := b.dict.QueryTokens(query)
 	var words []text.WordID
 	seen := map[text.WordID]bool{}
@@ -199,8 +206,9 @@ func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Option
 	}
 	stats.Words = words
 	empty := func() (*BaselineResult, error) {
+		stats.Stages.Prepare = time.Since(start)
 		stats.Elapsed = time.Since(start)
-		return &BaselineResult{Table: pt, Stats: stats}, nil
+		return &BaselineResult{Table: pt, Stats: stats, Plan: plan}, nil
 	}
 	if len(words) == 0 || len(words) > 16 {
 		// The backward-search bitmask supports up to 16 distinct keywords;
@@ -218,10 +226,14 @@ func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Option
 	// of word i (edge matches charge one edge for the matched edge itself).
 	candidates := b.backward(words)
 	stats.CandidateRoots = len(candidates)
+	plan.Stats.CandidateRoots = len(candidates)
+	stats.Stages.Prepare = time.Since(start)
 
-	// Step 2: online enumeration + aggregation, one dictionary per root
-	// type (backward returns roots in node order, so each group keeps the
-	// serial order and per-pattern aggregation is bit-identical).
+	// Step 2 (enumerate stage): online enumeration + aggregation, one
+	// dictionary per root type (backward returns roots in node order, so
+	// each group keeps the serial order and per-pattern aggregation is
+	// bit-identical).
+	tEnum := time.Now()
 	byType := map[kg.TypeID][]kg.NodeID{}
 	for _, r := range candidates {
 		byType[b.g.Type(r)] = append(byType[b.g.Type(r)], r)
@@ -262,10 +274,14 @@ func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Option
 			ws[worker].top.Offer(de.agg.Value(o.Agg), de.tp.ContentKey(pt), de)
 		}
 	})
+	stats.Stages.Enumerate = time.Since(tEnum)
+	tAgg := time.Now()
 	mergeWorkerStates(ws, top, &stats)
+	stats.Stages.Aggregate = time.Since(tAgg)
 	if err != nil {
 		return nil, err
 	}
+	tRank := time.Now()
 	var patterns []RankedPattern
 	for _, de := range top.Results() {
 		rp := RankedPattern{Pattern: de.tp, Agg: de.agg, Score: de.agg.Value(o.Agg), RootAggs: de.rootAggs}
@@ -274,8 +290,9 @@ func (b *BaselineIndex) SearchCtx(ctx context.Context, query string, opts Option
 		}
 		patterns = append(patterns, rp)
 	}
+	stats.Stages.Rank = time.Since(tRank)
 	stats.Elapsed = time.Since(start)
-	return &BaselineResult{Patterns: patterns, Table: pt, Stats: stats}, nil
+	return &BaselineResult{Patterns: patterns, Table: pt, Stats: stats, Plan: plan}, nil
 }
 
 // baselineEntry is a TreeDict slot: the paper's baseline keeps every valid

@@ -1,0 +1,442 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/text"
+)
+
+// This file is the staged query executor: every query — whichever
+// algorithm answers it — runs the same four-stage pipeline
+//
+//	prepare    resolve keywords, fetch the per-keyword posting metadata
+//	           (root lists, root-type lists) and, when a cost decision is
+//	           needed, the per-type hit statistics the planner consumes.
+//	           The only stage that differs per algorithm is how much of
+//	           this metadata it needs; cancellation is honored between
+//	           posting lookups.
+//	enumerate  the algorithm's frontier walk: PATTERNENUM's combination
+//	           tree, LINEARENUM-TOPK's per-root expansion (both sharded
+//	           across the worker pool, scoring fused into the walk).
+//	aggregate  fold the per-worker accumulators — local top-k heaps and
+//	           stat counters — into the global queue (the cross-worker
+//	           half of the canonical two-level root fold; the in-shard
+//	           half runs inside enumerate, unchanged).
+//	rank       extract the ranked patterns and materialize their subtrees.
+//
+// The planner (ChoosePlan) sits between prepare and enumerate: given the
+// prepare-stage statistics it resolves AlgoAuto to PATTERNENUM or
+// LINEARENUM-TOPK per query. Resolution is pure — a deterministic function
+// of (PlanStats, Options) — and execution after resolution is exactly the
+// explicit algorithm's, so an Auto answer is bit-identical to the answer
+// of the algorithm the plan names.
+
+// Algo identifies an execution strategy for the staged executor.
+type Algo int
+
+// Execution strategies. The zero value is PATTERNENUM, matching the
+// engine-level default.
+const (
+	// AlgoPE is PATTERNENUM (Section 4.1).
+	AlgoPE Algo = iota
+	// AlgoLE is LINEARENUM-TOPK (Section 4.2).
+	AlgoLE
+	// AlgoBaseline is the enumeration–aggregation baseline (Section 2.3);
+	// executing it requires an Executor with a BaselineIndex.
+	AlgoBaseline
+	// AlgoAuto defers the PE/LE choice to the cost-based planner.
+	AlgoAuto
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoPE:
+		return "PETopK"
+	case AlgoLE:
+		return "LETopK"
+	case AlgoBaseline:
+		return "Baseline"
+	case AlgoAuto:
+		return "Auto"
+	}
+	return "unknown"
+}
+
+// PlanStats are the prepare-stage statistics the planner consumes. They
+// are mergeable across disjoint root partitions (Merge), which is how the
+// sharded engine decides once from per-shard probes.
+type PlanStats struct {
+	// CandidateRoots is |∩_i Roots(wi)|, or -1 when the stage did not
+	// compute the intersection (explicit PATTERNENUM never needs it).
+	CandidateRoots int
+	// RootTypes is the number of distinct root types under which every
+	// keyword has at least one path pattern.
+	RootTypes int
+	// PatternSpace is Σ_C Π_i |PatternsOfType(wi, C)| — the number of
+	// pattern combinations PATTERNENUM enumerates (before pruning), its
+	// cost driver. Saturates at MaxInt64.
+	PatternSpace int64
+	// Frontier is NR = Σ_r Π_i |Paths(wi, r)| — the total valid-subtree
+	// count, LINEARENUM's cost driver. Saturates at MaxInt64.
+	Frontier int64
+	// PostingRoots is the per-keyword root-posting length |Roots(wi)|.
+	PostingRoots []int
+}
+
+// Merge folds another partition's statistics in: counts add (root
+// partitions are disjoint, so sums are exact for CandidateRoots, Frontier
+// and PostingRoots), RootTypes takes the max (a type common to every
+// keyword globally need not be common within one shard, so the max is a
+// lower bound), and a -1 CandidateRoots poisons the sum.
+func (s *PlanStats) Merge(o PlanStats) {
+	if s.CandidateRoots < 0 || o.CandidateRoots < 0 {
+		s.CandidateRoots = -1
+	} else {
+		s.CandidateRoots += o.CandidateRoots
+	}
+	if o.RootTypes > s.RootTypes {
+		s.RootTypes = o.RootTypes
+	}
+	s.PatternSpace = satAdd(s.PatternSpace, o.PatternSpace)
+	s.Frontier = satAdd(s.Frontier, o.Frontier)
+	if s.PostingRoots == nil {
+		s.PostingRoots = append([]int(nil), o.PostingRoots...)
+	} else {
+		for i := range s.PostingRoots {
+			if i < len(o.PostingRoots) {
+				s.PostingRoots[i] += o.PostingRoots[i]
+			}
+		}
+	}
+}
+
+// satAdd adds non-negative int64s saturating at MaxInt64.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// Plan records how a query executed (or would execute): the resolved
+// algorithm, whether the planner chose it, why, and the statistics the
+// decision was based on.
+type Plan struct {
+	// Algo is the resolved strategy — never AlgoAuto.
+	Algo Algo
+	// Auto reports that the planner (not the caller) picked Algo.
+	Auto bool
+	// Reason is the planner's one-line cost rationale (empty for explicit
+	// algorithm requests).
+	Reason string
+	// Stats are the prepare-stage statistics the plan was based on.
+	Stats PlanStats
+}
+
+// StageTimings instruments the staged pipeline, one wall-clock duration
+// per stage. Rank includes subtree materialization (the paper's table
+// composition) since it only runs for the ranked winners.
+type StageTimings struct {
+	Prepare   time.Duration
+	Enumerate time.Duration
+	Aggregate time.Duration
+	Rank      time.Duration
+}
+
+// DefaultAutoBias is the planner's default PE-preference multiplier; see
+// Options.AutoBias.
+const DefaultAutoBias = 1.0
+
+// ChoosePlan resolves algo against prepare-stage statistics. Explicit
+// algorithms pass through untouched; AlgoAuto is resolved by the cost
+// model:
+//
+//	cost(PE) ≈ PatternSpace            — one root-list intersection per
+//	                                     enumerated combination, empty or
+//	                                     not (PE's worst case, Section 4.1)
+//	cost(LE) ≈ CandidateRoots          — one expansion per candidate root
+//	         + Frontier/2              — the per-subtree aggregation-
+//	                                     dictionary overhead PE avoids
+//
+// (both algorithms score every valid subtree once, so the shared Frontier
+// term cancels; only LE's dictionary constant survives). PE is chosen iff
+// cost(PE) <= bias·cost(LE). The decision is a pure function of
+// (PlanStats, Options), so any engine holding the same merged statistics
+// — in particular every shard of a scatter — resolves identically.
+func ChoosePlan(algo Algo, st PlanStats, o Options) Plan {
+	if algo != AlgoAuto {
+		return Plan{Algo: algo, Stats: st}
+	}
+	bias := o.AutoBias
+	if bias <= 0 {
+		bias = DefaultAutoBias
+	}
+	cand := int64(0)
+	if st.CandidateRoots > 0 {
+		cand = int64(st.CandidateRoots)
+	}
+	peCost := st.PatternSpace
+	leCost := satAdd(cand, st.Frontier/2) + 1
+	p := Plan{Auto: true, Stats: st}
+	if float64(peCost) <= bias*float64(leCost) {
+		p.Algo = AlgoPE
+		p.Reason = fmt.Sprintf("pattern space %d <= %.3g x linear cost %d (roots %d + frontier %d / 2): PATTERNENUM",
+			peCost, bias, leCost, cand, st.Frontier)
+	} else {
+		p.Algo = AlgoLE
+		p.Reason = fmt.Sprintf("pattern space %d > %.3g x linear cost %d (roots %d + frontier %d / 2): LINEARENUM-TOPK",
+			peCost, bias, leCost, cand, st.Frontier)
+	}
+	return p
+}
+
+// prepNeed flags what the prepare stage must compute beyond keyword
+// resolution and the per-keyword root postings.
+type prepNeed int
+
+const (
+	// needTypes: the common-root-type intersection (PATTERNENUM line 2).
+	needTypes prepNeed = 1 << iota
+	// needRoots: the candidate-root intersection partitioned by type
+	// (LINEARENUM lines 1-3).
+	needRoots
+	// needCost: the planner's pattern-space and frontier estimates
+	// (implies needTypes and needRoots).
+	needCost
+)
+
+// prepared is the prepare stage's output: everything the enumerate stage
+// reads, plus the planner's statistics.
+type prepared struct {
+	words    []text.WordID
+	surfaces []string
+	// ok reports the query is answerable: every keyword resolved and has
+	// a nonempty root posting. When false nothing else is populated.
+	ok bool
+
+	rootLists  [][]kg.NodeID // per keyword, from the root-first index
+	rootTypes  []kg.TypeID   // needTypes: common root types
+	candidates []kg.NodeID   // needRoots: ∩ rootLists
+	byType     map[kg.TypeID][]kg.NodeID
+	types      []kg.TypeID // needRoots: sorted keys of byType
+
+	stats PlanStats
+}
+
+// prepare runs the shared prepare stage: posting lookups and statistics,
+// honoring ctx between lookups (a canceled request stops before any
+// enumeration work starts).
+func prepare(ctx context.Context, ix *index.Index, words []text.WordID, surfaces []string, need prepNeed) (*prepared, error) {
+	if need&needCost != 0 {
+		need |= needTypes | needRoots
+	}
+	p := &prepared{words: words, surfaces: surfaces}
+	// CandidateRoots semantics: 0 when the set is provably empty (an
+	// unresolvable keyword), -1 when the plan did not need the
+	// intersection (explicit PATTERNENUM on an answerable query).
+	p.stats.CandidateRoots = 0
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(words) == 0 {
+		return p, nil
+	}
+	p.ok = true
+	p.rootLists = make([][]kg.NodeID, len(words))
+	p.stats.PostingRoots = make([]int, len(words))
+	for i, w := range words {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if w == text.NoWord {
+			p.ok = false
+			return p, nil
+		}
+		p.rootLists[i] = ix.Roots(w)
+		p.stats.PostingRoots[i] = len(p.rootLists[i])
+		if len(p.rootLists[i]) == 0 {
+			p.ok = false
+			return p, nil
+		}
+	}
+	p.stats.CandidateRoots = -1
+
+	if need&needTypes != 0 {
+		typeLists := make([][]kg.TypeID, len(words))
+		for i, w := range words {
+			typeLists[i] = ix.RootTypes(w)
+		}
+		p.rootTypes = intersectTypes(typeLists)
+		p.stats.RootTypes = len(p.rootTypes)
+	}
+	if need&needRoots != 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p.candidates = intersectSorted(p.rootLists)
+		p.stats.CandidateRoots = len(p.candidates)
+		p.byType = map[kg.TypeID][]kg.NodeID{}
+		for _, r := range p.candidates {
+			t := ix.Graph().Type(r)
+			p.byType[t] = append(p.byType[t], r)
+		}
+		p.types = make([]kg.TypeID, 0, len(p.byType))
+		for t := range p.byType {
+			p.types = append(p.types, t)
+		}
+		sortTypes(p.types)
+	}
+	if need&needCost != 0 {
+		pc := &pollCancel{ctx: ctx}
+		p.stats.Frontier = subtreeCountPoll(ix, words, p.candidates, pc)
+		for _, c := range p.rootTypes {
+			prod := int64(1)
+			for _, w := range words {
+				n := int64(len(ix.PatternsOfType(w, c)))
+				if n == 0 || prod > math.MaxInt64/n {
+					prod = math.MaxInt64
+					break
+				}
+				prod *= n
+			}
+			p.stats.PatternSpace = satAdd(p.stats.PatternSpace, prod)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// needFor maps a (possibly unresolved) algorithm to its prepare needs.
+func needFor(algo Algo) prepNeed {
+	switch algo {
+	case AlgoPE:
+		return needTypes
+	case AlgoLE:
+		return needRoots
+	default:
+		return needCost
+	}
+}
+
+// PlanProbe runs only the prepare stage and the planner over one index:
+// the statistics and resolved plan for a query, without executing it. The
+// shard layer scatters probes and merges their PlanStats; the facade's
+// Plan API and the serve layer's cache keying use it directly.
+func PlanProbe(ctx context.Context, ix *index.Index, query string, opts Options) (PlanStats, error) {
+	words, surfaces := ResolveQuery(ix, query)
+	prep, err := prepare(ctx, ix, words, surfaces, needCost)
+	if err != nil {
+		return PlanStats{}, err
+	}
+	return prep.stats, nil
+}
+
+// Execute runs one query through the staged pipeline on a path index.
+// algo may be AlgoAuto (resolved by the planner after prepare) but not
+// AlgoBaseline — the baseline needs its own index; use Executor for a
+// surface that dispatches all three.
+func Execute(ctx context.Context, ix *index.Index, query string, algo Algo, opts Options) (*Result, error) {
+	words, surfaces := ResolveQuery(ix, query)
+	return ExecuteWords(ctx, ix, words, surfaces, algo, opts)
+}
+
+// ExecuteWords is Execute on pre-resolved keywords.
+func ExecuteWords(ctx context.Context, ix *index.Index, words []text.WordID, surfaces []string, algo Algo, opts Options) (*Result, error) {
+	start := time.Now()
+	o := opts.withDefaults()
+	if algo == AlgoBaseline {
+		return nil, fmt.Errorf("search: the baseline needs a BaselineIndex; use Executor")
+	}
+
+	// Stage 1: prepare (posting lookups + statistics).
+	prep, err := prepare(ctx, ix, words, surfaces, needFor(algo))
+	if err != nil {
+		return nil, err
+	}
+	plan := ChoosePlan(algo, prep.stats, o)
+	stats := QueryStats{Surfaces: surfaces, Words: words}
+	stats.CandidateRoots = prep.stats.CandidateRoots
+	stats.Stages.Prepare = time.Since(start)
+
+	// Stage 2: enumerate (the resolved algorithm's frontier walk, sharded
+	// across the worker pool with scoring fused in).
+	t1 := time.Now()
+	top := core.NewTopK[RankedPattern](o.K)
+	var ws []workerState[RankedPattern]
+	if prep.ok {
+		switch plan.Algo {
+		case AlgoPE:
+			ws, err = peEnumerate(ctx, ix, prep, o)
+		case AlgoLE:
+			ws, err = leEnumerate(ctx, ix, prep, o)
+		default:
+			return nil, fmt.Errorf("search: plan resolved to unexecutable algorithm %v", plan.Algo)
+		}
+	}
+	stats.Stages.Enumerate = time.Since(t1)
+
+	// Stage 3: aggregate (fold per-worker heaps and counters into the
+	// global queue). The runShards error is checked after the fold so a
+	// canceled query still pays for no extra work, matching the previous
+	// per-algorithm control flow.
+	t2 := time.Now()
+	mergeWorkerStates(ws, top, &stats)
+	stats.Stages.Aggregate = time.Since(t2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: rank (extract winners, materialize their subtrees).
+	t3 := time.Now()
+	patterns := top.Results()
+	if !o.SkipTrees {
+		if err := materializeAll(ctx, ix, words, patterns, o); err != nil {
+			return nil, err
+		}
+	}
+	stats.Stages.Rank = time.Since(t3)
+	stats.Elapsed = time.Since(start)
+	return &Result{Patterns: patterns, Stats: stats, Plan: plan}, nil
+}
+
+// Executor is the front door of the staged pipeline when all three
+// strategies must be dispatchable: a path index plus (optionally) the
+// baseline's keyword-match index.
+type Executor struct {
+	Ix *index.Index
+	// BL enables AlgoBaseline; nil executors reject it. The planner never
+	// resolves Auto to the baseline (it exists for comparison, not
+	// production), so Auto works on executors without one.
+	BL *BaselineIndex
+}
+
+// Search runs one query through the staged pipeline, dispatching any
+// strategy including AlgoBaseline and AlgoAuto.
+func (ex Executor) Search(ctx context.Context, query string, algo Algo, opts Options) (*Result, error) {
+	if algo != AlgoBaseline {
+		return Execute(ctx, ex.Ix, query, algo, opts)
+	}
+	if ex.BL == nil {
+		return nil, fmt.Errorf("search: executor has no baseline index")
+	}
+	res, err := ex.BL.SearchCtx(ctx, query, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Patterns: res.Patterns, Stats: res.Stats, Plan: res.Plan, Table: res.Table}, nil
+}
+
+// sortTypes sorts TypeIDs ascending (the deterministic per-type iteration
+// order every aggregation site relies on).
+func sortTypes(ts []kg.TypeID) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+}

@@ -3,8 +3,6 @@ package search
 import (
 	"context"
 	"math"
-	"sort"
-	"time"
 
 	"kbtable/internal/core"
 	"kbtable/internal/index"
@@ -29,8 +27,7 @@ func LETopK(ix *index.Index, query string, opts Options) *Result {
 // LETopKCtx is LETopK with cancellation: a canceled or expired context
 // stops the expansion between root types and returns the context's error.
 func LETopKCtx(ctx context.Context, ix *index.Index, query string, opts Options) (*Result, error) {
-	words, surfaces := ResolveQuery(ix, query)
-	return LETopKWordsCtx(ctx, ix, words, surfaces, opts)
+	return Execute(ctx, ix, query, AlgoLE, opts)
 }
 
 // dictEntry is one tree pattern accumulating in TreeDict.
@@ -46,46 +43,28 @@ func LETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts O
 	return res
 }
 
-// LETopKWordsCtx is LETopKWords with cancellation. Root types are sharded
-// across the worker pool configured by Options.Workers; a type's whole
-// pipeline — subtree counting, sampling, expansion, estimation, exact
-// re-scoring — runs inside one shard, and sampling is seeded per type, so
-// the parallel run returns exactly the serial results.
+// LETopKWordsCtx is LETopKWords with cancellation; it runs the staged
+// executor with the algorithm pinned to LINEARENUM-TOPK.
 func LETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, surfaces []string, opts Options) (*Result, error) {
-	start := time.Now()
-	o := opts.withDefaults()
-	stats := QueryStats{Surfaces: surfaces, Words: words}
-	top := core.NewTopK[RankedPattern](o.K)
-	if !queryable(ix, words) {
-		return finalizeCtx(ctx, ix, words, top, o, stats, start)
-	}
+	return ExecuteWords(ctx, ix, words, surfaces, AlgoLE, opts)
+}
+
+// leEnumerate is LINEARENUM-TOPK's enumerate stage over the prepared
+// candidate roots (Algorithm 3 line 1 ran in prepare; lines 2-3's by-type
+// partition too). Root types are sharded across the worker pool configured
+// by Options.Workers; a type's whole pipeline — subtree counting,
+// sampling, expansion, estimation, exact re-scoring — runs inside one
+// shard, and sampling is seeded per type, so the parallel run returns
+// exactly the serial results. The caller folds the returned per-worker
+// accumulators in the aggregate stage.
+func leEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options) ([]workerState[RankedPattern], error) {
+	words := prep.words
 	pt := ix.PatternTable()
-
-	// Algorithm 3 line 1: candidate roots across all keywords.
-	rootLists := make([][]kg.NodeID, len(words))
-	for i, w := range words {
-		rootLists[i] = ix.Roots(w)
-	}
-	candidates := intersectSorted(rootLists)
-	stats.CandidateRoots = len(candidates)
-
-	// Partition by root type (Algorithm 4 line 2-3).
-	byType := map[kg.TypeID][]kg.NodeID{}
-	for _, r := range candidates {
-		t := ix.Graph().Type(r)
-		byType[t] = append(byType[t], r)
-	}
-	types := make([]kg.TypeID, 0, len(byType))
-	for t := range byType {
-		types = append(types, t)
-	}
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
-
 	workers := resolveWorkers(o.Workers)
 	ws := newWorkerStates[RankedPattern](workers, o.K)
-	err := runShards(ctx, workers, len(types), func(worker, ti int) {
-		c := types[ti]
-		rc := byType[c]
+	err := runShards(ctx, workers, len(prep.types), func(worker, ti int) {
+		c := prep.types[ti]
+		rc := prep.byType[c]
 		st := &ws[worker].stats
 		ltop := ws[worker].top
 		pc := &pollCancel{ctx: ctx}
@@ -147,11 +126,7 @@ func LETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, s
 			}
 		}
 	})
-	mergeWorkerStates(ws, top, &stats)
-	if err != nil {
-		return nil, err
-	}
-	return finalizeCtx(ctx, ix, words, top, o, stats, start)
+	return ws, err
 }
 
 // NumCandidateRoots returns |∩_i Roots(wi)| for a query: the number of
@@ -188,8 +163,17 @@ func SubtreeCount(ix *index.Index, query string) int64 {
 // subtreeCount computes NR = Σ_r Π_i |Paths(wi, r)|, saturating at
 // MaxInt64 to stay meaningful on explosive queries.
 func subtreeCount(ix *index.Index, words []text.WordID, roots []kg.NodeID) int64 {
+	return subtreeCountPoll(ix, words, roots, nil)
+}
+
+// subtreeCountPoll is subtreeCount with a cancellation probe: a hit stops
+// the count early with the partial total (the caller is aborting anyway).
+func subtreeCountPoll(ix *index.Index, words []text.WordID, roots []kg.NodeID, pc *pollCancel) int64 {
 	var total int64
 	for _, r := range roots {
+		if pc.hit() {
+			break
+		}
 		prod := 1.0
 		for _, w := range words {
 			prod *= float64(ix.NumPathsAt(w, r))

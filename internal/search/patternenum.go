@@ -3,7 +3,6 @@ package search
 import (
 	"context"
 	"sort"
-	"time"
 
 	"kbtable/internal/core"
 	"kbtable/internal/index"
@@ -24,14 +23,19 @@ func PETopK(ix *index.Index, query string, opts Options) *Result {
 // PETopKCtx is PETopK with cancellation: a canceled or expired context
 // stops the enumeration between shards and returns the context's error.
 func PETopKCtx(ctx context.Context, ix *index.Index, query string, opts Options) (*Result, error) {
-	words, surfaces := ResolveQuery(ix, query)
-	return PETopKWordsCtx(ctx, ix, words, surfaces, opts)
+	return Execute(ctx, ix, query, AlgoPE, opts)
 }
 
 // PETopKWords is PETopK on pre-resolved keywords.
 func PETopKWords(ix *index.Index, words []text.WordID, surfaces []string, opts Options) *Result {
 	res, _ := PETopKWordsCtx(context.Background(), ix, words, surfaces, opts)
 	return res
+}
+
+// PETopKWordsCtx is PETopKWords with cancellation; it runs the staged
+// executor with the algorithm pinned to PATTERNENUM.
+func PETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, surfaces []string, opts Options) (*Result, error) {
+	return ExecuteWords(ctx, ix, words, surfaces, AlgoPE, opts)
 }
 
 // peType is the per-root-type precomputation of Algorithm 2 line 3:
@@ -45,39 +49,26 @@ type peType struct {
 	order []int
 }
 
-// PETopKWordsCtx is PETopKWords with cancellation. The enumeration is
-// sharded by (root type, first path-pattern choice) across the worker pool
+// peEnumerate is PATTERNENUM's enumerate stage. The enumeration is sharded
+// by (root type, first path-pattern choice) across the worker pool
 // configured by Options.Workers; every tree pattern is scored entirely
-// inside one shard, so the parallel run returns exactly the serial results.
-func PETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, surfaces []string, opts Options) (*Result, error) {
-	start := time.Now()
-	o := opts.withDefaults()
-	stats := QueryStats{Surfaces: surfaces, Words: words}
-	top := core.NewTopK[RankedPattern](o.K)
-	stats.CandidateRoots = -1 // PATTERNENUM never materializes the root set
-	if !queryable(ix, words) {
-		return finalizeCtx(ctx, ix, words, top, o, stats, start)
-	}
+// inside one shard, so the parallel run returns exactly the serial
+// results. The caller folds the returned per-worker accumulators in the
+// aggregate stage.
+func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options) ([]workerState[RankedPattern], error) {
+	words := prep.words
 	m := len(words)
 	pt := ix.PatternTable()
-
-	// Root types under which every keyword has at least one pattern
-	// (line 2 iterates all types; types failing this cannot contribute).
-	typeLists := make([][]kg.TypeID, m)
-	for i, w := range words {
-		typeLists[i] = ix.RootTypes(w)
-	}
-	rootTypes := intersectTypes(typeLists)
 
 	// Serial prelude: fetch the per-type pattern and root lists (cheap
 	// index lookups) and cut the enumeration into shards. One shard is the
 	// subtree of combinations under one choice of the most selective
 	// keyword's pattern — disjoint by construction, and fine-grained
 	// enough to balance a skewed type distribution across workers.
-	types := make([]peType, len(rootTypes))
+	types := make([]peType, len(prep.rootTypes))
 	type peShard struct{ t, j int }
 	var shards []peShard
-	for ti, c := range rootTypes {
+	for ti, c := range prep.rootTypes {
 		tt := &types[ti]
 		tt.pats = make([][]core.PatternID, m)
 		tt.roots = make([][][]kg.NodeID, m)
@@ -157,11 +148,7 @@ func PETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, s
 		}
 		rec(1, r0)
 	})
-	mergeWorkerStates(ws, top, &stats)
-	if err != nil {
-		return nil, err
-	}
-	return finalizeCtx(ctx, ix, words, top, o, stats, start)
+	return ws, err
 }
 
 // intersectTypes intersects sorted TypeID lists.

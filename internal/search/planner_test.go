@@ -1,0 +1,193 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+)
+
+// equalAnswers asserts two results rank identical patterns with
+// bit-identical scores, aggregates and trees. Unlike equalResults it does
+// not compare QueryStats.CandidateRoots: an Auto run computes the
+// candidate intersection for the planner even when it resolves to
+// PATTERNENUM, which reports -1 when run explicitly.
+func equalAnswers(t *testing.T, label string, ix *index.Index, a, b *Result) {
+	t.Helper()
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("%s: %d patterns vs %d", label, len(a.Patterns), len(b.Patterns))
+	}
+	pt := ix.PatternTable()
+	for i := range a.Patterns {
+		ap, bp := a.Patterns[i], b.Patterns[i]
+		if ap.Score != bp.Score {
+			t.Errorf("%s: rank %d score %v != %v", label, i, ap.Score, bp.Score)
+		}
+		if ap.Pattern.ContentKey(pt) != bp.Pattern.ContentKey(pt) {
+			t.Errorf("%s: rank %d pattern content differs", label, i)
+		}
+		if ap.Agg != bp.Agg {
+			t.Errorf("%s: rank %d aggregate %+v != %+v", label, i, ap.Agg, bp.Agg)
+		}
+		if !reflect.DeepEqual(ap.Trees, bp.Trees) {
+			t.Errorf("%s: rank %d materialized trees differ", label, i)
+		}
+	}
+	as, bs := a.Stats, b.Stats
+	if as.SampledRoots != bs.SampledRoots || as.PatternsFound != bs.PatternsFound ||
+		as.TreesFound != bs.TreesFound || as.EmptyChecked != bs.EmptyChecked {
+		t.Errorf("%s: work counters diverge: %+v vs %+v", label, as, bs)
+	}
+}
+
+// TestPlanProbeStats pins the prepare-stage statistics against the
+// independent counting entry points.
+func TestPlanProbeStats(t *testing.T) {
+	for _, tc := range synthCases(t) {
+		ix, err := index.Build(tc.g, index.Options{D: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range tc.queries {
+			st, err := PlanProbe(context.Background(), ix, q, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := NumCandidateRoots(ix, q); st.CandidateRoots != want {
+				t.Errorf("%s/%q: CandidateRoots = %d, NumCandidateRoots = %d", tc.name, q, st.CandidateRoots, want)
+			}
+			if want := SubtreeCount(ix, q); st.Frontier != want {
+				t.Errorf("%s/%q: Frontier = %d, SubtreeCount = %d", tc.name, q, st.Frontier, want)
+			}
+			if st.CandidateRoots > 0 && st.PatternSpace <= 0 {
+				t.Errorf("%s/%q: answerable query has PatternSpace = %d", tc.name, q, st.PatternSpace)
+			}
+		}
+	}
+}
+
+// TestAutoEquivalence is the planner's core guarantee at the executor
+// level: AlgoAuto answers are bit-identical to explicitly requesting the
+// algorithm the plan names, under every bias (which forces both planner
+// branches to be exercised).
+func TestAutoEquivalence(t *testing.T) {
+	for _, tc := range synthCases(t) {
+		ix, err := index.Build(tc.g, index.Options{D: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bias := range []float64{0, 1e-12, 1e12} {
+			for _, q := range tc.queries {
+				opts := Options{K: 20, AutoBias: bias}
+				auto, err := Execute(context.Background(), ix, q, AlgoAuto, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !auto.Plan.Auto {
+					t.Fatalf("%s/%q: Auto result not marked planner-chosen", tc.name, q)
+				}
+				if auto.Plan.Algo != AlgoPE && auto.Plan.Algo != AlgoLE {
+					t.Fatalf("%s/%q: Auto resolved to %v", tc.name, q, auto.Plan.Algo)
+				}
+				if auto.Plan.Reason == "" {
+					t.Fatalf("%s/%q: Auto plan has no reason", tc.name, q)
+				}
+				explicit, err := Execute(context.Background(), ix, q, auto.Plan.Algo, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%s/bias=%g/%q -> %v", tc.name, bias, q, auto.Plan.Algo)
+				equalAnswers(t, label, ix, explicit, auto)
+			}
+		}
+	}
+}
+
+// TestAutoBiasForcesBranch pins the override semantics README documents:
+// a huge bias forces PATTERNENUM, a tiny one LINEARENUM-TOPK (on any
+// answerable query — both costs are then on the same side of the
+// threshold).
+func TestAutoBiasForcesBranch(t *testing.T) {
+	ix, _ := buildFig1Index(t, 3)
+	q := "database software company revenue"
+	st, err := PlanProbe(context.Background(), ix, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CandidateRoots == 0 {
+		t.Fatal("fig1 query should be answerable")
+	}
+	if p := ChoosePlan(AlgoAuto, st, Options{AutoBias: 1e12}); p.Algo != AlgoPE {
+		t.Errorf("bias 1e12 resolved to %v, want PE", p.Algo)
+	}
+	if p := ChoosePlan(AlgoAuto, st, Options{AutoBias: 1e-12}); p.Algo != AlgoLE {
+		t.Errorf("bias 1e-12 resolved to %v, want LE", p.Algo)
+	}
+	// Explicit algorithms pass through regardless of statistics.
+	if p := ChoosePlan(AlgoLE, st, Options{}); p.Algo != AlgoLE || p.Auto {
+		t.Errorf("explicit LE resolved to %+v", p)
+	}
+}
+
+// TestChoosePlanDeterministic: the planner is a pure function of
+// (PlanStats, Options) — repeated calls agree exactly.
+func TestChoosePlanDeterministic(t *testing.T) {
+	st := PlanStats{CandidateRoots: 100, RootTypes: 7, PatternSpace: 5000, Frontier: 9000}
+	first := ChoosePlan(AlgoAuto, st, Options{})
+	for i := 0; i < 10; i++ {
+		if got := ChoosePlan(AlgoAuto, st, Options{}); !reflect.DeepEqual(got, first) {
+			t.Fatalf("plan changed across calls: %+v vs %+v", got, first)
+		}
+	}
+}
+
+// TestPlanStatsMerge pins the shard-layer merge semantics: disjoint
+// partitions sum, -1 poisons, RootTypes maxes.
+func TestPlanStatsMerge(t *testing.T) {
+	a := PlanStats{CandidateRoots: 3, RootTypes: 2, PatternSpace: 10, Frontier: 20, PostingRoots: []int{4, 5}}
+	b := PlanStats{CandidateRoots: 7, RootTypes: 5, PatternSpace: 1, Frontier: 2, PostingRoots: []int{1, 1}}
+	a.Merge(b)
+	want := PlanStats{CandidateRoots: 10, RootTypes: 5, PatternSpace: 11, Frontier: 22, PostingRoots: []int{5, 6}}
+	if !reflect.DeepEqual(a, want) {
+		t.Errorf("merge = %+v, want %+v", a, want)
+	}
+	c := PlanStats{CandidateRoots: -1}
+	c.Merge(b)
+	if c.CandidateRoots != -1 {
+		t.Errorf("-1 should poison the sum, got %d", c.CandidateRoots)
+	}
+}
+
+// TestPrepareCancellation pins the satellite fix: a context that is
+// already done aborts the query inside the prepare stage — before any
+// posting lookup or enumeration work — for every algorithm, including the
+// planner probe.
+func TestPrepareCancellation(t *testing.T) {
+	g := dataset.SynthWiki(dataset.WikiConfig{Entities: 800, Types: 20})
+	ix, err := index.Build(g, index.Options{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := "city population"
+	for _, algo := range []Algo{AlgoPE, AlgoLE, AlgoAuto} {
+		if _, err := Execute(ctx, ix, q, algo, Options{K: 5}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v on canceled ctx: err = %v, want context.Canceled", algo, err)
+		}
+	}
+	if _, err := PlanProbe(ctx, ix, q, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("PlanProbe on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	bl, err := NewBaseline(g, BaselineOptions{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bl.SearchCtx(ctx, q, Options{K: 5}); !errors.Is(err, context.Canceled) {
+		t.Errorf("baseline on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}

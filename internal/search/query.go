@@ -74,6 +74,13 @@ type Options struct {
 	// keep sampling's work bound at the caller's k. Ignored when sampling
 	// is off.
 	SampleSelectK int
+	// AutoBias scales the planner's PATTERNENUM preference when the
+	// executor resolves AlgoAuto: PE is chosen iff its estimated cost
+	// (the pattern-combination space) is at most AutoBias times
+	// LINEARENUM's (candidate roots + half the subtree frontier). 0 means
+	// DefaultAutoBias; values > 1 favor PE, values < 1 favor LE. Ignored
+	// for explicit algorithms.
+	AutoBias float64
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +124,7 @@ type QueryStats struct {
 	Surfaces       []string // query tokens as typed
 	Words          []text.WordID
 	Elapsed        time.Duration
+	Stages         StageTimings // per-stage wall clock of the staged pipeline
 	CandidateRoots int
 	SampledRoots   int
 	PatternsFound  int   // nonempty tree patterns seen
@@ -128,6 +136,11 @@ type QueryStats struct {
 type Result struct {
 	Patterns []RankedPattern
 	Stats    QueryStats
+	// Plan records the resolved algorithm and the planner's statistics.
+	Plan Plan
+	// Table resolves Pattern IDs when the executing algorithm interned
+	// its own pattern table (the baseline); nil means the index's table.
+	Table *core.PatternTable
 }
 
 // ResolveQuery tokenizes q against the index dictionary and returns the
@@ -362,19 +375,6 @@ func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern,
 func MaterializeTrees(ctx context.Context, ix *index.Index, words []text.WordID, tp core.TreePattern, opts Options) []core.Subtree {
 	o := opts.withDefaults()
 	return materializeTrees(ix, words, tp, o, &pollCancel{ctx: ctx})
-}
-
-// finalizeCtx materializes subtrees for the ranked top-k patterns (fanned
-// across the worker pool) and stamps stats. Shared by PETopK and LETopK.
-func finalizeCtx(ctx context.Context, ix *index.Index, words []text.WordID, top *core.TopK[RankedPattern], o Options, stats QueryStats, start time.Time) (*Result, error) {
-	patterns := top.Results()
-	if !o.SkipTrees {
-		if err := materializeAll(ctx, ix, words, patterns, o); err != nil {
-			return nil, err
-		}
-	}
-	stats.Elapsed = time.Since(start)
-	return &Result{Patterns: patterns, Stats: stats}, nil
 }
 
 // Table renders a ranked pattern as a table answer.

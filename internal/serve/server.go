@@ -43,6 +43,17 @@ type shardInfoer interface {
 	ShardInfo() kbtable.ShardInfo
 }
 
+// planner is the plan-observability surface: resolving a plan without
+// executing (Plan — the server uses it to key "auto" requests under the
+// algorithm they resolve to) and searching with plan + stage timings
+// attached (SearchPlan). *kbtable.Engine implements it; fakes that do not
+// still serve explicit algorithms, with "auto" passed through untouched
+// and plans omitted from responses.
+type planner interface {
+	Plan(ctx context.Context, query string, opts kbtable.SearchOptions) (kbtable.PlanInfo, error)
+	SearchPlan(ctx context.Context, query string, opts kbtable.SearchOptions) ([]kbtable.Answer, kbtable.PlanInfo, error)
+}
+
 // Config configures a Server.
 type Config struct {
 	// Engine answers the queries. Required.
@@ -64,6 +75,10 @@ type Config struct {
 	ReadOnly bool
 	// MaxUpdateOps caps the ops in one update batch; default 10000.
 	MaxUpdateOps int
+	// DefaultAlgorithm answers requests that omit "algorithm"; accepts
+	// the same wire names as the request field ("patternenum", "le",
+	// "auto", …). Empty means "patternenum".
+	DefaultAlgorithm string
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +109,7 @@ type engineState struct {
 	upd    Updater      // nil if the engine cannot apply updates
 	words  wordResolver // nil if the engine cannot resolve query words
 	shards shardInfoer  // nil if the engine cannot describe its shards
+	plans  planner      // nil if the engine cannot resolve plans
 	epoch  uint64
 }
 
@@ -114,6 +130,12 @@ type Server struct {
 	requests atomic.Uint64
 	updates  atomic.Uint64
 	hs       *http.Server
+
+	// Planner counters for /healthz: how many searches asked for "auto"
+	// and what the planner resolved them to.
+	autoRequests atomic.Uint64
+	autoChosePE  atomic.Uint64
+	autoChoseLE  atomic.Uint64
 
 	// cur is the published epoch. updateMu serializes updates; swapMu
 	// fences cache writes against the invalidate-then-publish sequence so
@@ -139,6 +161,7 @@ func New(cfg Config) *Server {
 	}
 	st.words, _ = cfg.Engine.(wordResolver)
 	st.shards, _ = cfg.Engine.(shardInfoer)
+	st.plans, _ = cfg.Engine.(planner)
 	s.cur.Store(st)
 	s.hs = &http.Server{
 		Handler:           s.Handler(),
@@ -185,13 +208,20 @@ type SearchRequest struct {
 	Query string `json:"query"`
 	// K is the number of table answers; default 10.
 	K int `json:"k,omitempty"`
-	// Algorithm is "patternenum"/"pe" (default), "linearenum"/"le", or
-	// "baseline".
+	// Algorithm is "patternenum"/"pe" (default), "linearenum"/"le",
+	// "baseline", or "auto" (the cost-based planner picks patternenum or
+	// linearenum per query; answers are bit-identical to requesting the
+	// resolved algorithm explicitly).
 	Algorithm string `json:"algorithm,omitempty"`
 	// D must be 0 or the engine's height threshold.
 	D int `json:"d,omitempty"`
 	// MaxRows caps materialized rows per answer; default Config.MaxRows.
 	MaxRows int `json:"max_rows,omitempty"`
+	// AutoBias overrides the planner's PATTERNENUM preference for "auto"
+	// requests (0 = default; larger favors patternenum). It steers only
+	// the choice, never the answer bytes, so it does not participate in
+	// the cache key — the resolved algorithm it influenced does.
+	AutoBias float64 `json:"auto_bias,omitempty"`
 }
 
 // SearchAnswer is one ranked table answer on the wire.
@@ -209,14 +239,59 @@ type SearchAnswer struct {
 // that published epoch (cached responses keep the epoch they were
 // computed under — they are only retained while still valid).
 type SearchResponse struct {
-	Query     string         `json:"query"`
-	K         int            `json:"k"`
-	Algorithm string         `json:"algorithm"`
-	D         int            `json:"d"`
-	Epoch     uint64         `json:"epoch"`
-	Cached    bool           `json:"cached"`
-	ElapsedMS float64        `json:"elapsed_ms"`
-	Answers   []SearchAnswer `json:"answers"`
+	Query string `json:"query"`
+	K     int    `json:"k"`
+	// Algorithm is the algorithm that computed (or would compute) the
+	// answers — for "auto" requests, the planner's resolution, never
+	// "auto" itself.
+	Algorithm string  `json:"algorithm"`
+	D         int     `json:"d"`
+	Epoch     uint64  `json:"epoch"`
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Plan reports the resolved execution plan and per-stage timings
+	// (omitted when the engine does not expose plans). On cache hits the
+	// stage timings are those of the run that populated the entry.
+	Plan    *PlanOut       `json:"plan,omitempty"`
+	Answers []SearchAnswer `json:"answers"`
+}
+
+// PlanOut is the wire form of a resolved execution plan.
+type PlanOut struct {
+	// Algorithm is the resolved algorithm's wire name.
+	Algorithm string `json:"algorithm"`
+	// Auto reports that the planner (not the request) chose Algorithm.
+	Auto bool `json:"auto"`
+	// Reason is the planner's cost rationale (auto only).
+	Reason string `json:"reason,omitempty"`
+	// CandidateRoots is -1 when the plan did not need the intersection.
+	CandidateRoots int   `json:"candidate_roots"`
+	RootTypes      int   `json:"root_types"`
+	PatternSpace   int64 `json:"pattern_space"`
+	Frontier       int64 `json:"frontier"`
+	// Per-stage wall clock of the staged executor, in milliseconds.
+	PrepareMS   float64 `json:"prepare_ms"`
+	EnumerateMS float64 `json:"enumerate_ms"`
+	AggregateMS float64 `json:"aggregate_ms"`
+	RankMS      float64 `json:"rank_ms"`
+}
+
+// planOut converts a facade PlanInfo to the wire form.
+func planOut(pi kbtable.PlanInfo) *PlanOut {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return &PlanOut{
+		Algorithm:      wireName(pi.Algorithm),
+		Auto:           pi.Auto,
+		Reason:         pi.Reason,
+		CandidateRoots: pi.CandidateRoots,
+		RootTypes:      pi.RootTypes,
+		PatternSpace:   pi.PatternSpace,
+		Frontier:       pi.Frontier,
+		PrepareMS:      ms(pi.Prepare),
+		EnumerateMS:    ms(pi.Enumerate),
+		AggregateMS:    ms(pi.Aggregate),
+		RankMS:         ms(pi.Rank),
+	}
 }
 
 // UpdateRequest is the POST /update body: an atomic batch of mutations
@@ -260,20 +335,38 @@ type ShardHealth struct {
 	Entries []int64  `json:"entries,omitempty"`
 }
 
+// PlannerHealth aggregates the Auto planner's decisions since startup.
+type PlannerHealth struct {
+	// AutoRequests counts searches that asked for "auto".
+	AutoRequests uint64 `json:"auto_requests"`
+	// ChosePatternEnum / ChoseLinearEnum split the resolutions.
+	ChosePatternEnum uint64 `json:"chose_patternenum"`
+	ChoseLinearEnum  uint64 `json:"chose_linearenum"`
+}
+
 // HealthResponse is the GET /healthz reply.
 type HealthResponse struct {
-	Status        string       `json:"status"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Requests      uint64       `json:"requests"`
-	Epoch         uint64       `json:"epoch"`
-	Updates       uint64       `json:"updates"`
-	Updatable     bool         `json:"updatable"`
-	Cache         CacheStats   `json:"cache"`
-	Shards        *ShardHealth `json:"shards,omitempty"`
+	Status        string        `json:"status"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Requests      uint64        `json:"requests"`
+	Epoch         uint64        `json:"epoch"`
+	Updates       uint64        `json:"updates"`
+	Updatable     bool          `json:"updatable"`
+	Cache         CacheStats    `json:"cache"`
+	Planner       PlannerHealth `json:"planner"`
+	Shards        *ShardHealth  `json:"shards,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// ParseAlgorithm maps a wire name ("pe", "patternenum", "le",
+// "linearenum", "baseline", "auto", "") onto the kbtable algorithm and
+// its canonical wire name. Exposed so kbserve can validate its
+// -default-algo flag at startup.
+func ParseAlgorithm(s string) (kbtable.Algorithm, string, error) {
+	return parseAlgorithm(s)
 }
 
 // parseAlgorithm maps the wire names onto kbtable algorithms.
@@ -285,8 +378,23 @@ func parseAlgorithm(s string) (kbtable.Algorithm, string, error) {
 		return kbtable.LinearEnum, "linearenum", nil
 	case "baseline":
 		return kbtable.Baseline, "baseline", nil
+	case "auto":
+		return kbtable.Auto, "auto", nil
 	}
-	return 0, "", fmt.Errorf("unknown algorithm %q (want patternenum, linearenum or baseline)", s)
+	return 0, "", fmt.Errorf("unknown algorithm %q (want patternenum, linearenum, baseline or auto)", s)
+}
+
+// wireName is parseAlgorithm's inverse for resolved algorithms.
+func wireName(a kbtable.Algorithm) string {
+	switch a {
+	case kbtable.LinearEnum:
+		return "linearenum"
+	case kbtable.Baseline:
+		return "baseline"
+	case kbtable.Auto:
+		return "auto"
+	}
+	return "patternenum"
 }
 
 // normalizeQuery canonicalizes whitespace and case so trivially different
@@ -296,7 +404,42 @@ func normalizeQuery(q string) string {
 	return strings.ToLower(strings.Join(strings.Fields(q), " "))
 }
 
-// cacheKey identifies one (query, options) result in the LRU.
+// normalizeRequest canonicalizes a request before it reaches the cache
+// key: the query's whitespace and case fold, and the K/D/MaxRows defaults
+// are applied, so logically identical requests — {"k":0} and {"k":10},
+// "  Foo  Bar" and "foo bar" — occupy ONE cache entry. Validation that
+// depends on the normalized values (limits, the engine's d) happens here
+// too. Returns an HTTP error message and status, or status 0 when valid.
+func (s *Server) normalizeRequest(req *SearchRequest) (string, int) {
+	req.Query = normalizeQuery(req.Query)
+	if req.Query == "" {
+		return "query must not be empty", http.StatusBadRequest
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	if req.K > s.cfg.MaxK {
+		return fmt.Sprintf("k=%d exceeds the maximum %d", req.K, s.cfg.MaxK), http.StatusBadRequest
+	}
+	if req.D == 0 {
+		req.D = s.cfg.D
+	}
+	if req.D != s.cfg.D {
+		return fmt.Sprintf("this engine is indexed for d=%d, not d=%d", s.cfg.D, req.D), http.StatusBadRequest
+	}
+	if req.MaxRows <= 0 {
+		req.MaxRows = s.cfg.MaxRows
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = s.cfg.DefaultAlgorithm
+	}
+	return "", 0
+}
+
+// cacheKey identifies one (query, options) result in the LRU. algo is the
+// *resolved* algorithm name: an "auto" request whose plan resolves to
+// patternenum shares its entry with explicit patternenum requests (the
+// answers are bit-identical by the planner's equivalence guarantee).
 func cacheKey(query, algo string, k, d, maxRows int) string {
 	return fmt.Sprintf("%s|%s|%d|%d|%d", query, algo, k, d, maxRows)
 }
@@ -313,27 +456,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	query := normalizeQuery(req.Query)
-	if query == "" {
-		writeError(w, http.StatusBadRequest, "query must not be empty")
+	if msg, status := s.normalizeRequest(&req); status != 0 {
+		writeError(w, status, msg)
 		return
-	}
-	if req.K <= 0 {
-		req.K = 10
-	}
-	if req.K > s.cfg.MaxK {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("k=%d exceeds the maximum %d", req.K, s.cfg.MaxK))
-		return
-	}
-	if req.D == 0 {
-		req.D = s.cfg.D
-	}
-	if req.D != s.cfg.D {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("this engine is indexed for d=%d, not d=%d", s.cfg.D, req.D))
-		return
-	}
-	if req.MaxRows <= 0 {
-		req.MaxRows = s.cfg.MaxRows
 	}
 	algo, algoName, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
@@ -345,41 +470,105 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// update lands mid-query, we keep searching (and report) this epoch.
 	st := s.cur.Load()
 
-	key := cacheKey(query, algoName, req.K, req.D, req.MaxRows)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	opts := kbtable.SearchOptions{
+		K:               req.K,
+		Algorithm:       algo,
+		MaxRowsPerTable: req.MaxRows,
+		AutoBias:        req.AutoBias,
+	}
+
+	// Resolve "auto" before touching the cache: the planner names the
+	// algorithm the query would run as, the cache is keyed under that
+	// name, and execution (on a miss) requests it explicitly — so auto
+	// answers share entries with explicit requests in both directions,
+	// and are byte-identical to them. Engines without a planner run
+	// "auto" end to end and key under "auto" (no sharing, still correct).
+	// The probe repeats prepare-stage lookups that a miss's execution
+	// redoes; that double work is the price of knowing the key before the
+	// lookup, and is small next to enumeration (it is exactly the
+	// prepare_ms share of the plan's stage timings).
+	var chosen *kbtable.PlanInfo
+	if algo == kbtable.Auto {
+		s.autoRequests.Add(1)
+		if st.plans != nil {
+			pi, err := st.plans.Plan(ctx, req.Query, opts)
+			if err != nil {
+				s.writeSearchError(w, err)
+				return
+			}
+			chosen = &pi
+			algo, algoName = pi.Algorithm, wireName(pi.Algorithm)
+			opts.Algorithm = algo
+			if algo == kbtable.LinearEnum {
+				s.autoChoseLE.Add(1)
+			} else {
+				s.autoChosePE.Add(1)
+			}
+		}
+	}
+
+	key := cacheKey(req.Query, algoName, req.K, req.D, req.MaxRows)
 	if hit, ok := s.cache.Get(key); ok {
 		resp := *hit.resp // shallow copy: answers are shared read-only
 		resp.Cached = true
+		if resp.Plan != nil {
+			// The plan must reflect THIS request, not whichever request
+			// populated the shared entry: an auto hit carries this
+			// request's planner decision and probe statistics, an
+			// explicit hit carries neither, even when the entry was
+			// computed the other way around. Stage timings stay those of
+			// the run that computed the entry.
+			plan := *resp.Plan
+			if chosen != nil {
+				plan.Auto, plan.Reason = true, chosen.Reason
+				plan.CandidateRoots, plan.RootTypes = chosen.CandidateRoots, chosen.RootTypes
+				plan.PatternSpace, plan.Frontier = chosen.PatternSpace, chosen.Frontier
+			} else {
+				plan.Auto, plan.Reason = false, ""
+			}
+			resp.Plan = &plan
+		}
 		writeJSON(w, http.StatusOK, &resp)
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
-	defer cancel()
 	t0 := time.Now()
-	answers, err := st.eng.SearchContext(ctx, query, kbtable.SearchOptions{
-		K:               req.K,
-		Algorithm:       algo,
-		MaxRowsPerTable: req.MaxRows,
-	})
-	if err != nil {
-		switch {
-		case errors.Is(err, context.DeadlineExceeded):
-			writeError(w, http.StatusGatewayTimeout, "query timed out")
-		case errors.Is(err, context.Canceled):
-			writeError(w, http.StatusServiceUnavailable, "request canceled")
-		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+	var answers []kbtable.Answer
+	var plan *PlanOut
+	if st.plans != nil {
+		var pi kbtable.PlanInfo
+		answers, pi, err = st.plans.SearchPlan(ctx, req.Query, opts)
+		if err == nil {
+			if chosen != nil {
+				// The run executed the resolved algorithm explicitly;
+				// surface the planner's decision and the (richer)
+				// statistics it was based on, keeping the run's timings.
+				pi.Auto, pi.Reason = true, chosen.Reason
+				pi.CandidateRoots = chosen.CandidateRoots
+				pi.RootTypes = chosen.RootTypes
+				pi.PatternSpace = chosen.PatternSpace
+				pi.Frontier = chosen.Frontier
+			}
+			plan = planOut(pi)
 		}
+	} else {
+		answers, err = st.eng.SearchContext(ctx, req.Query, opts)
+	}
+	if err != nil {
+		s.writeSearchError(w, err)
 		return
 	}
 
 	resp := &SearchResponse{
-		Query:     query,
+		Query:     req.Query,
 		K:         req.K,
 		Algorithm: algoName,
 		D:         req.D,
 		Epoch:     st.epoch,
 		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+		Plan:      plan,
 		Answers:   make([]SearchAnswer, 0, len(answers)),
 	}
 	for _, a := range answers {
@@ -394,10 +583,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ent := &cacheEntry{resp: resp}
 	if st.words != nil {
-		ent.words = st.words.QueryWords(query)
+		ent.words = st.words.QueryWords(req.Query)
 	}
 	s.cachePut(st.epoch, key, ent)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSearchError maps a search failure onto an HTTP status.
+func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "query timed out")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 // cachePut inserts a computed result unless its epoch has been superseded.
@@ -457,7 +658,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for _, wd := range res.TouchedWords {
 		touched[wd] = true
 	}
-	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, epoch: st.epoch + 1}
+	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, epoch: st.epoch + 1}
 	s.swapMu.Lock()
 	invalidated := s.cache.DeleteFunc(func(_ string, ent *cacheEntry) bool {
 		if res.ScoresRefreshed {
@@ -512,6 +713,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Updates:       s.updates.Load(),
 		Updatable:     st.upd != nil,
 		Cache:         s.cache.Stats(),
+		Planner: PlannerHealth{
+			AutoRequests:     s.autoRequests.Load(),
+			ChosePatternEnum: s.autoChosePE.Load(),
+			ChoseLinearEnum:  s.autoChoseLE.Load(),
+		},
 	}
 	if st.shards != nil {
 		info := st.shards.ShardInfo()

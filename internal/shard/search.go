@@ -15,12 +15,42 @@ import (
 // Algo selects the per-shard query algorithm.
 type Algo int
 
-// The paper's three algorithms, run shard-locally and gathered exactly.
+// The paper's three algorithms, run shard-locally and gathered exactly,
+// plus Auto: the cost-based planner decides PE vs LE once — from
+// prepare-stage statistics merged across every shard — and the scatter
+// carries the resolved algorithm, so all shards execute the same plan.
 const (
 	PatternEnum Algo = iota
 	LinearEnum
 	Baseline
+	Auto
 )
+
+// searchAlgo maps a shard Algo onto the staged executor's strategy.
+func searchAlgo(a Algo) search.Algo {
+	switch a {
+	case LinearEnum:
+		return search.AlgoLE
+	case Baseline:
+		return search.AlgoBaseline
+	case Auto:
+		return search.AlgoAuto
+	default:
+		return search.AlgoPE
+	}
+}
+
+// fromSearchAlgo maps a resolved executor strategy back to a shard Algo.
+func fromSearchAlgo(a search.Algo) Algo {
+	switch a {
+	case search.AlgoLE:
+		return LinearEnum
+	case search.AlgoBaseline:
+		return Baseline
+	default:
+		return PatternEnum
+	}
+}
 
 // allK makes per-shard executors retain every pattern they find. Local
 // top-k pruning would be incorrect here: a pattern whose roots split
@@ -53,6 +83,10 @@ type RankedPattern struct {
 type Result struct {
 	Patterns []RankedPattern
 	Stats    search.QueryStats
+	// Plan is the resolved execution plan. For Auto it is the planner's
+	// decision over the merged per-shard statistics; for explicit
+	// algorithms its statistics are the merged per-shard prepare stats.
+	Plan search.Plan
 }
 
 // shardOut is one shard's scatter result in algorithm-neutral form.
@@ -60,8 +94,52 @@ type shardOut struct {
 	patterns []search.RankedPattern
 	table    *core.PatternTable
 	stats    search.QueryStats
+	plan     search.Plan
 	words    []text.WordID // the shard's resolution of the query
 	err      error
+}
+
+// PlanStats scatters the prepare-only probe to every shard and merges the
+// per-shard statistics: candidate roots, frontier and posting lengths sum
+// exactly (root partitions are disjoint); the pattern space sums too,
+// over-counting patterns whose roots span shards — acceptable for a cost
+// estimate and deterministic for a given engine.
+func (e *Engine) PlanStats(ctx context.Context, query string, opts search.Options) (search.PlanStats, error) {
+	stats := make([]search.PlanStats, e.n)
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	for si := 0; si < e.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			stats[si], errs[si] = search.PlanProbe(ctx, e.units[si].ix, query, opts)
+		}(si)
+	}
+	wg.Wait()
+	var merged search.PlanStats
+	for si := range stats {
+		if errs[si] != nil {
+			return merged, errs[si]
+		}
+		if si == 0 {
+			merged = stats[si]
+			continue
+		}
+		merged.Merge(stats[si])
+	}
+	return merged, nil
+}
+
+// Plan resolves the execution plan for a query without running it: for
+// Auto, the planner's decision over the merged per-shard statistics. Every
+// shard of a subsequent Search(ctx, resolved, …) executes exactly this
+// plan.
+func (e *Engine) Plan(ctx context.Context, algo Algo, query string, opts search.Options) (search.Plan, error) {
+	st, err := e.PlanStats(ctx, query, opts)
+	if err != nil {
+		return search.Plan{}, err
+	}
+	return search.ChoosePlan(searchAlgo(algo), st, opts), nil
 }
 
 // mergedPat accumulates one pattern signature across shards.
@@ -96,6 +174,21 @@ type contribRef struct {
 // 0) is identical to the unsharded engine.
 func (e *Engine) Search(ctx context.Context, algo Algo, query string, opts search.Options) (*Result, error) {
 	start := time.Now()
+
+	// Auto: one planner decision over merged per-shard statistics; the
+	// scatter below carries the resolved algorithm so every shard agrees.
+	var plan search.Plan
+	if algo == Auto {
+		p, err := e.Plan(ctx, algo, query, opts)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+		algo = fromSearchAlgo(p.Algo)
+	} else {
+		plan = search.Plan{Algo: searchAlgo(algo)}
+	}
+	probed := time.Now()
 
 	so := opts
 	so.K = allK
@@ -133,13 +226,44 @@ func (e *Engine) Search(ctx context.Context, algo Algo, query string, opts searc
 		}(si)
 	}
 	wg.Wait()
+	scattered := time.Now()
 	for si := range outs {
 		if outs[si].err != nil {
 			return nil, outs[si].err
 		}
 	}
 
+	// Stage accounting for the scatter: the planner probe plus the slowest
+	// shard's own prepare stage count as prepare; the rest of the scatter
+	// wall time is enumeration (each shard's aggregate/rank under
+	// SkipTrees is noise).
+	var shardPrep time.Duration
+	for si := range outs {
+		if p := outs[si].stats.Stages.Prepare; p > shardPrep {
+			shardPrep = p
+		}
+		if !outs[si].plan.Auto {
+			// Fold per-shard prepare statistics into the plan for
+			// observability; an Auto plan already carries the (richer)
+			// merged probe statistics.
+			if plan.Auto {
+				continue
+			}
+			if si == 0 {
+				plan.Stats = outs[si].plan.Stats
+			} else {
+				plan.Stats.Merge(outs[si].plan.Stats)
+			}
+		}
+	}
+	var stages search.StageTimings
+	stages.Prepare = probed.Sub(start) + shardPrep
+	if stages.Enumerate = scattered.Sub(probed) - shardPrep; stages.Enumerate < 0 {
+		stages.Enumerate = 0
+	}
+
 	// Gather: merge pattern signatures across shards by content key.
+	tAgg := time.Now()
 	byKey := map[string]*mergedPat{}
 	for si := range outs {
 		for _, rp := range outs[si].patterns {
@@ -170,11 +294,13 @@ func (e *Engine) Search(ctx context.Context, algo Algo, query string, opts searc
 		}
 		top.Offer(mp.agg.Value(opts.Agg), key, mp)
 	}
+	stages.Aggregate = time.Since(tAgg)
 
 	stats := e.mergeStats(algo, outs)
 	stats.PatternsFound = len(byKey)
 
-	res := &Result{Patterns: make([]RankedPattern, 0, top.Len())}
+	tRank := time.Now()
+	res := &Result{Patterns: make([]RankedPattern, 0, top.Len()), Plan: plan}
 	for _, mp := range top.Results() {
 		res.Patterns = append(res.Patterns, RankedPattern{
 			Shard:   mp.rep,
@@ -193,6 +319,8 @@ func (e *Engine) Search(ctx context.Context, algo Algo, query string, opts searc
 			return nil, err
 		}
 	}
+	stages.Rank = time.Since(tRank)
+	stats.Stages = stages
 	stats.Elapsed = time.Since(start)
 	res.Stats = stats
 	return res, nil
@@ -215,7 +343,7 @@ func (e *Engine) searchShard(ctx context.Context, si int, algo Algo, query strin
 		}
 		// Stats.Words is this shard's resolution of the query; keep it for
 		// the tree-materialization pass instead of resolving again.
-		return shardOut{patterns: res.Patterns, table: ix.PatternTable(), stats: res.Stats, words: res.Stats.Words}
+		return shardOut{patterns: res.Patterns, table: ix.PatternTable(), stats: res.Stats, plan: res.Plan, words: res.Stats.Words}
 	default:
 		bl, err := e.baseline(si)
 		if err != nil {
@@ -225,7 +353,7 @@ func (e *Engine) searchShard(ctx context.Context, si int, algo Algo, query strin
 		if err != nil {
 			return shardOut{err: err}
 		}
-		return shardOut{patterns: res.Patterns, table: res.Table, stats: res.Stats}
+		return shardOut{patterns: res.Patterns, table: res.Table, stats: res.Stats, plan: res.Plan}
 	}
 }
 

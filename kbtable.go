@@ -118,6 +118,13 @@ const (
 	// Baseline is the enumeration-aggregation adaption of prior subtree
 	// search (Section 2.3); built lazily on first use.
 	Baseline
+	// Auto defers the PatternEnum/LinearEnum choice to the cost-based
+	// planner: the prepare stage's statistics (pattern-combination space,
+	// candidate-root frontier, valid-subtree count) pick the cheaper
+	// algorithm per query, and the answers are bit-identical to running
+	// that algorithm explicitly. The returned PlanInfo (SearchPlan, Plan)
+	// names the choice and why.
+	Auto
 )
 
 func (a Algorithm) String() string {
@@ -128,8 +135,52 @@ func (a Algorithm) String() string {
 		return "LETopK"
 	case Baseline:
 		return "Baseline"
+	case Auto:
+		return "Auto"
 	}
 	return "unknown"
+}
+
+// searchAlgo maps the facade algorithm onto the staged executor's.
+func searchAlgo(a Algorithm) (search.Algo, error) {
+	switch a {
+	case PatternEnum:
+		return search.AlgoPE, nil
+	case LinearEnum:
+		return search.AlgoLE, nil
+	case Baseline:
+		return search.AlgoBaseline, nil
+	case Auto:
+		return search.AlgoAuto, nil
+	}
+	return 0, fmt.Errorf("kbtable: unknown algorithm %d", a)
+}
+
+// shardAlgo maps the facade algorithm onto the scatter-gather engine's.
+func shardAlgo(a Algorithm) (shard.Algo, error) {
+	switch a {
+	case PatternEnum:
+		return shard.PatternEnum, nil
+	case LinearEnum:
+		return shard.LinearEnum, nil
+	case Baseline:
+		return shard.Baseline, nil
+	case Auto:
+		return shard.Auto, nil
+	}
+	return 0, fmt.Errorf("kbtable: unknown algorithm %d", a)
+}
+
+// facadeAlgo maps a resolved executor strategy back to the facade enum.
+func facadeAlgo(a search.Algo) Algorithm {
+	switch a {
+	case search.AlgoLE:
+		return LinearEnum
+	case search.AlgoBaseline:
+		return Baseline
+	default:
+		return PatternEnum
+	}
 }
 
 // EngineOptions configure index construction.
@@ -164,18 +215,72 @@ type EngineOptions struct {
 type SearchOptions struct {
 	// K is the number of patterns to return (default 100).
 	K int
-	// Algorithm defaults to PatternEnum.
+	// Algorithm defaults to PatternEnum; Auto lets the planner pick.
 	Algorithm Algorithm
 	// Lambda and Rho enable LinearEnum's root sampling: when a root type
 	// has at least Lambda valid subtrees, only a Rho fraction of its roots
 	// are expanded and scores are estimated (then re-scored exactly for
-	// the estimated top-k). Lambda <= 0 disables sampling.
+	// the estimated top-k). Lambda <= 0 disables sampling. Under Auto,
+	// sampling applies only when the planner resolves to LinearEnum.
 	Lambda int64
 	Rho    float64
 	// Seed fixes the sampling randomness (default 1).
 	Seed int64
 	// MaxRowsPerTable caps materialized rows per answer (0 = all).
 	MaxRowsPerTable int
+	// AutoBias overrides the Auto planner's PatternEnum preference: PE is
+	// chosen iff its estimated cost (pattern-combination space) is at most
+	// AutoBias times LinearEnum's (candidate roots + half the subtree
+	// frontier). 0 means the default (search.DefaultAutoBias); larger
+	// values favor PatternEnum.
+	AutoBias float64
+}
+
+// PlanInfo reports how a query executed (or, from Plan, would execute):
+// the resolved algorithm, the planner's statistics and rationale, and the
+// staged pipeline's per-stage wall-clock times (zero when no execution
+// happened).
+type PlanInfo struct {
+	// Algorithm is the resolved strategy — never Auto.
+	Algorithm Algorithm
+	// Auto reports that the planner (not the caller) chose Algorithm.
+	Auto bool
+	// Reason is the planner's one-line cost rationale (empty for explicit
+	// algorithm requests).
+	Reason string
+	// CandidateRoots is |∩ Roots(wi)| (-1 when the plan did not need it:
+	// explicit PatternEnum skips the intersection).
+	CandidateRoots int
+	// RootTypes counts distinct root types common to every keyword.
+	RootTypes int
+	// PatternSpace is the pattern-combination count PatternEnum would
+	// enumerate; Frontier is the total valid-subtree count LinearEnum
+	// would expand. Both saturate at MaxInt64.
+	PatternSpace int64
+	Frontier     int64
+	// Prepare/Enumerate/Aggregate/Rank are the staged executor's stage
+	// wall-clock times for the run that produced the answers.
+	Prepare   time.Duration
+	Enumerate time.Duration
+	Aggregate time.Duration
+	Rank      time.Duration
+}
+
+// planInfo converts an executor plan + stage timings to the facade view.
+func planInfo(p search.Plan, st search.StageTimings) PlanInfo {
+	return PlanInfo{
+		Algorithm:      facadeAlgo(p.Algo),
+		Auto:           p.Auto,
+		Reason:         p.Reason,
+		CandidateRoots: p.Stats.CandidateRoots,
+		RootTypes:      p.Stats.RootTypes,
+		PatternSpace:   p.Stats.PatternSpace,
+		Frontier:       p.Stats.Frontier,
+		Prepare:        st.Prepare,
+		Enumerate:      st.Enumerate,
+		Aggregate:      st.Aggregate,
+		Rank:           st.Rank,
+	}
 }
 
 // Engine answers keyword queries over one graph using prebuilt path
@@ -306,74 +411,113 @@ func (e *Engine) SearchOpts(query string, opts SearchOptions) ([]Answer, error) 
 // queries only read the index — and each query additionally fans out
 // across EngineOptions.Workers goroutines internally.
 func (e *Engine) SearchContext(ctx context.Context, query string, opts SearchOptions) ([]Answer, error) {
+	answers, _, err := e.SearchPlan(ctx, query, opts)
+	return answers, err
+}
+
+// searchOptions lowers facade options onto the executor's.
+func (e *Engine) searchOptions(opts SearchOptions) search.Options {
 	if opts.K <= 0 {
 		opts.K = 100
 	}
-	so := search.Options{
+	return search.Options{
 		K:                  opts.K,
 		Lambda:             opts.Lambda,
 		Rho:                opts.Rho,
 		Seed:               opts.Seed,
 		MaxTreesPerPattern: opts.MaxRowsPerTable,
 		Workers:            e.o.Workers,
-	}
-	if e.sh != nil {
-		var algo shard.Algo
-		switch opts.Algorithm {
-		case PatternEnum:
-			algo = shard.PatternEnum
-		case LinearEnum:
-			algo = shard.LinearEnum
-		case Baseline:
-			algo = shard.Baseline
-		default:
-			return nil, fmt.Errorf("kbtable: unknown algorithm %d", opts.Algorithm)
-		}
-		res, err := e.sh.Search(ctx, algo, query, so)
-		if err != nil {
-			return nil, fmt.Errorf("kbtable: %w", err)
-		}
-		return e.shardAnswers(res), nil
-	}
-	switch opts.Algorithm {
-	case PatternEnum:
-		res, err := search.PETopKCtx(ctx, e.ix, query, so)
-		if err != nil {
-			return nil, fmt.Errorf("kbtable: %w", err)
-		}
-		return e.toAnswers(res), nil
-	case LinearEnum:
-		res, err := search.LETopKCtx(ctx, e.ix, query, so)
-		if err != nil {
-			return nil, fmt.Errorf("kbtable: %w", err)
-		}
-		return e.toAnswers(res), nil
-	case Baseline:
-		e.blOnce.Do(func() {
-			e.bl, e.blErr = search.NewBaseline(e.g.g, search.BaselineOptions{
-				D:         e.o.D,
-				UniformPR: e.o.UniformPageRank,
-				Synonyms:  e.o.Synonyms,
-			})
-		})
-		if e.blErr != nil {
-			return nil, fmt.Errorf("kbtable: %w", e.blErr)
-		}
-		res, err := e.bl.SearchCtx(ctx, query, so)
-		if err != nil {
-			return nil, fmt.Errorf("kbtable: %w", err)
-		}
-		return e.baselineAnswers(res), nil
-	default:
-		return nil, fmt.Errorf("kbtable: unknown algorithm %d", opts.Algorithm)
+		AutoBias:           opts.AutoBias,
 	}
 }
 
+// SearchPlan is SearchContext plus plan observability: it additionally
+// returns how the query executed — the resolved algorithm (for
+// Algorithm: Auto, the planner's per-query choice, whose answers are
+// bit-identical to requesting that algorithm explicitly), the statistics
+// the decision was based on, and per-stage timings.
+func (e *Engine) SearchPlan(ctx context.Context, query string, opts SearchOptions) ([]Answer, PlanInfo, error) {
+	so := e.searchOptions(opts)
+	if e.sh != nil {
+		algo, err := shardAlgo(opts.Algorithm)
+		if err != nil {
+			return nil, PlanInfo{}, err
+		}
+		res, err := e.sh.Search(ctx, algo, query, so)
+		if err != nil {
+			return nil, PlanInfo{}, fmt.Errorf("kbtable: %w", err)
+		}
+		return e.shardAnswers(res), planInfo(res.Plan, res.Stats.Stages), nil
+	}
+	algo, err := searchAlgo(opts.Algorithm)
+	if err != nil {
+		return nil, PlanInfo{}, err
+	}
+	ex := search.Executor{Ix: e.ix}
+	if algo == search.AlgoBaseline {
+		if ex.BL, err = e.baseline(); err != nil {
+			return nil, PlanInfo{}, err
+		}
+	}
+	res, err := ex.Search(ctx, query, algo, so)
+	if err != nil {
+		return nil, PlanInfo{}, fmt.Errorf("kbtable: %w", err)
+	}
+	return e.toAnswers(res), planInfo(res.Plan, res.Stats.Stages), nil
+}
+
+// Plan resolves a query's execution plan without running it: the prepare
+// stage's statistics plus, for Algorithm: Auto, the planner's choice. A
+// subsequent search with the returned PlanInfo.Algorithm produces exactly
+// the answers Auto would. Stage timings are zero (nothing executed).
+func (e *Engine) Plan(ctx context.Context, query string, opts SearchOptions) (PlanInfo, error) {
+	so := e.searchOptions(opts)
+	if e.sh != nil {
+		algo, err := shardAlgo(opts.Algorithm)
+		if err != nil {
+			return PlanInfo{}, err
+		}
+		p, err := e.sh.Plan(ctx, algo, query, so)
+		if err != nil {
+			return PlanInfo{}, fmt.Errorf("kbtable: %w", err)
+		}
+		return planInfo(p, search.StageTimings{}), nil
+	}
+	algo, err := searchAlgo(opts.Algorithm)
+	if err != nil {
+		return PlanInfo{}, err
+	}
+	st, err := search.PlanProbe(ctx, e.ix, query, so)
+	if err != nil {
+		return PlanInfo{}, fmt.Errorf("kbtable: %w", err)
+	}
+	return planInfo(search.ChoosePlan(algo, st, so), search.StageTimings{}), nil
+}
+
+// baseline lazily builds the enumeration–aggregation baseline index.
+func (e *Engine) baseline() (*search.BaselineIndex, error) {
+	e.blOnce.Do(func() {
+		e.bl, e.blErr = search.NewBaseline(e.g.g, search.BaselineOptions{
+			D:         e.o.D,
+			UniformPR: e.o.UniformPageRank,
+			Synonyms:  e.o.Synonyms,
+		})
+	})
+	if e.blErr != nil {
+		return nil, fmt.Errorf("kbtable: %w", e.blErr)
+	}
+	return e.bl, nil
+}
+
 func (e *Engine) toAnswers(res *search.Result) []Answer {
+	pt := res.Table // the baseline interns its own patterns per query
+	if pt == nil {
+		pt = e.ix.PatternTable()
+	}
 	out := make([]Answer, 0, len(res.Patterns))
 	for i, rp := range res.Patterns {
-		tab := core.ComposeTable(e.g.g, e.ix.PatternTable(), rp.Pattern, rp.Trees)
-		out = append(out, answerFrom(i, rp, tab, rp.Pattern.Render(e.g.g, e.ix.PatternTable(), res.Stats.Surfaces)))
+		tab := core.ComposeTable(e.g.g, pt, rp.Pattern, rp.Trees)
+		out = append(out, answerFrom(i, rp, tab, rp.Pattern.Render(e.g.g, pt, res.Stats.Surfaces)))
 	}
 	return out
 }
@@ -384,15 +528,6 @@ func (e *Engine) shardAnswers(res *shard.Result) []Answer {
 		tab := core.ComposeTable(e.g.g, rp.Table, rp.Pattern, rp.Trees)
 		sp := search.RankedPattern{Pattern: rp.Pattern, Agg: rp.Agg, Score: rp.Score}
 		out = append(out, answerFrom(i, sp, tab, rp.Pattern.Render(e.g.g, rp.Table, res.Stats.Surfaces)))
-	}
-	return out
-}
-
-func (e *Engine) baselineAnswers(res *search.BaselineResult) []Answer {
-	out := make([]Answer, 0, len(res.Patterns))
-	for i, rp := range res.Patterns {
-		tab := core.ComposeTable(e.g.g, res.Table, rp.Pattern, rp.Trees)
-		out = append(out, answerFrom(i, rp, tab, rp.Pattern.Render(e.g.g, res.Table, res.Stats.Surfaces)))
 	}
 	return out
 }

@@ -1,0 +1,114 @@
+package kbtable
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// The Auto-equivalence property suite: on both golden corpora, across
+// unsharded and sharded engines and both scoring modes, a query run with
+// Algorithm: Auto must (a) report a concrete resolved algorithm with a
+// planner rationale and (b) produce answers BYTE-identical — via the same
+// full-fidelity rendering the golden suite pins — to explicitly
+// requesting the algorithm the plan names. The planner may choose freely;
+// it may never change a single bit of the answer.
+
+func autoCorpora(t *testing.T) map[string]*Graph {
+	t.Helper()
+	out := map[string]*Graph{}
+	for _, name := range []string{"wiki", "imdb"} {
+		out[name] = loadCorpus(t, filepath.Join("testdata", "corpus", name+".txt"))
+	}
+	return out
+}
+
+func TestAutoEquivalenceProperty(t *testing.T) {
+	for name, g := range autoCorpora(t) {
+		queries := map[string][]string{}
+		for _, spec := range goldenCorpora() {
+			queries[spec.name] = spec.queries
+		}
+		for _, shards := range []int{1, 2, 4} {
+			for _, uniform := range []bool{false, true} {
+				label := fmt.Sprintf("%s/shards=%d/uniform=%t", name, shards, uniform)
+				e, err := NewEngine(g, EngineOptions{D: 3, Shards: shards, UniformPageRank: uniform})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A tiny bias forces LinearEnum, the default lets the
+				// cost model decide — both planner branches are
+				// exercised and both must be answer-preserving.
+				for _, bias := range []float64{0, 1e-12} {
+					for _, q := range queries[name] {
+						opts := SearchOptions{K: 10, Algorithm: Auto, MaxRowsPerTable: 6, AutoBias: bias}
+						auto, pi, err := e.SearchPlan(context.Background(), q, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !pi.Auto {
+							t.Fatalf("%s/%q: plan not marked auto", label, q)
+						}
+						if pi.Algorithm != PatternEnum && pi.Algorithm != LinearEnum {
+							t.Fatalf("%s/%q: auto resolved to %v", label, q, pi.Algorithm)
+						}
+						if pi.Reason == "" {
+							t.Fatalf("%s/%q: auto plan has no reason", label, q)
+						}
+						opts.Algorithm = pi.Algorithm
+						explicit, xpi, err := e.SearchPlan(context.Background(), q, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if xpi.Auto {
+							t.Fatalf("%s/%q: explicit plan marked auto", label, q)
+						}
+						if got, want := renderGolden(q, auto), renderGolden(q, explicit); got != want {
+							t.Errorf("%s/%q: auto (%v, bias %g) diverges from explicit:\n%s",
+								label, q, pi.Algorithm, bias, diffHint(want, got))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanMatchesSearchPlan pins that the execution-free Plan API
+// resolves exactly the algorithm a subsequent Auto search runs as — the
+// property the serve layer's cache keying relies on.
+func TestPlanMatchesSearchPlan(t *testing.T) {
+	for name, g := range autoCorpora(t) {
+		for _, shards := range []int{1, 3} {
+			e, err := NewEngine(g, EngineOptions{D: 3, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, spec := range goldenCorpora() {
+				if spec.name != name {
+					continue
+				}
+				for _, q := range spec.queries {
+					opts := SearchOptions{K: 10, Algorithm: Auto}
+					planned, err := e.Plan(context.Background(), q, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					_, executed, err := e.SearchPlan(context.Background(), q, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if planned.Algorithm != executed.Algorithm {
+						t.Errorf("%s/shards=%d/%q: Plan says %v, SearchPlan ran %v",
+							name, shards, q, planned.Algorithm, executed.Algorithm)
+					}
+					if planned.Reason != executed.Reason {
+						t.Errorf("%s/shards=%d/%q: plan reasons differ:\n  %s\n  %s",
+							name, shards, q, planned.Reason, executed.Reason)
+					}
+				}
+			}
+		}
+	}
+}
