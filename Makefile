@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan serve clean
+.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan serve clean ci-local cold-start snapshot-fixture
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,38 @@ fuzz:
 	$(GO) test -fuzz='^FuzzSearchNeverPanics$$' -fuzztime=10s -run='^$$' .
 	$(GO) test -fuzz='^FuzzUpdateOps$$' -fuzztime=10s -run='^$$' .
 	$(GO) test -fuzz='^FuzzIndexRoundTrip$$' -fuzztime=10s -run='^$$' .
+	$(GO) test -fuzz='^FuzzWALReplay$$' -fuzztime=10s -run='^$$' ./internal/store
 	$(GO) test -fuzz='^FuzzDictQueryTokens$$' -fuzztime=10s -run='^$$' ./internal/text
+
+# Mirror of the GitHub `test` + `coverage` jobs, step for step, so a CI
+# failure can be reproduced (and fixed) without pushing: gofmt, vet,
+# build, examples, race tests (incl. the snapshot format gate), bench
+# smoke, coverage floor.
+ci-local:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) build ./examples/...
+	$(GO) test -race ./...
+	$(GO) test -run TestSnapshotFixture -v .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/index,./internal/kg ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	  echo "coverage: $${total}% (floor 85%)"; \
+	  awk -v t="$$total" 'BEGIN { exit (t+0 < 85) ? 1 : 0 }'
+	@echo "ci-local passed"
+
+# The cold-start crash-recovery matrix (the CI job of the same name):
+# seed, update, SIGKILL, restart from -data-dir, byte-diff the golden
+# answers against an uninterrupted in-memory run.
+cold-start:
+	KBTABLE_COLDSTART=1 $(GO) test -run TestColdStartRecovery -v -timeout 15m .
+
+# Regenerate the checked-in snapshot fixture (testdata/snapshot) after
+# an intentional snapshot/WAL/index wire-format change. Bump
+# store.FormatVersion (and/or index.WireVersion) in the same PR.
+snapshot-fixture:
+	$(GO) test -run TestSnapshotFixture -update .
 
 # Refresh the golden-corpus answer files after an intentional behavior
 # change (regenerates testdata/corpus and testdata/golden).

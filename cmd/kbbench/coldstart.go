@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"time"
+
+	"kbtable"
+	"kbtable/internal/bench"
+	"kbtable/internal/kg"
+)
+
+// runColdStartBench checkpoints an engine over g into a throwaway data
+// directory and times kbtable.OpenDir (snapshot load) against
+// kbtable.NewEngine (index rebuild) — the cold_start row of
+// BENCH_kbtable.json. It lives in cmd/kbbench rather than
+// internal/bench because it needs the kbtable facade, which the root
+// package's in-package tests would turn into an import cycle.
+func runColdStartBench(g *kg.Graph) (*bench.ColdStartBenchResult, error) {
+	tmp, err := os.MkdirTemp("", "kbtable-coldstart-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	// The facade owns durable engines, so round-trip the graph through
+	// its file format.
+	kbPath := filepath.Join(tmp, "bench.kb")
+	if err := g.SaveFile(kbPath); err != nil {
+		return nil, err
+	}
+	fg, err := kbtable.LoadGraph(kbPath)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	eng, err := kbtable.NewEngine(fg, kbtable.EngineOptions{D: 3})
+	if err != nil {
+		return nil, err
+	}
+	build := time.Since(t0)
+
+	dataDir := filepath.Join(tmp, "data")
+	st, err := kbtable.OpenStore(dataDir)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	cs, err := eng.Checkpoint(st)
+	if err != nil {
+		return nil, err
+	}
+
+	t1 := time.Now()
+	_, st2, _, err := kbtable.OpenDir(dataDir, kbtable.EngineOptions{})
+	if err != nil {
+		return nil, err
+	}
+	load := time.Since(t1)
+	st2.Close()
+
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	out := &bench.ColdStartBenchResult{
+		SnapshotBytes: cs.Bytes,
+		BuildMs:       ms(build),
+		LoadMs:        ms(load),
+	}
+	if out.LoadMs > 0 {
+		out.SpeedupVsBuild = out.BuildMs / out.LoadMs
+	}
+	return out, nil
+}

@@ -44,13 +44,17 @@ func main() {
 	flag.Parse()
 
 	if *jsonBench {
-		report, err := bench.RunShardBench(bench.ShardBenchConfig{
+		cfg := bench.ShardBenchConfig{
 			Entities: *benchEntities,
 			Queries:  *benchQueries,
 			K:        *k,
 			Seed:     *seed,
-		})
+		}
+		report, err := bench.RunShardBench(cfg)
 		if err != nil {
+			log.Fatal(err)
+		}
+		if report.ColdStart, err = runColdStartBench(cfg.WikiGraph()); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(report.String())

@@ -6,11 +6,21 @@
 // incrementally (only the d-neighborhood of the change is re-enumerated),
 // and swaps in the new snapshot without blocking in-flight searches.
 //
+// With -data-dir the knowledge base is durable: accepted updates are
+// written to a write-ahead log (fsync) before they are published, the
+// engine is checkpointed into a snapshot store in the background, and
+// a restart recovers the exact pre-crash state — snapshot plus WAL
+// replay — instead of rebuilding from scratch. The first run against an
+// empty directory seeds it from -kb (or -demo); later runs recover from
+// the directory and ignore -kb.
+//
 // Usage:
 //
 //	kbserve -kb wiki.kb -addr :8080          # serve a kbgen-built KB
 //	kbserve -kb wiki.kb -shards 4            # partitioned indexes, scatter-gather
 //	kbserve -kb wiki.kb -index wiki.ix       # skip index construction
+//	kbserve -kb wiki.kb -data-dir ./data     # durable: WAL + snapshots
+//	kbserve -data-dir ./data                 # restart: recover, no -kb needed
 //	kbserve -demo                            # built-in Figure 1 KB
 //	kbserve -demo -readonly                  # disable POST /update
 //
@@ -28,6 +38,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -56,39 +67,81 @@ func main() {
 	maxRows := flag.Int("max-rows", 50, "default cap on table rows per answer")
 	readOnly := flag.Bool("readonly", false, "disable POST /update (serve a frozen snapshot)")
 	defaultAlgo := flag.String("default-algo", "patternenum", "algorithm for requests that omit one: patternenum, linearenum, baseline, or auto (cost-based planner)")
+	dataDir := flag.String("data-dir", "", "durable data directory: WAL-log updates, checkpoint snapshots, recover on restart")
+	ckptEvery := flag.Int("checkpoint-every", 64, "background-checkpoint after this many WAL records accumulate past the last snapshot (negative disables)")
 	flag.Parse()
 
-	var g *kbtable.Graph
+	// With -data-dir, the snapshot manifest is authoritative for the
+	// build-time options; only explicitly passed flags may contradict it
+	// (and then fail loudly).
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var eng *kbtable.Engine
+	var store *kbtable.Store
 	var err error
-	switch {
-	case *kbPath != "":
-		if g, err = kbtable.LoadGraph(*kbPath); err != nil {
+	opts := kbtable.EngineOptions{D: *d, Workers: *workers, Shards: *shards}
+	t0 := time.Now()
+
+	if *dataDir != "" {
+		if *ixPath != "" {
+			log.Fatal("-index is incompatible with -data-dir (snapshots carry their own indexes)")
+		}
+		ropts := opts
+		if !explicit["d"] {
+			ropts.D = 0
+		}
+		if !explicit["shards"] {
+			ropts.Shards = 0
+		}
+		var rs kbtable.RecoverStats
+		eng, store, rs, err = kbtable.OpenDir(*dataDir, ropts)
+		switch {
+		case err == nil:
+			if *kbPath != "" {
+				log.Printf("data dir %s already holds a snapshot; ignoring -kb", *dataDir)
+			}
+			torn := ""
+			if rs.TornTail {
+				torn = " (torn WAL tail discarded)"
+			}
+			log.Printf("recovered %s: snapshot seq=%d + %d wal records -> seq=%d, %d shard(s), in %v%s",
+				*dataDir, rs.SnapshotSeq, rs.Replayed, rs.Seq, rs.Shards,
+				(rs.SnapshotLoad + rs.Replay).Round(time.Millisecond), torn)
+		case errors.Is(err, kbtable.ErrNoSnapshot):
+			// Fresh directory (the store comes back open): seed it from
+			// -kb / -demo.
+			g := mustGraph(*kbPath, *demo)
+			if eng, err = kbtable.NewEngine(g, opts); err != nil {
+				log.Fatal(err)
+			}
+			cs, err := eng.Checkpoint(store)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("seeded %s: snapshot of %d files, %.1f MB", *dataDir, cs.Files, float64(cs.Bytes)/(1<<20))
+		default:
 			log.Fatal(err)
 		}
-	case *demo:
-		g, err = demoGraph()
+		defer store.Close()
+	} else {
+		g := mustGraph(*kbPath, *demo)
+		if *ixPath != "" {
+			if *shards > 1 {
+				log.Fatal("-index is incompatible with -shards > 1 (sharded engines build their partitioned indexes at startup)")
+			}
+			eng, err = kbtable.NewEngineFromIndex(g, *ixPath, opts)
+		} else {
+			eng, err = kbtable.NewEngine(g, opts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-	default:
-		log.Fatal("provide -kb FILE (see cmd/kbgen) or -demo")
 	}
-	log.Printf("graph: %d entities, %d attributes, %d types",
-		g.NumEntities(), g.NumAttributes(), g.NumTypes())
-
-	opts := kbtable.EngineOptions{D: *d, Workers: *workers, Shards: *shards}
-	var eng *kbtable.Engine
-	t0 := time.Now()
-	if *ixPath != "" {
-		if *shards > 1 {
-			log.Fatal("-index is incompatible with -shards > 1 (sharded engines build their partitioned indexes at startup)")
-		}
-		eng, err = kbtable.NewEngineFromIndex(g, *ixPath, opts)
-	} else {
-		eng, err = kbtable.NewEngine(g, opts)
-	}
-	if err != nil {
-		log.Fatal(err)
+	{
+		g := eng.Graph()
+		log.Printf("graph: %d entities, %d attributes, %d types",
+			g.NumEntities(), g.NumAttributes(), g.NumTypes())
 	}
 	st := eng.IndexStats()
 	log.Printf("index: d=%d, %d patterns, %d entries, %.1f MB, ready in %v",
@@ -109,6 +162,8 @@ func main() {
 		MaxRows:          *maxRows,
 		ReadOnly:         *readOnly,
 		DefaultAlgorithm: *defaultAlgo,
+		Store:            store,
+		CheckpointEvery:  *ckptEvery,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -118,6 +173,9 @@ func main() {
 	mode := "live updates enabled (POST /update)"
 	if *readOnly {
 		mode = "read-only"
+	}
+	if store != nil {
+		mode += fmt.Sprintf(", durable in %s (checkpoint every %d records)", store.Dir(), *ckptEvery)
 	}
 	log.Printf("listening on %s (POST /search, GET /healthz), %s", *addr, mode)
 
@@ -134,8 +192,35 @@ func main() {
 		if err := srv.Shutdown(shCtx); err != nil {
 			log.Fatalf("shutdown: %v", err)
 		}
+		if store != nil {
+			// Final checkpoint so a clean restart replays no WAL. A
+			// failure is not fatal: the WAL already holds everything.
+			if err := srv.CheckpointNow(); err != nil {
+				log.Printf("final checkpoint: %v", err)
+			}
+		}
 		log.Print("drained")
 	}
+}
+
+// mustGraph loads the knowledge base from -kb or builds the demo.
+func mustGraph(kbPath string, demo bool) *kbtable.Graph {
+	switch {
+	case kbPath != "":
+		g, err := kbtable.LoadGraph(kbPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	case demo:
+		g, err := demoGraph()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+	log.Fatal("provide -kb FILE (see cmd/kbgen), -demo, or a -data-dir holding a snapshot")
+	return nil
 }
 
 // demoGraph builds the paper's Figure 1 mini knowledge base, so the

@@ -10,6 +10,7 @@ import (
 
 	"kbtable/internal/dataset"
 	"kbtable/internal/index"
+	"kbtable/internal/kg"
 	"kbtable/internal/search"
 	"kbtable/internal/shard"
 )
@@ -91,6 +92,21 @@ type PlannerBenchResult struct {
 	ChoseLE int `json:"chose_le,omitempty"`
 }
 
+// ColdStartBenchResult compares a cold start from a durable snapshot
+// (kbtable.OpenDir: load graph + indexes, replay nothing) against
+// rebuilding the same engine from scratch — the quantity the snapshot
+// store exists to improve.
+type ColdStartBenchResult struct {
+	// SnapshotBytes is the on-disk snapshot size.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// BuildMs is NewEngine (index construction) wall-clock time;
+	// LoadMs is OpenDir (snapshot load) wall-clock time.
+	BuildMs float64 `json:"build_ms"`
+	LoadMs  float64 `json:"load_ms"`
+	// SpeedupVsBuild is BuildMs / LoadMs.
+	SpeedupVsBuild float64 `json:"speedup_vs_build"`
+}
+
 // ShardBenchReport is the BENCH_kbtable.json schema.
 type ShardBenchReport struct {
 	GoVersion  string             `json:"go_version"`
@@ -102,6 +118,8 @@ type ShardBenchReport struct {
 	Results    []ShardBenchResult `json:"results"`
 	// Planner is the PE vs LE vs Auto ablation per corpus.
 	Planner []PlannerBenchResult `json:"planner"`
+	// ColdStart is the snapshot-load vs index-rebuild comparison.
+	ColdStart *ColdStartBenchResult `json:"cold_start,omitempty"`
 }
 
 // RunShardBench measures query throughput of the serial engine against
@@ -239,6 +257,15 @@ func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
 	return report, nil
 }
 
+// WikiGraph synthesizes the same wiki corpus RunShardBench measures, so
+// cmd/kbbench can attach the cold-start row (which needs the kbtable
+// facade — off limits here: the root package's in-package tests import
+// this one) for the identical dataset.
+func (c ShardBenchConfig) WikiGraph() *kg.Graph {
+	cd := c.withDefaults()
+	return dataset.SynthWiki(dataset.WikiConfig{Entities: cd.Entities, Types: cd.Types, Seed: cd.Seed})
+}
+
 // WriteJSON emits the report as indented JSON.
 func (r *ShardBenchReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -262,8 +289,13 @@ func (r *ShardBenchReport) String() string {
 			fmt.Sprintf("%.2fx", res.SpeedupVsSerial),
 		})
 	}
+	cold := ""
+	if r.ColdStart != nil {
+		cold = fmt.Sprintf("\ncold start: snapshot %.1f MB, build %.0fms vs load %.0fms (%.1fx)\n",
+			float64(r.ColdStart.SnapshotBytes)/(1<<20), r.ColdStart.BuildMs, r.ColdStart.LoadMs, r.ColdStart.SpeedupVsBuild)
+	}
 	if len(r.Planner) == 0 {
-		return t.String()
+		return t.String() + cold
 	}
 	p := Table{
 		Title:  "Planner ablation — PE vs LE vs Auto per corpus",
@@ -283,5 +315,5 @@ func (r *ShardBenchReport) String() string {
 			choice,
 		})
 	}
-	return t.String() + "\n" + p.String()
+	return t.String() + "\n" + p.String() + cold
 }

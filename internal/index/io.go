@@ -16,6 +16,14 @@ import (
 // The wire format stores the dictionary, the interned patterns, and the
 // raw posting lists; the pattern-first / root-first group tables are
 // rebuilt on load (they are derived data and sort faster than DFS).
+//
+// WireVersion is the index wire-format version this build writes.
+// Version 0 (files written before the durable snapshot store existed)
+// is identical on the wire — the field simply decodes to zero — so
+// Load accepts 0 and WireVersion and refuses anything newer with a
+// clear error instead of gob soup. Bump it when the entry layout
+// changes, and regenerate the snapshot fixture (make snapshot-fixture).
+const WireVersion = 1
 
 type entryWire struct {
 	Pattern core.PatternID
@@ -34,6 +42,8 @@ type wordWire struct {
 }
 
 type indexWire struct {
+	// Version is the wire-format version (see WireVersion).
+	Version  int
 	D        int
 	Dict     text.Snapshot
 	Patterns []core.PathPattern
@@ -49,6 +59,7 @@ func (ix *Index) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := gob.NewEncoder(bw)
 	wire := indexWire{
+		Version:  WireVersion,
 		D:        ix.d,
 		Dict:     ix.dict.Snapshot(),
 		Patterns: ix.pt.Snapshot(),
@@ -88,6 +99,9 @@ func Load(r io.Reader, g *kg.Graph) (*Index, error) {
 	var wire indexWire
 	if err := dec.Decode(&wire); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if wire.Version > WireVersion {
+		return nil, fmt.Errorf("index: wire-format version %d not supported (this build reads up to %d)", wire.Version, WireVersion)
 	}
 	if wire.Nodes != g.NumNodes() || wire.Edges != g.NumEdges() {
 		return nil, fmt.Errorf("index: built for a graph with %d nodes/%d edges, got %d/%d",

@@ -43,6 +43,17 @@ type shardInfoer interface {
 	ShardInfo() kbtable.ShardInfo
 }
 
+// durableEngine is the durability surface: logging accepted updates to
+// the write-ahead log before they become visible, and checkpointing the
+// engine into the snapshot store. *kbtable.Engine implements it; fakes
+// that do not simply run without durability even when Config.Store is
+// set.
+type durableEngine interface {
+	ApplyLogged(s *kbtable.Store, u kbtable.Update) (*kbtable.Engine, kbtable.UpdateResult, error)
+	Checkpoint(s *kbtable.Store) (kbtable.CheckpointStats, error)
+	Seq() uint64
+}
+
 // planner is the plan-observability surface: resolving a plan without
 // executing (Plan — the server uses it to key "auto" requests under the
 // algorithm they resolve to) and searching with plan + stage timings
@@ -79,6 +90,17 @@ type Config struct {
 	// the same wire names as the request field ("patternenum", "le",
 	// "auto", …). Empty means "patternenum".
 	DefaultAlgorithm string
+	// Store, when non-nil, makes updates durable: every accepted
+	// /update batch is appended to the store's write-ahead log (fsync)
+	// before the new epoch is published, and a background checkpoint
+	// rewrites the snapshot — truncating the WAL — whenever the log
+	// grows CheckpointEvery records past the last snapshot. The engine
+	// must support durability (see durableEngine) for Store to engage.
+	Store *kbtable.Store
+	// CheckpointEvery is the WAL-records-behind-snapshot threshold that
+	// triggers a background checkpoint; default 64, negative disables
+	// automatic checkpoints (CheckpointNow still works).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxUpdateOps <= 0 {
 		c.MaxUpdateOps = 10000
 	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 64
+	}
 	return c
 }
 
@@ -106,10 +131,11 @@ func (c Config) withDefaults() Config {
 // next epoch.
 type engineState struct {
 	eng    Searcher
-	upd    Updater      // nil if the engine cannot apply updates
-	words  wordResolver // nil if the engine cannot resolve query words
-	shards shardInfoer  // nil if the engine cannot describe its shards
-	plans  planner      // nil if the engine cannot resolve plans
+	upd    Updater       // nil if the engine cannot apply updates
+	words  wordResolver  // nil if the engine cannot resolve query words
+	shards shardInfoer   // nil if the engine cannot describe its shards
+	plans  planner       // nil if the engine cannot resolve plans
+	dur    durableEngine // nil if the engine cannot log/checkpoint
 	epoch  uint64
 }
 
@@ -137,6 +163,16 @@ type Server struct {
 	autoChosePE  atomic.Uint64
 	autoChoseLE  atomic.Uint64
 
+	// Durability counters: completed background/explicit checkpoints,
+	// failures, the busy latch that keeps at most one background
+	// checkpoint goroutine alive, and the mutex that serializes actual
+	// checkpoint work (background vs CheckpointNow on shutdown).
+	checkpoints  atomic.Uint64
+	ckptErrors   atomic.Uint64
+	ckptBusy     atomic.Bool
+	ckptRunMu    sync.Mutex
+	lastCkptUnix atomic.Int64
+
 	// cur is the published epoch. updateMu serializes updates; swapMu
 	// fences cache writes against the invalidate-then-publish sequence so
 	// a result computed on epoch N can never enter the cache after the
@@ -162,7 +198,12 @@ func New(cfg Config) *Server {
 	st.words, _ = cfg.Engine.(wordResolver)
 	st.shards, _ = cfg.Engine.(shardInfoer)
 	st.plans, _ = cfg.Engine.(planner)
+	st.dur, _ = cfg.Engine.(durableEngine)
 	s.cur.Store(st)
+	// A server recovered with a long WAL suffix should not wait for the
+	// next update to reclaim it: evaluate the checkpoint lag once at
+	// startup too.
+	s.maybeCheckpoint()
 	s.hs = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -344,17 +385,48 @@ type PlannerHealth struct {
 	ChoseLinearEnum  uint64 `json:"chose_linearenum"`
 }
 
+// DurabilityHealth is the /healthz view of the snapshot + WAL store.
+type DurabilityHealth struct {
+	// DataDir is the store's directory.
+	DataDir string `json:"data_dir"`
+	// WALSeq is the last durable WAL sequence; SnapshotSeq is the WAL
+	// position of the newest snapshot. PendingRecords = WALSeq −
+	// SnapshotSeq is how many update batches a cold start would replay.
+	WALSeq         uint64 `json:"wal_seq"`
+	SnapshotSeq    uint64 `json:"snapshot_seq"`
+	PendingRecords uint64 `json:"wal_pending_records"`
+	// WALBytes is the live WAL size on disk.
+	WALBytes int64 `json:"wal_bytes"`
+	// Checkpoints / CheckpointErrors count completed and failed
+	// checkpoints since startup; CheckpointEvery is the trigger
+	// threshold (-1 = automatic checkpoints disabled).
+	Checkpoints      uint64 `json:"checkpoints"`
+	CheckpointErrors uint64 `json:"checkpoint_errors,omitempty"`
+	CheckpointEvery  int    `json:"checkpoint_every"`
+	// LastCheckpointUnix is the wall-clock second of the last completed
+	// checkpoint (0 = none since startup).
+	LastCheckpointUnix int64 `json:"last_checkpoint_unix,omitempty"`
+	// TornOnOpen reports that this process found (and truncated) a torn
+	// WAL suffix when it opened the store — evidence of a crash.
+	TornOnOpen bool `json:"torn_on_open,omitempty"`
+	// WALBroken reports a failed WAL append: the server now rejects
+	// every update (503) until restarted. The top-level status turns
+	// "degraded" so health probes catch it.
+	WALBroken bool `json:"wal_broken,omitempty"`
+}
+
 // HealthResponse is the GET /healthz reply.
 type HealthResponse struct {
-	Status        string        `json:"status"`
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Requests      uint64        `json:"requests"`
-	Epoch         uint64        `json:"epoch"`
-	Updates       uint64        `json:"updates"`
-	Updatable     bool          `json:"updatable"`
-	Cache         CacheStats    `json:"cache"`
-	Planner       PlannerHealth `json:"planner"`
-	Shards        *ShardHealth  `json:"shards,omitempty"`
+	Status        string            `json:"status"`
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Requests      uint64            `json:"requests"`
+	Epoch         uint64            `json:"epoch"`
+	Updates       uint64            `json:"updates"`
+	Updatable     bool              `json:"updatable"`
+	Cache         CacheStats        `json:"cache"`
+	Planner       PlannerHealth     `json:"planner"`
+	Shards        *ShardHealth      `json:"shards,omitempty"`
+	Durability    *DurabilityHealth `json:"durability,omitempty"`
 }
 
 type errorResponse struct {
@@ -648,8 +720,24 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
-	newEng, res, err := st.upd.ApplyUpdate(kbtable.Update{Ops: req.Ops})
+	var newEng *kbtable.Engine
+	var res kbtable.UpdateResult
+	var err error
+	if s.cfg.Store != nil && st.dur != nil {
+		// Durable path: the accepted batch reaches the write-ahead log
+		// (fsync) before the epoch swap publishes it — by the time any
+		// search can observe this update, a crash can no longer lose it.
+		newEng, res, err = st.dur.ApplyLogged(s.cfg.Store, kbtable.Update{Ops: req.Ops})
+	} else {
+		newEng, res, err = st.upd.ApplyUpdate(kbtable.Update{Ops: req.Ops})
+	}
 	if err != nil {
+		if errors.Is(err, kbtable.ErrDurability) {
+			// The batch was valid but could not be persisted; nothing was
+			// published, and the store refuses further appends.
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -659,6 +747,13 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		touched[wd] = true
 	}
 	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, epoch: st.epoch + 1}
+	if st.dur != nil {
+		// Durability stays engaged only when the whole chain was durable:
+		// an engine wrapped by a non-durable fake produced an unlogged
+		// first update, so logging later ones would leave a WAL that
+		// replays into a different history.
+		next.dur = newEng
+	}
 	s.swapMu.Lock()
 	invalidated := s.cache.DeleteFunc(func(_ string, ent *cacheEntry) bool {
 		if res.ScoresRefreshed {
@@ -679,6 +774,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.cur.Store(next)
 	s.swapMu.Unlock()
 	s.updates.Add(1)
+	s.maybeCheckpoint()
 
 	ids := make([]int64, 0, len(res.NewEntities))
 	for _, id := range res.NewEntities {
@@ -697,6 +793,76 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		AffectedShards:   res.AffectedShards,
 		ElapsedMS:        float64(time.Since(t0).Microseconds()) / 1000,
 	})
+}
+
+// maybeCheckpoint starts a background checkpoint when the WAL has
+// grown CheckpointEvery records past the last snapshot. At most one
+// checkpoint runs at a time; the engine snapshot it serializes is
+// immutable, so searches and further updates are never blocked (the
+// WAL suffix appended meanwhile simply survives the truncation).
+func (s *Server) maybeCheckpoint() {
+	if s.cfg.Store == nil || s.cfg.CheckpointEvery < 0 {
+		return
+	}
+	st := s.cur.Load()
+	if st.dur == nil {
+		return
+	}
+	ss := s.cfg.Store.Stats()
+	seq := st.dur.Seq()
+	if seq < ss.SnapshotSeq {
+		// The engine is behind the store's snapshot (a Config pairing an
+		// engine with a store it was not recovered from). Unsigned
+		// subtraction would wrap and fire a doomed checkpoint on every
+		// update; there is nothing useful to snapshot, so stand down.
+		return
+	}
+	if seq-ss.SnapshotSeq < uint64(s.cfg.CheckpointEvery) {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return // one goroutine at a time; the next update re-evaluates
+	}
+	go func() {
+		defer s.ckptBusy.Store(false)
+		_ = s.runCheckpoint()
+	}()
+}
+
+// runCheckpoint serializes the CURRENT engine into the store and
+// maintains the /healthz counters. The run mutex orders concurrent
+// callers (background goroutine vs shutdown's CheckpointNow), and the
+// published engine is loaded inside it: the second runner then sees a
+// seq >= the snapshot the first one wrote, so it either skips or
+// checkpoints strictly newer state — never a spurious regression error
+// or a double count.
+func (s *Server) runCheckpoint() error {
+	s.ckptRunMu.Lock()
+	defer s.ckptRunMu.Unlock()
+	st := s.cur.Load()
+	if st.dur == nil {
+		return nil
+	}
+	cs, err := st.dur.Checkpoint(s.cfg.Store)
+	if err != nil {
+		s.ckptErrors.Add(1)
+		return err
+	}
+	if !cs.Skipped {
+		s.checkpoints.Add(1)
+		s.lastCkptUnix.Store(time.Now().Unix())
+	}
+	return nil
+}
+
+// CheckpointNow synchronously checkpoints the currently published
+// engine (kbserve calls it on graceful shutdown, so a clean restart
+// replays no WAL). Without a store or a durable engine it is a no-op.
+func (s *Server) CheckpointNow() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	return s.runCheckpoint()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -726,6 +892,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Epochs:  info.Epochs,
 			Roots:   info.Roots,
 			Entries: info.Entries,
+		}
+	}
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		resp.Durability = &DurabilityHealth{
+			DataDir:            ss.Dir,
+			WALSeq:             ss.LastSeq,
+			SnapshotSeq:        ss.SnapshotSeq,
+			PendingRecords:     ss.LastSeq - ss.SnapshotSeq,
+			WALBytes:           ss.WALBytes,
+			Checkpoints:        s.checkpoints.Load(),
+			CheckpointErrors:   s.ckptErrors.Load(),
+			CheckpointEvery:    s.cfg.CheckpointEvery,
+			LastCheckpointUnix: s.lastCkptUnix.Load(),
+			TornOnOpen:         ss.TornOnOpen,
+			WALBroken:          ss.Broken,
+		}
+		if ss.Broken {
+			resp.Status = "degraded"
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)

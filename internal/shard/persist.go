@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/rank"
+)
+
+// Persistence hooks for the durable snapshot store (internal/store):
+// a sharded engine is fully determined by its graph snapshot, the
+// ownership table (which CANNOT be recomputed from the graph — a
+// tombstoned node is retyped, so its recorded assignment is the only
+// witness of its owner), the per-shard indexes, and the per-shard
+// epochs. PageRank is a pure function of the graph and is recomputed on
+// load.
+
+// Owners returns a copy of the node → shard ownership table.
+func (e *Engine) Owners() []uint8 {
+	out := make([]uint8, len(e.owner))
+	copy(out, e.owner)
+	return out
+}
+
+// EncodeShard serializes shard si's index in the index wire format.
+func (e *Engine) EncodeShard(si int, w io.Writer) error {
+	if si < 0 || si >= e.n {
+		return fmt.Errorf("shard: shard %d out of range [0,%d)", si, e.n)
+	}
+	return e.units[si].ix.Encode(w)
+}
+
+// FromParts reassembles an engine from persisted state: the graph, the
+// ownership table, one loaded index per shard, and the shards' update
+// epochs (nil = all zero). The result behaves identically to the engine
+// that was saved: searches, plans and further ApplyDelta chains produce
+// the same bytes. opts must carry the build-time options (D, UniformPR,
+// Synonyms); RootFilter/DirtyRoots/PageRank stay reserved for the shard
+// layer, and PageRank is recomputed from the graph when not uniform.
+func FromParts(g *kg.Graph, owner []uint8, ixs []*index.Index, epochs []uint64, opts index.Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	n := len(ixs)
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", n, MaxShards)
+	}
+	if opts.RootFilter != nil || opts.DirtyRoots != nil || opts.PageRank != nil {
+		return nil, fmt.Errorf("shard: RootFilter/DirtyRoots/PageRank are managed by the shard layer")
+	}
+	if len(owner) != g.NumNodes() {
+		return nil, fmt.Errorf("shard: ownership table covers %d of %d nodes", len(owner), g.NumNodes())
+	}
+	for v, o := range owner {
+		if int(o) >= n {
+			return nil, fmt.Errorf("shard: node %d owned by shard %d of %d", v, o, n)
+		}
+	}
+	if epochs != nil && len(epochs) != n {
+		return nil, fmt.Errorf("shard: %d epochs for %d shards", len(epochs), n)
+	}
+	if opts.D == 0 {
+		opts.D = 3
+	}
+	e := &Engine{g: g, n: n, opts: opts, owner: owner}
+	if !opts.UniformPR {
+		e.pr = rank.PageRank(g, rank.Options{})
+	}
+	e.units = make([]*unit, n)
+	for si, ix := range ixs {
+		if ix == nil {
+			return nil, fmt.Errorf("shard: shard %d has no index", si)
+		}
+		if ix.D() != opts.D {
+			return nil, fmt.Errorf("shard: shard %d index built with d=%d, engine wants d=%d", si, ix.D(), opts.D)
+		}
+		if ix.Graph() != g {
+			return nil, fmt.Errorf("shard: shard %d index bound to a different graph", si)
+		}
+		u := &unit{ix: ix}
+		if epochs != nil {
+			u.epoch = epochs[si]
+		}
+		e.units[si] = u
+	}
+	return e, nil
+}

@@ -1,0 +1,275 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fill(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func checkpointAt(t *testing.T, s *Store, seq uint64, body string) {
+	t.Helper()
+	m := Manifest{Seq: seq, D: 3, Nodes: 10, Edges: 9}
+	files := map[string]func(io.Writer) error{
+		GraphFileName:    fill("graph:" + body),
+		IndexFileName(0): fill("index:" + body),
+	}
+	if _, err := s.Checkpoint(m, files); err != nil {
+		t.Fatalf("checkpoint at %d: %v", seq, err)
+	}
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 4)
+	checkpointAt(t, s, 4, "v4")
+
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sn.Manifest
+	if m.Seq != 4 || m.FormatVersion != FormatVersion || m.D != 3 {
+		t.Fatalf("manifest: %+v", m)
+	}
+	g, err := sn.ReadFile(GraphFileName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(g) != "graph:v4" {
+		t.Fatalf("graph file: %q", g)
+	}
+	if sn.NumIndexFiles() != 1 {
+		t.Fatalf("index files: %d", sn.NumIndexFiles())
+	}
+
+	// Reopen: snapshot seq is rediscovered, replay resumes after it.
+	s.Close()
+	s2 := openStore(t, dir)
+	if st := s2.Stats(); st.SnapshotSeq != 4 || !st.HasSnapshot {
+		t.Fatalf("reopened stats: %+v", st)
+	}
+	got, _ := collect(t, s2, 4)
+	if len(got) != 0 {
+		t.Fatalf("records beyond the snapshot: %v", got)
+	}
+}
+
+func TestCheckpointTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 10)
+	before := s.Stats().WALBytes
+	checkpointAt(t, s, 10, "v10")
+	after := s.Stats().WALBytes
+	if after >= before {
+		t.Fatalf("checkpoint did not reclaim WAL bytes: %d -> %d", before, after)
+	}
+	// Appends continue after the rotation; suffix replay sees only them.
+	if seq, err := s.Append([]byte("post")); err != nil || seq != 11 {
+		t.Fatalf("append after checkpoint: seq=%d err=%v", seq, err)
+	}
+	got, st := collect(t, s, 10)
+	if len(got) != 1 || got[0] != "11:post" || st.Torn {
+		t.Fatalf("suffix after checkpoint: %v %+v", got, st)
+	}
+}
+
+func TestCheckpointKeepsSuffixRecords(t *testing.T) {
+	// Snapshot at seq 3 while records 4..6 exist: they must survive GC.
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 6)
+	checkpointAt(t, s, 3, "v3")
+	got, st := collect(t, s, 3)
+	if len(got) != 3 || got[0] != "4:rec-3" || st.Torn {
+		t.Fatalf("suffix lost by checkpoint GC: %v %+v", got, st)
+	}
+
+	// And a crash-reopen still sees them.
+	s.Close()
+	s2 := openStore(t, dir)
+	got, _ = collect(t, s2, 3)
+	if len(got) != 3 {
+		t.Fatalf("suffix lost across reopen: %v", got)
+	}
+}
+
+func TestCheckpointSupersedesOldSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 2)
+	checkpointAt(t, s, 2, "v2")
+	appendN(t, s, 2) // seq 3,4
+	checkpointAt(t, s, 4, "v4")
+
+	sn, err := s.Snapshot()
+	if err != nil || sn.Manifest.Seq != 4 {
+		t.Fatalf("latest snapshot: %+v err=%v", sn, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range ents {
+		if _, ok := parseSnapDirName(e.Name()); ok && e.IsDir() {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("old snapshot not garbage-collected: %d snapshot dirs", snaps)
+	}
+
+	// Re-checkpointing at the same seq reports ErrSnapshotCurrent (a
+	// skip, distinguishable from success and from failure).
+	if n, err := s.Checkpoint(Manifest{Seq: 4}, nil); err != ErrSnapshotCurrent || n != 0 {
+		t.Fatalf("same-seq checkpoint: n=%d err=%v", n, err)
+	}
+	// A checkpoint behind the snapshot is refused.
+	if _, err := s.Checkpoint(Manifest{Seq: 1}, nil); err == nil {
+		t.Fatal("regressing checkpoint accepted")
+	}
+}
+
+func TestReopenAfterWALLossResumesAfterSnapshot(t *testing.T) {
+	// Double failure: the snapshot survives but every WAL segment is
+	// lost. Appends must resume AFTER the snapshot's sequence — reusing
+	// absorbed sequence numbers would make replay skip new records.
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 4)
+	checkpointAt(t, s, 4, "v4")
+	s.Close()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range segs {
+		if err := os.Remove(filepath.Join(dir, walSegName(st))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := openStore(t, dir)
+	seq, err := s2.Append([]byte("resumed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 5 {
+		t.Fatalf("append after WAL loss got seq %d, want 5", seq)
+	}
+	got, st := collect(t, s2, 4)
+	if len(got) != 1 || got[0] != "5:resumed" || st.Torn {
+		t.Fatalf("replay after WAL loss: %v %+v", got, st)
+	}
+}
+
+func TestCheckpointSweepsOrphanSnapshots(t *testing.T) {
+	// A crash between a snapshot's rename and its GC pass leaves an
+	// orphan older snapshot; the next checkpoint must sweep ALL older
+	// snapshots, not just its immediate predecessor.
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 4)
+	checkpointAt(t, s, 2, "v2")
+	orphan := filepath.Join(dir, snapDirName(1))
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	checkpointAt(t, s, 4, "v4")
+	for _, old := range []uint64{1, 2} {
+		if _, err := os.Stat(filepath.Join(dir, snapDirName(old))); !os.IsNotExist(err) {
+			t.Fatalf("snapshot %d survived the sweep (err=%v)", old, err)
+		}
+	}
+}
+
+func TestManifestCorruptionIgnoresSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 2)
+	checkpointAt(t, s, 2, "v2")
+	s.Close()
+
+	// Flip a byte in the manifest body: the snapshot must be rejected.
+	mp := filepath.Join(dir, snapDirName(2), "MANIFEST")
+	flipByte(t, mp, 3)
+	if _, err := Open(dir); err == nil {
+		if _, err := latestSnapshot(dir); err == nil {
+			t.Fatal("corrupt manifest accepted")
+		}
+	}
+}
+
+func TestSnapshotFileChecksumVerified(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 2)
+	checkpointAt(t, s, 2, "v2")
+
+	gp := filepath.Join(dir, snapDirName(2), GraphFileName)
+	flipByte(t, gp, 1)
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sn.ReadFile(GraphFileName); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt snapshot file read succeeded (err=%v)", err)
+	}
+}
+
+func TestInterruptedCheckpointLeavesOldSnapshotUsable(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 2)
+	checkpointAt(t, s, 2, "v2")
+	s.Close()
+
+	// Simulate a crash mid-checkpoint: a half-written .tmp directory.
+	tmp := filepath.Join(dir, snapDirName(5)+".tmp")
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(tmp, GraphFileName), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	sn, err := s2.Snapshot()
+	if err != nil || sn.Manifest.Seq != 2 {
+		t.Fatalf("tmp dir shadowed the real snapshot: %+v err=%v", sn, err)
+	}
+	// The next checkpoint clears the stray tmp dir.
+	appendN(t, s2, 1)
+	checkpointAt(t, s2, 3, "v3")
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stray .tmp survived GC: %v", err)
+	}
+}
+
+func TestWriteSnapshotFileError(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	appendN(t, s, 1)
+	m := Manifest{Seq: 1}
+	_, err := s.Checkpoint(m, map[string]func(io.Writer) error{
+		GraphFileName: func(io.Writer) error { return fmt.Errorf("boom") },
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want fill error, got %v", err)
+	}
+	if _, err := s.Snapshot(); err != ErrNoSnapshot {
+		t.Fatalf("failed checkpoint left a snapshot: %v", err)
+	}
+}

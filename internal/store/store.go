@@ -1,0 +1,500 @@
+// Package store implements the durable layer of the knowledge-base
+// engine: a snapshot store plus a write-ahead update log.
+//
+// A data directory holds at most a handful of snapshot directories
+// (snap-<seq>, each a checksummed manifest + serialized graph + one
+// index file per shard) and a chain of WAL segments (wal-<seq>.log,
+// length-prefix + CRC framed records, fsync on commit). The durability
+// contract: a record is durable when Append returns; recovery loads
+// the newest valid snapshot and replays the WAL suffix, stopping
+// cleanly at the last good record (a torn final record — the signature
+// of a crash mid-append — is discarded, never applied partially).
+// Checkpointing writes a new snapshot, rotates the WAL, and garbage
+// collects snapshots and segments the new snapshot covers.
+//
+// The package is deliberately engine-agnostic: payloads are opaque
+// bytes and snapshot files are produced by caller callbacks, so the
+// kbtable facade owns the encoding (UpdateOp batches as JSON, graphs
+// and indexes in their existing wire formats) without an import cycle.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrSnapshotCurrent reports that Checkpoint had nothing to do: a
+// snapshot at exactly the requested sequence already exists. Callers
+// treat it as a skip, not a failure.
+var ErrSnapshotCurrent = errors.New("store: snapshot already current")
+
+// Store is an open data directory: the WAL tail for appending plus the
+// snapshot inventory. One Store owns the directory; concurrent Append
+// and Checkpoint calls are serialized internally.
+type Store struct {
+	dir  string
+	lock *os.File // flock-held LOCK file; released on Close or process death
+
+	mu       sync.Mutex // guards the WAL tail, counters, and snapshot state
+	seg      *os.File   // open tail segment (nil until first append)
+	segStart uint64     // first sequence of the tail segment
+	nextSeq  uint64     // sequence the next Append will use
+	walBytes int64      // framed bytes across live segments
+	broken   error      // sticky append failure: the tail is suspect
+	snapSeq  uint64     // newest valid snapshot's seq (0 = none/initial)
+	hasSnap  bool
+	tornOpen bool  // Open found (and truncated) an invalid WAL suffix
+	dropped  int64 // bytes that truncation discarded at Open
+
+	ckptMu sync.Mutex // serializes whole Checkpoint calls
+}
+
+// Open opens (creating if needed) a data directory. An exclusive flock
+// on <dir>/LOCK fences out concurrent processes — a second opener would
+// interleave appends into the shared tail, and its torn-tail recovery
+// could truncate records the first process already acknowledged. The
+// kernel releases the lock when the holder dies, so a SIGKILLed server
+// never wedges the directory. The WAL is then scanned to find its valid
+// end; an invalid suffix (torn tail from a crash) is truncated so new
+// appends land after the last good record.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, lock: lock, nextSeq: 1}
+	if sn, err := latestSnapshot(dir); err == nil {
+		s.snapSeq, s.hasSnap = sn.Manifest.Seq, true
+	} else if !errors.Is(err, ErrNoSnapshot) {
+		lock.Close()
+		return nil, err
+	}
+	if err := s.recoverWAL(); err != nil {
+		lock.Close()
+		return nil, err
+	}
+	if s.hasSnap && s.nextSeq <= s.snapSeq {
+		// Double-failure corner: WAL truncation landed behind the
+		// snapshot (records the snapshot already absorbed were the only
+		// readable ones). Appending there would collide with absorbed
+		// sequence numbers and be skipped on replay, so restart the log
+		// cleanly right after the snapshot.
+		segs, err := listSegments(s.dir)
+		if err != nil {
+			return nil, err
+		}
+		if s.seg != nil {
+			s.seg.Close()
+			s.seg = nil
+		}
+		if err := s.dropSegments(segs); err != nil {
+			return nil, err
+		}
+		s.nextSeq = s.snapSeq + 1
+		s.walBytes = 0
+	}
+	return s, nil
+}
+
+// lockDir takes the exclusive, non-blocking advisory lock on <dir>/LOCK.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by another process (flock: %w)", dir, err)
+	}
+	return f, nil
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// recoverWAL scans the segments, truncates any invalid suffix, removes
+// unreachable later segments, and positions the tail for appending.
+func (s *Store) recoverWAL() error {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	next := uint64(1)
+	if len(segs) > 0 {
+		next = segs[0]
+	}
+	for i, start := range segs {
+		if start != next {
+			// Gap or overlap between segments: records from here on are
+			// not contiguous with the log; drop them.
+			s.tornOpen = true
+			if err := s.dropSegments(segs[i:]); err != nil {
+				return err
+			}
+			return s.setTailFor(segs[:i], next)
+		}
+		path := filepath.Join(s.dir, walSegName(start))
+		valid, nseq, dirty, err := segScan(path, start, nil)
+		if err != nil {
+			return err
+		}
+		s.walBytes += valid
+		next = nseq
+		if dirty {
+			// Invalid suffix: truncate it, and drop any later segments —
+			// their records are unreachable across the sequence gap.
+			s.tornOpen = true
+			if fi, err := os.Stat(path); err == nil {
+				s.dropped += fi.Size() - valid
+			}
+			if err := os.Truncate(path, valid); err != nil {
+				return fmt.Errorf("store: truncate %s: %w", path, err)
+			}
+			if err := syncDir(s.dir); err != nil {
+				return err
+			}
+			if i+1 < len(segs) {
+				if err := s.dropSegments(segs[i+1:]); err != nil {
+					return err
+				}
+			}
+			return s.setTail(start, next)
+		}
+	}
+	return s.setTailFor(segs, next)
+}
+
+// setTailFor opens the last surviving segment for appending, or (with
+// none) just records the next sequence so the first append creates one.
+func (s *Store) setTailFor(segs []uint64, next uint64) error {
+	if len(segs) > 0 {
+		return s.setTail(segs[len(segs)-1], next)
+	}
+	s.nextSeq = next
+	return nil
+}
+
+// dropSegments deletes segments that recovery decided are unreachable.
+func (s *Store) dropSegments(starts []uint64) error {
+	for _, st := range starts {
+		p := filepath.Join(s.dir, walSegName(st))
+		if fi, err := os.Stat(p); err == nil {
+			s.dropped += fi.Size()
+		}
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("store: remove %s: %w", p, err)
+		}
+	}
+	return syncDir(s.dir)
+}
+
+// setTail opens the segment starting at segStart for appending records
+// from nextSeq on.
+func (s *Store) setTail(segStart, nextSeq uint64) error {
+	path := filepath.Join(s.dir, walSegName(segStart))
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open wal tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return fmt.Errorf("store: seek wal tail: %w", err)
+	}
+	s.seg, s.segStart, s.nextSeq = f, segStart, nextSeq
+	return nil
+}
+
+// Append adds one record to the WAL and fsyncs; the record is durable
+// when Append returns its sequence number. After a failed append the
+// tail's contents are suspect, so the store turns read-only for
+// appends (every later Append returns the original error).
+func (s *Store) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxWALRecord {
+		return 0, fmt.Errorf("store: record of %d bytes exceeds the %d limit", len(payload), MaxWALRecord)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken != nil {
+		return 0, fmt.Errorf("store: wal is read-only after an append failure: %w", s.broken)
+	}
+	if s.seg == nil {
+		if err := s.newSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := s.nextSeq
+	if err := appendRecord(s.seg, seq, payload); err != nil {
+		s.broken = err
+		return 0, fmt.Errorf("store: append: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.broken = err
+		return 0, fmt.Errorf("store: sync: %w", err)
+	}
+	s.nextSeq = seq + 1
+	s.walBytes += int64(walHeaderLen + len(payload) + walTrailerLen)
+	return seq, nil
+}
+
+// newSegmentLocked starts a fresh tail segment at nextSeq.
+func (s *Store) newSegmentLocked() error {
+	if s.seg != nil {
+		if err := s.seg.Close(); err != nil {
+			return fmt.Errorf("store: close wal segment: %w", err)
+		}
+		s.seg = nil
+	}
+	path := filepath.Join(s.dir, walSegName(s.nextSeq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: create wal segment: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		f.Close()
+		return err
+	}
+	s.seg, s.segStart = f, s.nextSeq
+	return nil
+}
+
+// ReplayStats describes one Replay pass.
+type ReplayStats struct {
+	// Records is the number of records delivered to the callback.
+	Records int
+	// LastSeq is the last delivered sequence (fromSeq if none).
+	LastSeq uint64
+	// Torn reports that the log ended in an invalid record (torn tail,
+	// flipped CRC, duplicate or gap) that was dropped; replay stopped
+	// cleanly at the last good record.
+	Torn bool
+}
+
+// Replay streams every durable record with sequence > fromSeq, in
+// order, to fn. Replay never delivers a record twice, out of order, or
+// partially; it stops cleanly at the first invalid record. An fn error
+// aborts the replay and is returned as-is.
+func (s *Store) Replay(fromSeq uint64, fn func(seq uint64, payload []byte) error) (ReplayStats, error) {
+	st := ReplayStats{LastSeq: fromSeq}
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return st, err
+	}
+	next := uint64(0)
+	for _, start := range segs {
+		if next == 0 {
+			if start > fromSeq+1 {
+				// Records (fromSeq, start) are missing: applying later
+				// ones would skip part of the history. Stop cleanly.
+				st.Torn = true
+				return st, nil
+			}
+			next = start
+		} else if start != next {
+			st.Torn = true
+			return st, nil
+		}
+		path := filepath.Join(s.dir, walSegName(start))
+		var ferr error
+		_, nseq, dirty, err := segScan(path, start, func(seq uint64, payload []byte) error {
+			if seq <= fromSeq {
+				return nil // covered by the snapshot
+			}
+			if err := fn(seq, payload); err != nil {
+				ferr = err
+				return err
+			}
+			st.Records++
+			st.LastSeq = seq
+			return nil
+		})
+		if ferr != nil {
+			return st, ferr
+		}
+		if err != nil {
+			return st, err
+		}
+		if dirty {
+			st.Torn = true
+			return st, nil
+		}
+		next = nseq
+	}
+	return st, nil
+}
+
+// Checkpoint writes a snapshot covering WAL sequence m.Seq (the files
+// produced by the callbacks must reflect exactly the state after
+// applying records 1..m.Seq), rotates the WAL, and garbage-collects
+// snapshots and segments the new snapshot makes redundant. Returns the
+// snapshot's total bytes.
+func (s *Store) Checkpoint(m Manifest, files map[string]func(io.Writer) error) (int64, error) {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	prev, hadPrev := s.snapSeq, s.hasSnap
+	s.mu.Unlock()
+	if hadPrev && m.Seq < prev {
+		return 0, fmt.Errorf("store: checkpoint at seq %d behind existing snapshot %d", m.Seq, prev)
+	}
+	if hadPrev && m.Seq == prev {
+		return 0, ErrSnapshotCurrent // nothing new since the last checkpoint
+	}
+	total, err := writeSnapshot(s.dir, m, files)
+	if err != nil {
+		return 0, err
+	}
+
+	// Publish, then rotate so future appends land in a segment the GC
+	// below can keep, then drop segments and snapshots the new snapshot
+	// made redundant.
+	s.mu.Lock()
+	s.snapSeq, s.hasSnap = m.Seq, true
+	if s.broken == nil && s.seg != nil && s.segStart < s.nextSeq {
+		// Rotate only a tail that holds records; an empty tail (from a
+		// previous rotation with no appends since) is already the
+		// segment a fresh checkpoint would create.
+		if err := s.newSegmentLocked(); err != nil {
+			s.mu.Unlock()
+			return total, err
+		}
+	}
+	s.mu.Unlock()
+	if err := s.gc(m.Seq); err != nil {
+		return total, err
+	}
+	return total, nil
+}
+
+// gc removes snapshots older than the one at seq and WAL segments whose
+// records are all <= seq. Failures are returned but the snapshot that
+// triggered the GC is already durable, so callers may treat them as
+// warnings.
+func (s *Store) gc(seq uint64) error {
+	// Every older snapshot goes, not just the immediately previous one:
+	// a crash between a snapshot's rename and its GC pass leaves an
+	// orphan that only a sweep like this reclaims. Stray .tmp
+	// directories from interrupted checkpoints go the same way.
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: read dir: %w", err)
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if old, ok := parseSnapDirName(e.Name()); ok && old < seq {
+			if err := os.RemoveAll(filepath.Join(s.dir, e.Name())); err != nil {
+				return fmt.Errorf("store: gc %s: %w", e.Name(), err)
+			}
+		}
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.RemoveAll(filepath.Join(s.dir, e.Name()))
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return err
+	}
+	var reclaimed int64
+	for i, start := range segs {
+		// Segment i spans [start, next_start); it is redundant iff every
+		// record it can hold is <= seq and it is not the open tail.
+		if start == s.segStart && s.seg != nil {
+			continue
+		}
+		end := s.nextSeq // records strictly below nextSeq exist
+		if i+1 < len(segs) {
+			end = segs[i+1]
+		}
+		if end <= seq+1 {
+			p := filepath.Join(s.dir, walSegName(start))
+			if fi, err := os.Stat(p); err == nil {
+				reclaimed += fi.Size()
+			}
+			if err := os.Remove(p); err != nil {
+				return fmt.Errorf("store: gc %s: %w", p, err)
+			}
+		}
+	}
+	s.walBytes -= reclaimed
+	if s.walBytes < 0 {
+		s.walBytes = 0
+	}
+	return syncDir(s.dir)
+}
+
+// Snapshot returns the newest valid snapshot, or ErrNoSnapshot.
+func (s *Store) Snapshot() (*Snapshot, error) {
+	return latestSnapshot(s.dir)
+}
+
+// Stats describes the store for monitoring surfaces.
+type Stats struct {
+	// LastSeq is the last appended (durable) WAL sequence; 0 before the
+	// first append.
+	LastSeq uint64
+	// SnapshotSeq is the newest snapshot's sequence (0 with HasSnapshot
+	// false when none exists).
+	SnapshotSeq uint64
+	// HasSnapshot reports whether any snapshot exists.
+	HasSnapshot bool
+	// WALBytes is the framed size of the live WAL segments.
+	WALBytes int64
+	// TornOnOpen reports that Open found an invalid WAL suffix — the
+	// signature of a crash mid-append or bit rot — and truncated it to
+	// the last good record; DroppedBytes is how much it discarded.
+	TornOnOpen   bool
+	DroppedBytes int64
+	// Broken reports a failed append: the WAL tail can no longer be
+	// trusted, every further append is refused, and the process needs a
+	// restart (which re-truncates to the last good record).
+	Broken bool
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		LastSeq:      s.nextSeq - 1,
+		SnapshotSeq:  s.snapSeq,
+		HasSnapshot:  s.hasSnap,
+		WALBytes:     s.walBytes,
+		TornOnOpen:   s.tornOpen,
+		DroppedBytes: s.dropped,
+		Broken:       s.broken != nil,
+	}
+}
+
+// Close releases the WAL tail and the directory lock. Appended records
+// are already durable (every Append fsyncs), so Close is not a flush
+// point.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var err error
+	if s.seg != nil {
+		err = s.seg.Close()
+		s.seg = nil
+	}
+	if s.lock != nil {
+		if lerr := s.lock.Close(); err == nil {
+			err = lerr
+		}
+		s.lock = nil
+	}
+	return err
+}

@@ -292,6 +292,11 @@ type Engine struct {
 	sh *shard.Engine
 	o  EngineOptions
 
+	// seq is the last write-ahead-log sequence number reflected in this
+	// snapshot (0 when the engine is not attached to a Store, or holds
+	// only the initial state). See ApplyLogged / Checkpoint in durable.go.
+	seq uint64
+
 	blOnce sync.Once // lazy baseline build, safe under concurrent Search
 	bl     *search.BaselineIndex
 	blErr  error
@@ -817,7 +822,7 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 		if err != nil {
 			return nil, res, fmt.Errorf("kbtable: %w", err)
 		}
-		ne := &Engine{g: &Graph{g: ch.New}, sh: nsh, o: e.o}
+		ne := &Engine{g: &Graph{g: ch.New}, sh: nsh, o: e.o, seq: e.seq}
 		res.DirtyRoots = us.DirtyRoots
 		res.EntriesRemoved = us.EntriesRemoved
 		res.EntriesAdded = us.EntriesAdded
@@ -835,7 +840,7 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 	if err != nil {
 		return nil, res, fmt.Errorf("kbtable: %w", err)
 	}
-	ne := &Engine{g: &Graph{g: ch.New}, ix: nix, o: e.o}
+	ne := &Engine{g: &Graph{g: ch.New}, ix: nix, o: e.o, seq: e.seq}
 	res.DirtyRoots = ds.DirtyRoots
 	res.EntriesRemoved = ds.EntriesRemoved
 	res.EntriesAdded = ds.EntriesAdded
