@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan serve clean ci-local cold-start snapshot-fixture
+.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan serve clean ci-local cold-start snapshot-fixture load-soak
 
 build:
 	$(GO) build ./...
@@ -60,9 +60,33 @@ ci-local:
 
 # The cold-start crash-recovery matrix (the CI job of the same name):
 # seed, update, SIGKILL, restart from -data-dir, byte-diff the golden
-# answers against an uninterrupted in-memory run.
+# answers against an uninterrupted in-memory run — plus the group-commit
+# variant (concurrent writers batched into shared fsyncs, killed
+# mid-batch, every acknowledged update must survive).
 cold-start:
-	KBTABLE_COLDSTART=1 $(GO) test -run TestColdStartRecovery -v -timeout 15m .
+	KBTABLE_COLDSTART=1 $(GO) test -run 'TestColdStart' -v -timeout 15m .
+
+# The serving-path soak (the CI `load-soak` job, shortened): a real
+# kbserve (2 shards, durable, group commit) under ~10s of mixed
+# search/update load from kbload, report folded into BENCH_kbtable.json
+# as serve_latency + group_commit rows. CI runs the same recipe at 30s.
+LOAD_SOAK_DURATION ?= 10s
+load-soak:
+	KBTABLE_PERF=1 $(GO) test -run TestGroupCommitThroughput -v ./internal/store
+	$(GO) build -o bin/ ./cmd/kbgen ./cmd/kbserve ./cmd/kbload ./cmd/kbbench
+	./bin/kbgen -kind wiki -entities 4000 -types 60 -seed 1 -o /tmp/kbload-wiki.kb
+	rm -rf /tmp/kbload-soak-data
+	./bin/kbserve -kb /tmp/kbload-wiki.kb -shards 2 -data-dir /tmp/kbload-soak-data \
+	  -addr 127.0.0.1:18080 -group-commit-delay 1ms >/tmp/kbload-serve.log 2>&1 & \
+	echo $$! > /tmp/kbload-serve.pid
+	@for i in $$(seq 1 120); do \
+	  curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.5; done
+	./bin/kbload -addr http://127.0.0.1:18080 -duration $(LOAD_SOAK_DURATION) \
+	  -concurrency 16 -read-ratio 0.85 -entities 4000 -types 60 -seed 1 \
+	  -out kbload-report.json -max-error-rate 0 -max-p99 5s; \
+	status=$$?; kill -TERM $$(cat /tmp/kbload-serve.pid) 2>/dev/null; exit $$status
+	./bin/kbbench -json -bench-entities 2500 -bench-queries 8 \
+	  -load-report kbload-report.json -json-out BENCH_kbtable.json
 
 # Regenerate the checked-in snapshot fixture (testdata/snapshot) after
 # an intentional snapshot/WAL/index wire-format change. Bump
@@ -93,3 +117,4 @@ serve:
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin cover.out BENCH_kbtable.json kbload-report.json

@@ -50,6 +50,11 @@ func runColdStartBench(g *kg.Graph) (*bench.ColdStartBenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Release the directory lock before re-opening: OpenDir takes the
+	// same exclusive flock, and a still-open first store denies it.
+	if err := st.Close(); err != nil {
+		return nil, err
+	}
 
 	t1 := time.Now()
 	_, st2, _, err := kbtable.OpenDir(dataDir, kbtable.EngineOptions{})

@@ -12,7 +12,13 @@
 // With -json the paper suite is skipped and the shard-scaling benchmark
 // (query ns/op, allocs, and speedup vs the serial engine for 1/2/4
 // shards) is written to -json-out — the BENCH trajectory CI uploads as an
-// artifact on every run.
+// artifact on every run. -load-report FILE additionally grafts a kbload
+// soak report onto the JSON as serve_latency and group_commit rows, so
+// the artifact also records the serving path's latency under load.
+//
+// -compare old.json new.json diffs two BENCH artifacts and exits 1 when
+// any pinned metric regressed more than -threshold (default 25%): the
+// CI bench-regression gate.
 package main
 
 import (
@@ -41,7 +47,15 @@ func main() {
 	jsonOut := flag.String("json-out", "BENCH_kbtable.json", "output path for -json")
 	benchEntities := flag.Int("bench-entities", 4000, "-json: SynthWiki entities")
 	benchQueries := flag.Int("bench-queries", 12, "-json: workload queries per op")
+	loadReport := flag.String("load-report", "", "-json: kbload report to ingest as serve_latency/group_commit rows")
+	compare := flag.Bool("compare", false, "compare two BENCH json files (args: old.json new.json); exit 1 on regression")
+	threshold := flag.Float64("threshold", bench.DefaultRegressionThreshold, "-compare: fractional regression that fails the gate")
 	flag.Parse()
+
+	if *compare {
+		runCompare(flag.Args(), *threshold)
+		return
+	}
 
 	if *jsonBench {
 		cfg := bench.ShardBenchConfig{
@@ -56,6 +70,13 @@ func main() {
 		}
 		if report.ColdStart, err = runColdStartBench(cfg.WikiGraph()); err != nil {
 			log.Fatal(err)
+		}
+		if *loadReport != "" {
+			lr, err := bench.ReadLoadReport(*loadReport)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report.AttachLoadReport(lr)
 		}
 		fmt.Println(report.String())
 		f, err := os.Create(*jsonOut)
@@ -132,4 +153,32 @@ func main() {
 		show(bench.RunAblations(env)...)
 	}
 	fmt.Printf("suite completed in %v\n", time.Since(start).Round(time.Second))
+}
+
+// runCompare is the bench-regression gate: kbbench -compare old.json
+// new.json. A missing or unreadable baseline is a warning, not a
+// failure — on CI the main-branch artifact may simply not exist yet —
+// but a regression in a pinned metric exits 1.
+func runCompare(args []string, threshold float64) {
+	if len(args) != 2 {
+		log.Fatal("-compare needs exactly two arguments: old.json new.json")
+	}
+	old, err := bench.ReadShardBenchReport(args[0])
+	if err != nil {
+		log.Printf("WARN: no usable baseline (%v); skipping regression gate", err)
+		return
+	}
+	cur, err := bench.ReadShardBenchReport(args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	regs := bench.CompareReports(old, cur, threshold)
+	if len(regs) == 0 {
+		fmt.Printf("bench gate: no regression beyond %.0f%% (%s vs %s)\n", threshold*100, args[1], args[0])
+		return
+	}
+	for _, r := range regs {
+		log.Printf("REGRESSION: %s", r)
+	}
+	os.Exit(1)
 }

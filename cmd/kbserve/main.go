@@ -69,6 +69,11 @@ func main() {
 	defaultAlgo := flag.String("default-algo", "patternenum", "algorithm for requests that omit one: patternenum, linearenum, baseline, or auto (cost-based planner)")
 	dataDir := flag.String("data-dir", "", "durable data directory: WAL-log updates, checkpoint snapshots, recover on restart")
 	ckptEvery := flag.Int("checkpoint-every", 64, "background-checkpoint after this many WAL records accumulate past the last snapshot (negative disables)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "admission control: concurrently executing searches (0 = max(8, 4*GOMAXPROCS), negative disables)")
+	maxQueue := flag.Int("max-queue", 512, "admission control: queued searches before new arrivals are shed with 429")
+	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: longest a search may wait for an execution slot (0 = -timeout)")
+	gcBatch := flag.Int("group-commit-batch", 0, "WAL group commit: records per fsync batch (0 = default 128)")
+	gcDelay := flag.Duration("group-commit-delay", 0, "WAL group commit: hold a non-full batch open this long for stragglers (0 = commit immediately)")
 	flag.Parse()
 
 	// With -data-dir, the snapshot manifest is authoritative for the
@@ -95,7 +100,10 @@ func main() {
 			ropts.Shards = 0
 		}
 		var rs kbtable.RecoverStats
-		eng, store, rs, err = kbtable.OpenDir(*dataDir, ropts)
+		eng, store, rs, err = kbtable.OpenDirOpts(*dataDir, ropts, kbtable.StoreOptions{
+			GroupCommitMaxBatch: *gcBatch,
+			GroupCommitMaxDelay: *gcDelay,
+		})
 		switch {
 		case err == nil:
 			if *kbPath != "" {
@@ -164,6 +172,9 @@ func main() {
 		DefaultAlgorithm: *defaultAlgo,
 		Store:            store,
 		CheckpointEvery:  *ckptEvery,
+		MaxConcurrent:    *maxConcurrent,
+		MaxQueue:         *maxQueue,
+		QueueTimeout:     *queueTimeout,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -177,7 +188,7 @@ func main() {
 	if store != nil {
 		mode += fmt.Sprintf(", durable in %s (checkpoint every %d records)", store.Dir(), *ckptEvery)
 	}
-	log.Printf("listening on %s (POST /search, GET /healthz), %s", *addr, mode)
+	log.Printf("listening on %s (POST /search, GET /healthz, GET /metrics), %s", *addr, mode)
 
 	select {
 	case err := <-errCh:

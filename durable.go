@@ -53,11 +53,36 @@ type Store struct {
 	mu sync.Mutex // serializes ApplyLogged chains against each other
 }
 
+// StoreOptions tunes the durable layer. The zero value is the default
+// configuration (group commit on, batch cap 128, no artificial delay).
+type StoreOptions struct {
+	// GroupCommitMaxBatch caps how many WAL records share one fsync
+	// (<=0 = default 128).
+	GroupCommitMaxBatch int
+	// GroupCommitMaxDelay is how long the committer holds a non-full
+	// batch open for stragglers before paying the fsync (0 = commit
+	// immediately; a solo append sees no added latency either way).
+	GroupCommitMaxDelay time.Duration
+}
+
+func (o StoreOptions) storeOpts() []store.Option {
+	var opts []store.Option
+	if o.GroupCommitMaxBatch > 0 || o.GroupCommitMaxDelay > 0 {
+		opts = append(opts, store.WithGroupCommit(o.GroupCommitMaxBatch, o.GroupCommitMaxDelay))
+	}
+	return opts
+}
+
 // OpenStore opens (creating if needed) a durable data directory. The
 // WAL tail is scanned and any torn suffix truncated, so the store is
 // immediately ready for appends.
 func OpenStore(dir string) (*Store, error) {
-	s, err := store.Open(dir)
+	return OpenStoreOpts(dir, StoreOptions{})
+}
+
+// OpenStoreOpts is OpenStore with explicit durable-layer tuning.
+func OpenStoreOpts(dir string, so StoreOptions) (*Store, error) {
+	s, err := store.Open(dir, so.storeOpts()...)
 	if err != nil {
 		return nil, fmt.Errorf("kbtable: %w", err)
 	}
@@ -97,20 +122,31 @@ type StoreStats struct {
 	// refused (ErrDurability) until the process restarts. Surface it —
 	// a "healthy" server that rejects all writes is an outage.
 	Broken bool
+	// Group-commit batching: how many fsyncs covered how many records
+	// (Records/Batches is the average batch size), the largest batch,
+	// and a batch-size histogram with upper bounds 1,2,4,...,64,+Inf.
+	GroupCommitBatches  uint64
+	GroupCommitRecords  uint64
+	GroupCommitMaxBatch int
+	GroupCommitHist     [8]uint64
 }
 
 // Stats returns current store counters.
 func (s *Store) Stats() StoreStats {
 	st := s.s.Stats()
 	return StoreStats{
-		Dir:          s.s.Dir(),
-		LastSeq:      st.LastSeq,
-		SnapshotSeq:  st.SnapshotSeq,
-		HasSnapshot:  st.HasSnapshot,
-		WALBytes:     st.WALBytes,
-		TornOnOpen:   st.TornOnOpen,
-		DroppedBytes: st.DroppedBytes,
-		Broken:       st.Broken,
+		Dir:                 s.s.Dir(),
+		LastSeq:             st.LastSeq,
+		SnapshotSeq:         st.SnapshotSeq,
+		HasSnapshot:         st.HasSnapshot,
+		WALBytes:            st.WALBytes,
+		TornOnOpen:          st.TornOnOpen,
+		DroppedBytes:        st.DroppedBytes,
+		Broken:              st.Broken,
+		GroupCommitBatches:  st.GroupCommit.Batches,
+		GroupCommitRecords:  st.GroupCommit.Records,
+		GroupCommitMaxBatch: st.GroupCommit.MaxBatch,
+		GroupCommitHist:     st.GroupCommit.Hist,
 	}
 }
 
@@ -152,6 +188,54 @@ func (e *Engine) ApplyLogged(s *Store, u Update) (*Engine, UpdateResult, error) 
 	}
 	ne.seq = seq
 	return ne, res, nil
+}
+
+// Commit is an in-flight durable update from ApplyLoggedAsync: the
+// batch is applied in memory but not yet fsynced. Wait blocks until the
+// WAL record is durable (possibly group-committed alongside other
+// in-flight updates) and stamps the engine with its sequence number.
+type Commit struct {
+	p   *store.Pending
+	eng *Engine
+}
+
+// Wait blocks until the update is durable. On success the engine
+// returned by ApplyLoggedAsync carries the assigned WAL sequence; on
+// failure that engine must be discarded (its update never became
+// durable and the store refuses further appends).
+func (c *Commit) Wait() (uint64, error) {
+	seq, err := c.p.Wait()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	c.eng.seq = seq
+	return seq, nil
+}
+
+// ApplyLoggedAsync is the pipelined form of ApplyLogged: it applies the
+// batch in memory and ENQUEUES the WAL record for group commit, but
+// returns before the record is durable. The caller must not publish the
+// new engine (or acknowledge the update) until Commit.Wait succeeds.
+//
+// Unlike ApplyLogged it does not serialize callers: the caller owns the
+// apply chain and must call ApplyLoggedAsync serially, each call on the
+// engine returned by the previous one — enqueue order is WAL order.
+// This is what lets a serving layer overlap the in-memory apply of
+// update N+1 with the fsync of update N, the core of the group-commit
+// throughput win.
+func (e *Engine) ApplyLoggedAsync(s *Store, u Update) (*Engine, UpdateResult, *Commit, error) {
+	if s == nil {
+		return nil, UpdateResult{}, nil, errors.New("kbtable: ApplyLoggedAsync needs a store")
+	}
+	ne, res, err := e.ApplyUpdate(u)
+	if err != nil {
+		return nil, res, nil, err
+	}
+	payload, err := json.Marshal(walRecord{Ops: u.Ops})
+	if err != nil {
+		return nil, res, nil, fmt.Errorf("kbtable: encode update for wal: %w", err)
+	}
+	return ne, res, &Commit{p: s.s.AppendAsync(payload), eng: ne}, nil
 }
 
 // CheckpointStats reports what one Checkpoint wrote.
@@ -405,7 +489,12 @@ func loadSnapshot(sn *store.Snapshot, opts EngineOptions) (*Engine, error) {
 //
 // Any other error closes the store before returning.
 func OpenDir(dir string, opts EngineOptions) (*Engine, *Store, RecoverStats, error) {
-	s, err := OpenStore(dir)
+	return OpenDirOpts(dir, opts, StoreOptions{})
+}
+
+// OpenDirOpts is OpenDir with explicit durable-layer tuning.
+func OpenDirOpts(dir string, opts EngineOptions, so StoreOptions) (*Engine, *Store, RecoverStats, error) {
+	s, err := OpenStoreOpts(dir, so)
 	if err != nil {
 		return nil, nil, RecoverStats{}, err
 	}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Bench-regression gate: CompareReports diffs two BENCH_kbtable.json
+// files row by row and flags every pinned metric that regressed past
+// the threshold. "Pinned" rows are matched by identity (config name,
+// corpus × algo, serve op) — a row present only on one side is skipped,
+// so adding a new benchmark never fails the gate retroactively.
+
+// DefaultRegressionThreshold is the fractional slowdown that fails the
+// gate: 0.25 = new must stay within 125% of old cost (or 75% of old
+// throughput).
+const DefaultRegressionThreshold = 0.25
+
+// Regression is one gate violation.
+type Regression struct {
+	// Row names the compared entity; Metric the compared number.
+	Row    string
+	Metric string
+	// Old and New are the compared values; Ratio is the slowdown factor
+	// (always > 1+threshold when reported).
+	Old, New, Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s regressed %.2fx (%.4g -> %.4g)", r.Row, r.Metric, r.Ratio, r.Old, r.New)
+}
+
+// ReadShardBenchReport loads a BENCH_kbtable.json from disk.
+func ReadShardBenchReport(path string) (*ShardBenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r ShardBenchReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parse report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareReports returns every pinned row of new that regressed more
+// than threshold versus old. Cost metrics (ns/op, latency) regress by
+// growing, throughput metrics by shrinking; both are reported as a
+// slowdown ratio > 1.
+func CompareReports(old, new *ShardBenchReport, threshold float64) []Regression {
+	if threshold <= 0 {
+		threshold = DefaultRegressionThreshold
+	}
+	var out []Regression
+	check := func(row, metric string, oldV, newV float64, higherIsWorse bool) {
+		if oldV <= 0 || newV <= 0 {
+			return // absent or degenerate on one side: not comparable
+		}
+		ratio := newV / oldV
+		if !higherIsWorse {
+			ratio = oldV / newV
+		}
+		if ratio > 1+threshold {
+			out = append(out, Regression{Row: row, Metric: metric, Old: oldV, New: newV, Ratio: ratio})
+		}
+	}
+
+	oldShard := map[string]ShardBenchResult{}
+	for _, r := range old.Results {
+		oldShard[r.Name] = r
+	}
+	for _, n := range new.Results {
+		if o, ok := oldShard[n.Name]; ok {
+			check("shard "+n.Name, "ns/op", float64(o.NsPerOp), float64(n.NsPerOp), true)
+		}
+	}
+
+	oldPlanner := map[string]PlannerBenchResult{}
+	for _, r := range old.Planner {
+		oldPlanner[r.Corpus+"/"+r.Algo] = r
+	}
+	for _, n := range new.Planner {
+		if o, ok := oldPlanner[n.Corpus+"/"+n.Algo]; ok {
+			check("planner "+n.Corpus+"/"+n.Algo, "ns/op", float64(o.NsPerOp), float64(n.NsPerOp), true)
+		}
+	}
+
+	if old.ColdStart != nil && new.ColdStart != nil {
+		check("cold-start", "load_ms", old.ColdStart.LoadMs, new.ColdStart.LoadMs, true)
+	}
+
+	oldServe := map[string]ServeLatencyResult{}
+	for _, r := range old.ServeLatency {
+		oldServe[r.Op] = r
+	}
+	for _, n := range new.ServeLatency {
+		if o, ok := oldServe[n.Op]; ok {
+			check("serve "+n.Op, "throughput_rps", o.ThroughputRPS, n.ThroughputRPS, false)
+			check("serve "+n.Op, "p99_ms", o.P99MS, n.P99MS, true)
+		}
+	}
+
+	if old.GroupCommit != nil && new.GroupCommit != nil {
+		check("group-commit", "update_throughput_rps",
+			old.GroupCommit.UpdateThroughputRPS, new.GroupCommit.UpdateThroughputRPS, false)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseReport() *ShardBenchReport {
+	return &ShardBenchReport{
+		Results: []ShardBenchResult{
+			{Name: "shards-1", NsPerOp: 1000},
+			{Name: "shards-2", NsPerOp: 600},
+		},
+		Planner: []PlannerBenchResult{
+			{Corpus: "wiki", Algo: "auto", NsPerOp: 500},
+		},
+		ColdStart: &ColdStartBenchResult{LoadMs: 100},
+		ServeLatency: []ServeLatencyResult{
+			{Op: "search", ThroughputRPS: 1000, P99MS: 10},
+			{Op: "update", ThroughputRPS: 200, P99MS: 20},
+		},
+		GroupCommit: &GroupCommitResult{UpdateThroughputRPS: 200},
+	}
+}
+
+func TestCompareReportsNoRegression(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	// Within threshold: 20% slower ns/op, 20% lower throughput.
+	cur.Results[0].NsPerOp = 1200
+	cur.ServeLatency[0].ThroughputRPS = 850
+	if regs := CompareReports(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareReportsFlagsRegressions(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Results[1].NsPerOp = 1000            // 1.67x slower
+	cur.ServeLatency[0].ThroughputRPS = 500  // half the search rps
+	cur.GroupCommit.UpdateThroughputRPS = 50 // quarter the update rps
+	regs := CompareReports(old, cur, 0.25)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
+	}
+	want := []string{"shard shards-2", "serve search", "group-commit"}
+	for i, w := range want {
+		if !strings.HasPrefix(regs[i].String(), w) {
+			t.Errorf("regression %d = %q, want prefix %q", i, regs[i], w)
+		}
+		if regs[i].Ratio <= 1.25 {
+			t.Errorf("regression %d ratio %.2f not above threshold", i, regs[i].Ratio)
+		}
+	}
+}
+
+func TestCompareReportsSkipsUnmatchedRows(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	// New row absent from the baseline, baseline row gone from new, and a
+	// baseline with no serve rows at all: none of these may fire.
+	cur.Results = append(cur.Results, ShardBenchResult{Name: "shards-4", NsPerOp: 999999})
+	old.Results = old.Results[:1]
+	old.ServeLatency = nil
+	old.GroupCommit = nil
+	cur.ServeLatency[1].ThroughputRPS = 1 // would regress if matched
+	if regs := CompareReports(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("unmatched rows must not gate: %v", regs)
+	}
+}
+
+func TestCompareReportsLatencyRegression(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.ServeLatency[1].P99MS = 100 // 5x the update p99
+	regs := CompareReports(old, cur, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "p99_ms" {
+		t.Fatalf("want one p99_ms regression, got %v", regs)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	samples := make([]time.Duration, 1000)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	st := Percentiles("search", samples, 10*time.Second, 3, 7)
+	if st.Requests != 1000 || st.Errors != 3 || st.Shed != 7 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.ThroughputRPS != 100 {
+		t.Fatalf("throughput = %v, want 100", st.ThroughputRPS)
+	}
+	if st.P50MS < 490 || st.P50MS > 510 {
+		t.Fatalf("p50 = %vms, want ~500", st.P50MS)
+	}
+	if st.P99MS < 980 || st.P99MS > 1000 {
+		t.Fatalf("p99 = %vms, want ~990", st.P99MS)
+	}
+	if st.MaxMS != 1000 {
+		t.Fatalf("max = %vms, want 1000", st.MaxMS)
+	}
+}
+
+func TestAttachLoadReport(t *testing.T) {
+	r := &ShardBenchReport{}
+	lr := &LoadReport{
+		Ops: []LoadOpStats{
+			{Op: "search", Requests: 900, ThroughputRPS: 450, P50MS: 1, P99MS: 8, P999MS: 15},
+			{Op: "update", Requests: 100, ThroughputRPS: 50, P50MS: 2, P99MS: 12, P999MS: 30},
+		},
+		Server: &LoadServerCounters{
+			GroupCommitBatches: 25, GroupCommitRecords: 100,
+			GroupCommitAvgBatch: 4, GroupCommitMaxBatch: 8,
+		},
+	}
+	r.AttachLoadReport(lr)
+	if len(r.ServeLatency) != 2 {
+		t.Fatalf("want 2 serve_latency rows, got %d", len(r.ServeLatency))
+	}
+	if r.ServeLatency[0].Op != "search" || r.ServeLatency[0].P999MS != 15 {
+		t.Fatalf("search row wrong: %+v", r.ServeLatency[0])
+	}
+	gc := r.GroupCommit
+	if gc == nil || gc.Batches != 25 || gc.AvgBatch != 4 || gc.UpdateThroughputRPS != 50 {
+		t.Fatalf("group_commit row wrong: %+v", gc)
+	}
+}

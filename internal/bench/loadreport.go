@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// LoadReport is the JSON schema cmd/kbload emits and cmd/kbbench
+// -load-report ingests: throughput and latency percentiles per op type
+// for one mixed search/update soak against a live kbserve, plus the
+// server-side counter deltas (coalescing, shedding, WAL group commit)
+// scraped from /healthz around the run.
+type LoadReport struct {
+	// Target is the kbserve base URL the soak drove.
+	Target string `json:"target"`
+	// DurationSec / Concurrency / ReadRatio echo the soak parameters.
+	DurationSec float64 `json:"duration_sec"`
+	Concurrency int     `json:"concurrency"`
+	ReadRatio   float64 `json:"read_ratio"`
+	// Ops holds one row per op type ("search", "update").
+	Ops []LoadOpStats `json:"ops"`
+	// Server is the /healthz counter delta across the soak (nil when the
+	// endpoint could not be scraped).
+	Server *LoadServerCounters `json:"server,omitempty"`
+}
+
+// LoadOpStats is the client-observed throughput + latency distribution
+// of one op type.
+type LoadOpStats struct {
+	// Op is "search" or "update".
+	Op string `json:"op"`
+	// Requests counts completed requests; Errors the non-2xx responses
+	// that were not load shedding; Shed the 429 rejections.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+	Shed     uint64 `json:"shed"`
+	// Coalesced / CacheHits count search responses flagged as shared
+	// with another execution / served from the result cache.
+	Coalesced uint64 `json:"coalesced,omitempty"`
+	CacheHits uint64 `json:"cache_hits,omitempty"`
+	// ThroughputRPS is Requests / wall-clock seconds.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency percentiles over completed requests, in milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// LoadServerCounters is the server-side view of the same soak: the
+// /healthz counter deltas between start and end.
+type LoadServerCounters struct {
+	Coalesced        uint64 `json:"coalesced"`
+	ShedQueueFull    uint64 `json:"shed_queue_full"`
+	ShedQueueTimeout uint64 `json:"shed_queue_timeout"`
+	// WAL group commit: fsync batches, records they covered, average and
+	// largest batch (0 when the server runs without -data-dir).
+	GroupCommitBatches  uint64  `json:"group_commit_batches"`
+	GroupCommitRecords  uint64  `json:"group_commit_records"`
+	GroupCommitAvgBatch float64 `json:"group_commit_avg_batch"`
+	GroupCommitMaxBatch int     `json:"group_commit_max_batch"`
+	// WALSeq / Epoch are the end-of-soak absolute values, a consistency
+	// anchor: every acked update must be ≤ WALSeq.
+	WALSeq uint64 `json:"wal_seq"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// Percentiles computes the latency distribution of one op from its raw
+// samples (sorted in place).
+func Percentiles(op string, samples []time.Duration, wall time.Duration, errors, shed uint64) LoadOpStats {
+	st := LoadOpStats{Op: op, Requests: uint64(len(samples)), Errors: errors, Shed: shed}
+	if wall > 0 {
+		st.ThroughputRPS = float64(len(samples)) / wall.Seconds()
+	}
+	if len(samples) == 0 {
+		return st
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	st.P50MS = ms(pct(0.50))
+	st.P90MS = ms(pct(0.90))
+	st.P99MS = ms(pct(0.99))
+	st.P999MS = ms(pct(0.999))
+	st.MaxMS = ms(samples[len(samples)-1])
+	st.MeanMS = ms(sum / time.Duration(len(samples)))
+	return st
+}
+
+// ReadLoadReport loads a kbload JSON report from disk.
+func ReadLoadReport(path string) (*LoadReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r LoadReport
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parse load report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *LoadReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// String renders the report as a human-readable table.
+func (r *LoadReport) String() string {
+	t := Table{
+		Title: fmt.Sprintf("Serve soak — %s, %.0fs, %d workers, read ratio %.2f",
+			r.Target, r.DurationSec, r.Concurrency, r.ReadRatio),
+		Header: []string{"op", "requests", "errors", "shed", "rps", "p50", "p99", "p99.9", "max"},
+	}
+	for _, op := range r.Ops {
+		t.Rows = append(t.Rows, []string{
+			op.Op,
+			fmt.Sprintf("%d", op.Requests),
+			fmt.Sprintf("%d", op.Errors),
+			fmt.Sprintf("%d", op.Shed),
+			fmt.Sprintf("%.0f", op.ThroughputRPS),
+			fmtMs(op.P50MS), fmtMs(op.P99MS), fmtMs(op.P999MS), fmtMs(op.MaxMS),
+		})
+	}
+	if s := r.Server; s != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf("server: %d coalesced, %d+%d shed (full+timeout)",
+			s.Coalesced, s.ShedQueueFull, s.ShedQueueTimeout))
+		if s.GroupCommitBatches > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf("group commit: %d records in %d fsyncs (avg %.2f, max %d)",
+				s.GroupCommitRecords, s.GroupCommitBatches, s.GroupCommitAvgBatch, s.GroupCommitMaxBatch))
+		}
+	}
+	return t.String()
+}
+
+// ServeLatencyResult is one serve_latency row of BENCH_kbtable.json,
+// distilled from a kbload report: the latency record of the serving
+// path under mixed load.
+type ServeLatencyResult struct {
+	Op            string  `json:"op"`
+	Requests      uint64  `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	P999MS        float64 `json:"p999_ms"`
+}
+
+// GroupCommitResult is the group_commit row of BENCH_kbtable.json: the
+// WAL batching achieved during the soak.
+type GroupCommitResult struct {
+	Batches  uint64  `json:"batches"`
+	Records  uint64  `json:"records"`
+	AvgBatch float64 `json:"avg_batch"`
+	MaxBatch int     `json:"max_batch"`
+	// UpdateThroughputRPS is the client-observed durable update
+	// throughput the batching sustained.
+	UpdateThroughputRPS float64 `json:"update_throughput_rps"`
+}
+
+// AttachLoadReport grafts a kbload soak onto the BENCH report as
+// serve_latency and group_commit rows.
+func (r *ShardBenchReport) AttachLoadReport(lr *LoadReport) {
+	for _, op := range lr.Ops {
+		r.ServeLatency = append(r.ServeLatency, ServeLatencyResult{
+			Op:            op.Op,
+			Requests:      op.Requests,
+			ThroughputRPS: op.ThroughputRPS,
+			P50MS:         op.P50MS,
+			P99MS:         op.P99MS,
+			P999MS:        op.P999MS,
+		})
+		if op.Op == "update" && lr.Server != nil && lr.Server.GroupCommitBatches > 0 {
+			r.GroupCommit = &GroupCommitResult{
+				Batches:             lr.Server.GroupCommitBatches,
+				Records:             lr.Server.GroupCommitRecords,
+				AvgBatch:            lr.Server.GroupCommitAvgBatch,
+				MaxBatch:            lr.Server.GroupCommitMaxBatch,
+				UpdateThroughputRPS: op.ThroughputRPS,
+			}
+		}
+	}
+}

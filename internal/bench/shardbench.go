@@ -120,6 +120,10 @@ type ShardBenchReport struct {
 	Planner []PlannerBenchResult `json:"planner"`
 	// ColdStart is the snapshot-load vs index-rebuild comparison.
 	ColdStart *ColdStartBenchResult `json:"cold_start,omitempty"`
+	// ServeLatency / GroupCommit come from a kbload soak report
+	// (kbbench -load-report): the serving path's latency record.
+	ServeLatency []ServeLatencyResult `json:"serve_latency,omitempty"`
+	GroupCommit  *GroupCommitResult   `json:"group_commit,omitempty"`
 }
 
 // RunShardBench measures query throughput of the serial engine against
@@ -293,6 +297,14 @@ func (r *ShardBenchReport) String() string {
 	if r.ColdStart != nil {
 		cold = fmt.Sprintf("\ncold start: snapshot %.1f MB, build %.0fms vs load %.0fms (%.1fx)\n",
 			float64(r.ColdStart.SnapshotBytes)/(1<<20), r.ColdStart.BuildMs, r.ColdStart.LoadMs, r.ColdStart.SpeedupVsBuild)
+	}
+	for _, sl := range r.ServeLatency {
+		cold += fmt.Sprintf("serve %s: %.0f rps, p50 %s, p99 %s, p99.9 %s\n",
+			sl.Op, sl.ThroughputRPS, fmtMs(sl.P50MS), fmtMs(sl.P99MS), fmtMs(sl.P999MS))
+	}
+	if gc := r.GroupCommit; gc != nil {
+		cold += fmt.Sprintf("group commit: %d records in %d fsyncs (avg %.2f, max %d) at %.0f updates/s\n",
+			gc.Records, gc.Batches, gc.AvgBatch, gc.MaxBatch, gc.UpdateThroughputRPS)
 	}
 	if len(r.Planner) == 0 {
 		return t.String() + cold

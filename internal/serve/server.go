@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,15 @@ type durableEngine interface {
 	ApplyLogged(s *kbtable.Store, u kbtable.Update) (*kbtable.Engine, kbtable.UpdateResult, error)
 	Checkpoint(s *kbtable.Store) (kbtable.CheckpointStats, error)
 	Seq() uint64
+}
+
+// asyncDurableEngine is the pipelined durability surface: applying a
+// batch in memory while only ENQUEUEING its WAL record, so concurrent
+// updates share one group-committed fsync. *kbtable.Engine implements
+// it; fakes that implement only durableEngine fall back to the serial
+// apply+fsync path.
+type asyncDurableEngine interface {
+	ApplyLoggedAsync(s *kbtable.Store, u kbtable.Update) (*kbtable.Engine, kbtable.UpdateResult, *kbtable.Commit, error)
 }
 
 // planner is the plan-observability surface: resolving a plan without
@@ -101,6 +111,15 @@ type Config struct {
 	// triggers a background checkpoint; default 64, negative disables
 	// automatic checkpoints (CheckpointNow still works).
 	CheckpointEvery int
+	// MaxConcurrent bounds how many searches execute at once (admission
+	// control); default max(8, 4×GOMAXPROCS), negative disables the gate.
+	MaxConcurrent int
+	// MaxQueue bounds searches waiting for an execution slot before new
+	// arrivals are shed with 429; default 512.
+	MaxQueue int
+	// QueueTimeout bounds one search's wait for an execution slot
+	// (shed with 429 beyond it); default Timeout.
+	QueueTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +141,18 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 64
 	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+		if c.MaxConcurrent < 8 {
+			c.MaxConcurrent = 8
+		}
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 512
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = c.Timeout
+	}
 	return c
 }
 
@@ -130,13 +161,14 @@ func (c Config) withDefaults() Config {
 // in-flight query keeps its snapshot even while an update swaps in the
 // next epoch.
 type engineState struct {
-	eng    Searcher
-	upd    Updater       // nil if the engine cannot apply updates
-	words  wordResolver  // nil if the engine cannot resolve query words
-	shards shardInfoer   // nil if the engine cannot describe its shards
-	plans  planner       // nil if the engine cannot resolve plans
-	dur    durableEngine // nil if the engine cannot log/checkpoint
-	epoch  uint64
+	eng      Searcher
+	upd      Updater            // nil if the engine cannot apply updates
+	words    wordResolver       // nil if the engine cannot resolve query words
+	shards   shardInfoer        // nil if the engine cannot describe its shards
+	plans    planner            // nil if the engine cannot resolve plans
+	dur      durableEngine      // nil if the engine cannot log/checkpoint
+	durAsync asyncDurableEngine // nil if the engine cannot pipeline durable updates
+	epoch    uint64
 }
 
 // cacheEntry is one cached response tagged with the canonical words its
@@ -173,14 +205,27 @@ type Server struct {
 	ckptRunMu    sync.Mutex
 	lastCkptUnix atomic.Int64
 
-	// cur is the published epoch. updateMu serializes updates; swapMu
-	// fences cache writes against the invalidate-then-publish sequence so
-	// a result computed on epoch N can never enter the cache after the
-	// invalidation pass for epoch N+1 ran (which would leak a stale
-	// answer into the new epoch).
-	cur      atomic.Pointer[engineState]
-	updateMu sync.Mutex
-	swapMu   sync.RWMutex
+	// cur is the published epoch. swapMu fences cache writes against the
+	// invalidate-then-publish sequence so a result computed on epoch N
+	// can never enter the cache after the invalidation pass for epoch
+	// N+1 ran (which would leak a stale answer into the new epoch).
+	//
+	// Updates are pipelined: applyMu serializes the in-memory apply
+	// chain (tail is the newest applied-but-unpublished engine), the
+	// WAL fsync happens OUTSIDE applyMu so concurrent updates share one
+	// group commit, and pubMu/pubCond re-serialize publication in epoch
+	// order — searches always observe epochs 1, 2, 3, … with no gaps.
+	cur     atomic.Pointer[engineState]
+	applyMu sync.Mutex
+	tail    *engineState // nil = no unpublished state; rebase off cur
+	pubMu   sync.Mutex
+	pubCond *sync.Cond
+	swapMu  sync.RWMutex
+
+	// Serving-path machinery: read coalescing and admission control.
+	flights flightGroup
+	gate    *gate // nil = admission control disabled
+	metrics metrics
 }
 
 // New returns a Server ready to ListenAndServe.
@@ -191,6 +236,10 @@ func New(cfg Config) *Server {
 		cache: NewLRU[*cacheEntry](cfg.CacheSize),
 		start: time.Now(),
 	}
+	s.pubCond = sync.NewCond(&s.pubMu)
+	if cfg.MaxConcurrent > 0 {
+		s.gate = newGate(cfg.MaxConcurrent, cfg.MaxQueue)
+	}
 	st := &engineState{eng: cfg.Engine, epoch: 0}
 	if !cfg.ReadOnly {
 		st.upd, _ = cfg.Engine.(Updater)
@@ -199,6 +248,7 @@ func New(cfg Config) *Server {
 	st.shards, _ = cfg.Engine.(shardInfoer)
 	st.plans, _ = cfg.Engine.(planner)
 	st.dur, _ = cfg.Engine.(durableEngine)
+	st.durAsync, _ = cfg.Engine.(asyncDurableEngine)
 	s.cur.Store(st)
 	// A server recovered with a long WAL suffix should not wait for the
 	// next update to reclaim it: evaluate the checkpoint lag once at
@@ -217,9 +267,10 @@ func New(cfg Config) *Server {
 // custom middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/update", s.handleUpdate)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/search", s.instrument("search", s.handleSearch))
+	mux.Handle("/update", s.instrument("update", s.handleUpdate))
+	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
 	return mux
 }
 
@@ -263,6 +314,11 @@ type SearchRequest struct {
 	// the choice, never the answer bytes, so it does not participate in
 	// the cache key — the resolved algorithm it influenced does.
 	AutoBias float64 `json:"auto_bias,omitempty"`
+	// Priority is the admission-control class: "high", "normal"
+	// (default), or "low". The X-KB-Priority header takes precedence.
+	// Priority orders only queue admission under load; it never changes
+	// the answer bytes and does not participate in the cache key.
+	Priority string `json:"priority,omitempty"`
 }
 
 // SearchAnswer is one ranked table answer on the wire.
@@ -285,10 +341,14 @@ type SearchResponse struct {
 	// Algorithm is the algorithm that computed (or would compute) the
 	// answers — for "auto" requests, the planner's resolution, never
 	// "auto" itself.
-	Algorithm string  `json:"algorithm"`
-	D         int     `json:"d"`
-	Epoch     uint64  `json:"epoch"`
-	Cached    bool    `json:"cached"`
+	Algorithm string `json:"algorithm"`
+	D         int    `json:"d"`
+	Epoch     uint64 `json:"epoch"`
+	Cached    bool   `json:"cached"`
+	// Coalesced reports that this response shares an execution with an
+	// identical concurrent request (same normalized query, options, and
+	// epoch) instead of having run the search itself.
+	Coalesced bool    `json:"coalesced,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// Plan reports the resolved execution plan and per-stage timings
 	// (omitted when the engine does not expose plans). On cache hits the
@@ -413,6 +473,28 @@ type DurabilityHealth struct {
 	// every update (503) until restarted. The top-level status turns
 	// "degraded" so health probes catch it.
 	WALBroken bool `json:"wal_broken,omitempty"`
+	// Group-commit batching: GroupCommitBatches fsyncs covered
+	// GroupCommitRecords WAL records (their ratio is the average batch
+	// size; 1.0 means updates never overlapped), and the largest batch.
+	GroupCommitBatches  uint64 `json:"group_commit_batches"`
+	GroupCommitRecords  uint64 `json:"group_commit_records"`
+	GroupCommitMaxBatch int    `json:"group_commit_max_batch"`
+}
+
+// ServingHealth is the /healthz view of the serving path: read
+// coalescing and admission control.
+type ServingHealth struct {
+	// Coalesced counts searches that joined another identical in-flight
+	// execution instead of running the search themselves.
+	Coalesced uint64 `json:"coalesced"`
+	// MaxConcurrent is the execution-slot bound (0 = gate disabled).
+	MaxConcurrent int `json:"max_concurrent"`
+	// InFlight / QueueDepth are the gate's current occupancy.
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+	// ShedQueueFull / ShedQueueTimeout count 429s by cause.
+	ShedQueueFull    uint64 `json:"shed_queue_full"`
+	ShedQueueTimeout uint64 `json:"shed_queue_timeout"`
 }
 
 // HealthResponse is the GET /healthz reply.
@@ -425,6 +507,7 @@ type HealthResponse struct {
 	Updatable     bool              `json:"updatable"`
 	Cache         CacheStats        `json:"cache"`
 	Planner       PlannerHealth     `json:"planner"`
+	Serving       ServingHealth     `json:"serving"`
 	Shards        *ShardHealth      `json:"shards,omitempty"`
 	Durability    *DurabilityHealth `json:"durability,omitempty"`
 }
@@ -537,6 +620,32 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	prioName := r.Header.Get("X-KB-Priority")
+	if prioName == "" {
+		prioName = req.Priority
+	}
+	prio, err := parsePriority(prioName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Admission control: hold an execution slot for the rest of the
+	// request. Under overload the wait is bounded and the queue finite,
+	// so excess load turns into prompt 429s the client can back off on.
+	if s.gate != nil {
+		if err := s.gate.acquire(r.Context(), prio, s.cfg.QueueTimeout); err != nil {
+			switch {
+			case errors.Is(err, errShedFull), errors.Is(err, errShedTimeout):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, err.Error())
+			default:
+				writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+			}
+			return
+		}
+		defer s.gate.release()
+	}
 
 	// Pin this request to the currently published snapshot: even if an
 	// update lands mid-query, we keep searching (and report) this epoch.
@@ -585,80 +694,117 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if hit, ok := s.cache.Get(key); ok {
 		resp := *hit.resp // shallow copy: answers are shared read-only
 		resp.Cached = true
-		if resp.Plan != nil {
-			// The plan must reflect THIS request, not whichever request
-			// populated the shared entry: an auto hit carries this
-			// request's planner decision and probe statistics, an
-			// explicit hit carries neither, even when the entry was
-			// computed the other way around. Stage timings stay those of
-			// the run that computed the entry.
-			plan := *resp.Plan
-			if chosen != nil {
-				plan.Auto, plan.Reason = true, chosen.Reason
-				plan.CandidateRoots, plan.RootTypes = chosen.CandidateRoots, chosen.RootTypes
-				plan.PatternSpace, plan.Frontier = chosen.PatternSpace, chosen.Frontier
-			} else {
-				plan.Auto, plan.Reason = false, ""
-			}
-			resp.Plan = &plan
-		}
+		// The plan must reflect THIS request, not whichever request
+		// populated the shared entry: an auto hit carries this request's
+		// planner decision and probe statistics, an explicit hit carries
+		// neither, even when the entry was computed the other way
+		// around. Stage timings stay those of the run that computed it.
+		resp.Plan = personalizePlan(resp.Plan, chosen)
 		writeJSON(w, http.StatusOK, &resp)
 		return
 	}
 
-	t0 := time.Now()
-	var answers []kbtable.Answer
-	var plan *PlanOut
-	if st.plans != nil {
-		var pi kbtable.PlanInfo
-		answers, pi, err = st.plans.SearchPlan(ctx, req.Query, opts)
-		if err == nil {
-			if chosen != nil {
-				// The run executed the resolved algorithm explicitly;
-				// surface the planner's decision and the (richer)
-				// statistics it was based on, keeping the run's timings.
-				pi.Auto, pi.Reason = true, chosen.Reason
-				pi.CandidateRoots = chosen.CandidateRoots
-				pi.RootTypes = chosen.RootTypes
-				pi.PatternSpace = chosen.PatternSpace
-				pi.Frontier = chosen.Frontier
+	// Read coalescing: identical concurrent misses — same cache key AND
+	// same pinned epoch — share one execution. The epoch in the flight
+	// key keeps the freshness contract intact: a request that loaded
+	// epoch N+1 never receives bytes computed on epoch N.
+	flightKey := fmt.Sprintf("%d|%s", st.epoch, key)
+	resp, joined, err := s.flights.do(ctx, flightKey, func() (*SearchResponse, error) {
+		// The leader runs detached from its own request context:
+		// followers depend on this execution, so one impatient client
+		// disconnecting must not fail everyone sharing the flight.
+		lctx, lcancel := context.WithTimeout(context.Background(), s.cfg.Timeout)
+		defer lcancel()
+
+		t0 := time.Now()
+		var answers []kbtable.Answer
+		var plan *PlanOut
+		var lerr error
+		if st.plans != nil {
+			var pi kbtable.PlanInfo
+			answers, pi, lerr = st.plans.SearchPlan(lctx, req.Query, opts)
+			if lerr == nil {
+				if chosen != nil {
+					// The run executed the resolved algorithm explicitly;
+					// surface the planner's decision and the (richer)
+					// statistics it was based on, keeping the run's timings.
+					pi.Auto, pi.Reason = true, chosen.Reason
+					pi.CandidateRoots = chosen.CandidateRoots
+					pi.RootTypes = chosen.RootTypes
+					pi.PatternSpace = chosen.PatternSpace
+					pi.Frontier = chosen.Frontier
+				}
+				plan = planOut(pi)
 			}
-			plan = planOut(pi)
+		} else {
+			answers, lerr = st.eng.SearchContext(lctx, req.Query, opts)
 		}
-	} else {
-		answers, err = st.eng.SearchContext(ctx, req.Query, opts)
-	}
+		if lerr != nil {
+			return nil, lerr
+		}
+
+		resp := &SearchResponse{
+			Query:     req.Query,
+			K:         req.K,
+			Algorithm: algoName,
+			D:         req.D,
+			Epoch:     st.epoch,
+			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+			Plan:      plan,
+			Answers:   make([]SearchAnswer, 0, len(answers)),
+		}
+		for _, a := range answers {
+			resp.Answers = append(resp.Answers, SearchAnswer{
+				Rank:    a.Rank,
+				Score:   a.Score,
+				NumRows: a.NumRows,
+				Pattern: a.Pattern,
+				Columns: a.Columns,
+				Rows:    a.Rows,
+			})
+		}
+		ent := &cacheEntry{resp: resp}
+		if st.words != nil {
+			ent.words = st.words.QueryWords(req.Query)
+		}
+		s.cachePut(st.epoch, key, ent)
+		return resp, nil
+	})
 	if err != nil {
 		s.writeSearchError(w, err)
 		return
 	}
-
-	resp := &SearchResponse{
-		Query:     req.Query,
-		K:         req.K,
-		Algorithm: algoName,
-		D:         req.D,
-		Epoch:     st.epoch,
-		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
-		Plan:      plan,
-		Answers:   make([]SearchAnswer, 0, len(answers)),
+	if joined {
+		// A follower shares the leader's bytes but not its request
+		// shape: copy, mark, and personalize the plan exactly like a
+		// cache hit (the flight's response is shared read-only).
+		s.metrics.coalesced.Add(1)
+		out := *resp
+		out.Coalesced = true
+		out.Plan = personalizePlan(out.Plan, chosen)
+		writeJSON(w, http.StatusOK, &out)
+		return
 	}
-	for _, a := range answers {
-		resp.Answers = append(resp.Answers, SearchAnswer{
-			Rank:    a.Rank,
-			Score:   a.Score,
-			NumRows: a.NumRows,
-			Pattern: a.Pattern,
-			Columns: a.Columns,
-			Rows:    a.Rows,
-		})
-	}
-	ent := &cacheEntry{resp: resp}
-	if st.words != nil {
-		ent.words = st.words.QueryWords(req.Query)
-	}
-	s.cachePut(st.epoch, key, ent)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// personalizePlan adapts a shared (cached or coalesced) response's plan
+// to the requesting side's planner decision: chosen non-nil marks an
+// auto request and grafts its probe statistics, nil marks an explicit
+// request. The input is not mutated.
+func personalizePlan(plan *PlanOut, chosen *kbtable.PlanInfo) *PlanOut {
+	if plan == nil {
+		return nil
+	}
+	p := *plan
+	if chosen != nil {
+		p.Auto, p.Reason = true, chosen.Reason
+		p.CandidateRoots, p.RootTypes = chosen.CandidateRoots, chosen.RootTypes
+		p.PatternSpace, p.Frontier = chosen.PatternSpace, chosen.Frontier
+	} else {
+		p.Auto, p.Reason = false, ""
+	}
+	return &p
 }
 
 // writeSearchError maps a search failure onto an HTTP status.
@@ -712,26 +858,44 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.updateMu.Lock()
-	defer s.updateMu.Unlock()
-	st := s.cur.Load()
-	if st.upd == nil {
+	// Apply in memory on the newest state in the chain — published or
+	// not. applyMu serializes only the (fast, copy-on-write) apply and
+	// the WAL enqueue; the fsync happens after it is released, so
+	// concurrent updates overlap their applies with each other's fsyncs
+	// and the store group-commits their WAL records together.
+	s.applyMu.Lock()
+	base := s.tail
+	if base == nil {
+		base = s.cur.Load()
+	}
+	if base.upd == nil {
+		s.applyMu.Unlock()
 		writeError(w, http.StatusNotImplemented, "this server is read-only")
 		return
 	}
 	t0 := time.Now()
 	var newEng *kbtable.Engine
 	var res kbtable.UpdateResult
+	var commit *kbtable.Commit
 	var err error
-	if s.cfg.Store != nil && st.dur != nil {
-		// Durable path: the accepted batch reaches the write-ahead log
-		// (fsync) before the epoch swap publishes it — by the time any
-		// search can observe this update, a crash can no longer lose it.
-		newEng, res, err = st.dur.ApplyLogged(s.cfg.Store, kbtable.Update{Ops: req.Ops})
-	} else {
-		newEng, res, err = st.upd.ApplyUpdate(kbtable.Update{Ops: req.Ops})
+	durable := s.cfg.Store != nil && base.dur != nil
+	switch {
+	case durable && base.durAsync != nil:
+		// Pipelined durable path: the accepted batch still reaches the
+		// write-ahead log (fsync) before the epoch swap publishes it —
+		// commit.Wait() below resolves before publication — so by the
+		// time any search can observe this update, a crash can no
+		// longer lose it. The wait just no longer serializes fsyncs.
+		newEng, res, commit, err = base.durAsync.ApplyLoggedAsync(s.cfg.Store, kbtable.Update{Ops: req.Ops})
+	case durable:
+		// Serial durable fallback (engines exposing only ApplyLogged):
+		// apply + fsync under applyMu, exactly the pre-group-commit path.
+		newEng, res, err = base.dur.ApplyLogged(s.cfg.Store, kbtable.Update{Ops: req.Ops})
+	default:
+		newEng, res, err = base.upd.ApplyUpdate(kbtable.Update{Ops: req.Ops})
 	}
 	if err != nil {
+		s.applyMu.Unlock()
 		if errors.Is(err, kbtable.ErrDurability) {
 			// The batch was valid but could not be persisted; nothing was
 			// published, and the store refuses further appends.
@@ -741,18 +905,46 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-
-	touched := make(map[string]bool, len(res.TouchedWords))
-	for _, wd := range res.TouchedWords {
-		touched[wd] = true
-	}
-	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, epoch: st.epoch + 1}
-	if st.dur != nil {
+	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, epoch: base.epoch + 1}
+	if base.dur != nil {
 		// Durability stays engaged only when the whole chain was durable:
 		// an engine wrapped by a non-durable fake produced an unlogged
 		// first update, so logging later ones would leave a WAL that
 		// replays into a different history.
 		next.dur = newEng
+	}
+	if base.durAsync != nil {
+		next.durAsync = newEng
+	}
+	s.tail = next
+	s.applyMu.Unlock()
+
+	if commit != nil {
+		if _, err := commit.Wait(); err != nil {
+			// The batch never became durable: unpublish the poisoned
+			// chain so later applies rebase off the published state.
+			// Every WAL record enqueued after this one fails too (the
+			// store is read-only after an append failure), so no handler
+			// downstream of this epoch is left waiting to publish.
+			s.applyMu.Lock()
+			s.tail = nil
+			s.applyMu.Unlock()
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+	}
+
+	touched := make(map[string]bool, len(res.TouchedWords))
+	for _, wd := range res.TouchedWords {
+		touched[wd] = true
+	}
+	// Publish strictly in epoch order: a handler whose predecessor is
+	// still fsyncing parks here until that epoch lands, so searches
+	// observe epochs 1, 2, 3, … with no gaps and every response's epoch
+	// matches exactly the update history it reflects.
+	s.pubMu.Lock()
+	for s.cur.Load().epoch+1 != next.epoch {
+		s.pubCond.Wait()
 	}
 	s.swapMu.Lock()
 	invalidated := s.cache.DeleteFunc(func(_ string, ent *cacheEntry) bool {
@@ -773,6 +965,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 	s.cur.Store(next)
 	s.swapMu.Unlock()
+	s.pubCond.Broadcast()
+	s.pubMu.Unlock()
 	s.updates.Add(1)
 	s.maybeCheckpoint()
 
@@ -884,6 +1078,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ChosePatternEnum: s.autoChosePE.Load(),
 			ChoseLinearEnum:  s.autoChoseLE.Load(),
 		},
+		Serving: ServingHealth{Coalesced: s.metrics.coalesced.Load()},
+	}
+	if s.gate != nil {
+		resp.Serving.MaxConcurrent = s.cfg.MaxConcurrent
+		resp.Serving.InFlight, resp.Serving.QueueDepth = s.gate.depth()
+		resp.Serving.ShedQueueFull = s.gate.shedFull.Load()
+		resp.Serving.ShedQueueTimeout = s.gate.shedTimeout.Load()
 	}
 	if st.shards != nil {
 		info := st.shards.ShardInfo()
@@ -897,17 +1098,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		ss := s.cfg.Store.Stats()
 		resp.Durability = &DurabilityHealth{
-			DataDir:            ss.Dir,
-			WALSeq:             ss.LastSeq,
-			SnapshotSeq:        ss.SnapshotSeq,
-			PendingRecords:     ss.LastSeq - ss.SnapshotSeq,
-			WALBytes:           ss.WALBytes,
-			Checkpoints:        s.checkpoints.Load(),
-			CheckpointErrors:   s.ckptErrors.Load(),
-			CheckpointEvery:    s.cfg.CheckpointEvery,
-			LastCheckpointUnix: s.lastCkptUnix.Load(),
-			TornOnOpen:         ss.TornOnOpen,
-			WALBroken:          ss.Broken,
+			DataDir:             ss.Dir,
+			WALSeq:              ss.LastSeq,
+			SnapshotSeq:         ss.SnapshotSeq,
+			PendingRecords:      ss.LastSeq - ss.SnapshotSeq,
+			WALBytes:            ss.WALBytes,
+			Checkpoints:         s.checkpoints.Load(),
+			CheckpointErrors:    s.ckptErrors.Load(),
+			CheckpointEvery:     s.cfg.CheckpointEvery,
+			LastCheckpointUnix:  s.lastCkptUnix.Load(),
+			TornOnOpen:          ss.TornOnOpen,
+			WALBroken:           ss.Broken,
+			GroupCommitBatches:  ss.GroupCommitBatches,
+			GroupCommitRecords:  ss.GroupCommitRecords,
+			GroupCommitMaxBatch: ss.GroupCommitMaxBatch,
 		}
 		if ss.Broken {
 			resp.Status = "degraded"

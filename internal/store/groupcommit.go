@@ -1,0 +1,258 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// WAL group commit: concurrent Appends are handed to a single committer
+// goroutine that frames every queued record into ONE buffer, writes it
+// with one syscall, and makes the whole batch durable with ONE fsync.
+// Each caller is unblocked only once its own record is on stable
+// storage, so the durability contract is unchanged — a record is
+// durable when Append (or Pending.Wait) returns — while the fsync cost
+// under concurrency is amortized across the batch. Sequence numbers are
+// assigned in queue order by the committer, so the on-disk log is
+// strictly consecutive exactly as with single-record appends, and the
+// torn-tail recovery semantics are untouched: a crash mid-batch leaves
+// a prefix of the batch on disk (never acknowledged — Wait never
+// returned for any record of an unsynced batch), and recovery truncates
+// at the first invalid frame.
+
+// ErrClosed reports an append against a store that has been Closed.
+var ErrClosed = errors.New("store: closed")
+
+// DefaultGroupMaxBatch is the default cap on records per fsync batch.
+const DefaultGroupMaxBatch = 128
+
+// Option tunes Open.
+type Option func(*Store)
+
+// WithGroupCommit bounds the committer's batching: at most maxBatch
+// records share one fsync, and the committer waits at most maxDelay
+// after dequeuing the first record to let more arrive (0 = commit
+// whatever is already queued, adding no latency to a solo append).
+func WithGroupCommit(maxBatch int, maxDelay time.Duration) Option {
+	return func(s *Store) {
+		if maxBatch > 0 {
+			s.gcMaxBatch = maxBatch
+		}
+		if maxDelay > 0 {
+			s.gcMaxDelay = maxDelay
+		}
+	}
+}
+
+// Pending is one in-flight append: Wait blocks until the record is
+// durable (fsynced) or the append failed, mirroring Append's contract.
+type Pending struct {
+	done chan struct{}
+	seq  uint64
+	err  error
+}
+
+// Wait blocks until the record is durable and returns its sequence
+// number, or the append error.
+func (p *Pending) Wait() (uint64, error) {
+	<-p.done
+	return p.seq, p.err
+}
+
+// failedPending returns an already-resolved Pending carrying err.
+func failedPending(err error) *Pending {
+	p := &Pending{done: make(chan struct{}), err: err}
+	close(p.done)
+	return p
+}
+
+// appendReq is one queued record awaiting group commit.
+type appendReq struct {
+	payload []byte
+	p       *Pending
+}
+
+// GroupCommitStats describes the committer's batching since Open.
+type GroupCommitStats struct {
+	// Batches is the number of fsyncs; Records the records they covered.
+	// Records/Batches is the average batch size — 1.0 means no append
+	// ever overlapped another.
+	Batches uint64
+	Records uint64
+	// MaxBatch is the largest batch committed so far.
+	MaxBatch int
+	// Hist counts batches by size: bucket i holds batches of size in
+	// (2^(i-1), 2^i] — upper bounds 1, 2, 4, 8, 16, 32, 64, +Inf.
+	Hist [8]uint64
+}
+
+// histBucket maps a batch size onto its GroupCommitStats.Hist index.
+func histBucket(n int) int {
+	b, bound := 0, 1
+	for b < len(GroupCommitStats{}.Hist)-1 && n > bound {
+		b++
+		bound *= 2
+	}
+	return b
+}
+
+// AppendAsync enqueues one record for group commit and returns
+// immediately; the record is durable when the returned Pending's Wait
+// resolves without error. The payload must not be modified until then.
+// Enqueue order is commit order, so callers needing a specific
+// interleaving (a serialized update chain) must serialize their
+// AppendAsync calls; the sequence numbers are assigned in that order.
+func (s *Store) AppendAsync(payload []byte) *Pending {
+	if len(payload) > MaxWALRecord {
+		return failedPending(fmt.Errorf("store: record of %d bytes exceeds the %d limit", len(payload), MaxWALRecord))
+	}
+	p := &Pending{done: make(chan struct{})}
+	s.gcMu.Lock()
+	if s.gcClosing {
+		s.gcMu.Unlock()
+		return failedPending(ErrClosed)
+	}
+	s.gcQueue = append(s.gcQueue, appendReq{payload: payload, p: p})
+	s.gcCond.Signal()
+	s.gcMu.Unlock()
+	return p
+}
+
+// Append adds one record to the WAL and returns once it is durable
+// (fsynced). Concurrent Appends are group-committed: they share a
+// single write+fsync but each still blocks until its own record is on
+// stable storage. After a failed append the tail's contents are
+// suspect, so the store turns read-only for appends (every later Append
+// returns the original error).
+func (s *Store) Append(payload []byte) (uint64, error) {
+	return s.AppendAsync(payload).Wait()
+}
+
+// startCommitter launches the group-commit goroutine (end of Open).
+func (s *Store) startCommitter() {
+	s.gcCond = sync.NewCond(&s.gcMu)
+	if s.gcMaxBatch <= 0 {
+		s.gcMaxBatch = DefaultGroupMaxBatch
+	}
+	s.gcWG.Add(1)
+	go s.committer()
+}
+
+// stopCommitter signals shutdown and waits until the committer has
+// flushed (or failed) every queued record. Later AppendAsync calls
+// resolve with ErrClosed.
+func (s *Store) stopCommitter() {
+	s.gcMu.Lock()
+	if s.gcCond == nil {
+		s.gcMu.Unlock()
+		return // Open failed before the committer started
+	}
+	if !s.gcClosing {
+		s.gcClosing = true
+		s.gcCond.Broadcast()
+	}
+	s.gcMu.Unlock()
+	s.gcWG.Wait()
+}
+
+// takeLocked pops up to n queued requests (gcMu held).
+func (s *Store) takeLocked(n int) []appendReq {
+	if n > len(s.gcQueue) {
+		n = len(s.gcQueue)
+	}
+	batch := make([]appendReq, n)
+	copy(batch, s.gcQueue[:n])
+	rest := copy(s.gcQueue, s.gcQueue[n:])
+	for i := rest; i < len(s.gcQueue); i++ {
+		s.gcQueue[i] = appendReq{} // release payload refs
+	}
+	s.gcQueue = s.gcQueue[:rest]
+	return batch
+}
+
+// committer is the single goroutine that turns queued appends into
+// group-committed batches until the store closes.
+func (s *Store) committer() {
+	defer s.gcWG.Done()
+	for {
+		s.gcMu.Lock()
+		for len(s.gcQueue) == 0 && !s.gcClosing {
+			s.gcCond.Wait()
+		}
+		if len(s.gcQueue) == 0 {
+			s.gcMu.Unlock()
+			return // closing and fully drained
+		}
+		batch := s.takeLocked(s.gcMaxBatch)
+		s.gcMu.Unlock()
+		if s.gcMaxDelay > 0 && len(batch) < s.gcMaxBatch {
+			// Trade bounded latency for bigger batches: let stragglers
+			// pile up before paying the fsync.
+			time.Sleep(s.gcMaxDelay)
+			s.gcMu.Lock()
+			batch = append(batch, s.takeLocked(s.gcMaxBatch-len(batch))...)
+			s.gcMu.Unlock()
+		}
+		s.commitBatch(batch)
+	}
+}
+
+// commitBatch frames the whole batch into one buffer, writes it, fsyncs
+// once, and resolves every waiter. On any failure the store turns
+// read-only for appends (the tail is suspect) and the entire batch —
+// including records whose bytes may have reached the file — fails:
+// nothing unacknowledged is ever reported durable, and recovery
+// truncates whatever prefix landed.
+func (s *Store) commitBatch(batch []appendReq) {
+	s.mu.Lock()
+	fail := func(err error) {
+		s.mu.Unlock()
+		for _, r := range batch {
+			r.p.err = err
+			close(r.p.done)
+		}
+	}
+	if s.broken != nil {
+		fail(fmt.Errorf("store: wal is read-only after an append failure: %w", s.broken))
+		return
+	}
+	if s.seg == nil {
+		if err := s.newSegmentLocked(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	total := 0
+	for _, r := range batch {
+		total += walHeaderLen + len(r.payload) + walTrailerLen
+	}
+	buf := make([]byte, 0, total)
+	seq0 := s.nextSeq
+	for i, r := range batch {
+		buf = frameRecord(buf, seq0+uint64(i), r.payload)
+	}
+	if _, err := s.seg.Write(buf); err != nil {
+		s.broken = err
+		fail(fmt.Errorf("store: append: %w", err))
+		return
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.broken = err
+		fail(fmt.Errorf("store: sync: %w", err))
+		return
+	}
+	s.nextSeq = seq0 + uint64(len(batch))
+	s.walBytes += int64(total)
+	s.gcStats.Batches++
+	s.gcStats.Records += uint64(len(batch))
+	if len(batch) > s.gcStats.MaxBatch {
+		s.gcStats.MaxBatch = len(batch)
+	}
+	s.gcStats.Hist[histBucket(len(batch))]++
+	s.mu.Unlock()
+	for i, r := range batch {
+		r.p.seq = seq0 + uint64(i)
+		close(r.p.done)
+	}
+}

@@ -1,0 +1,57 @@
+package store
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitThroughput pins the point of group commit: at write
+// concurrency 8 the shared-fsync path must sustain at least 2x the
+// appends/s of the single-writer baseline (which degenerates to one
+// fsync per record, the pre-group-commit behavior). Timing-based, so
+// opt-in — CI runs it inside the load-soak job where a flake reruns
+// cheaply, not in the race matrix:
+//
+//	KBTABLE_PERF=1 go test -run TestGroupCommitThroughput -v ./internal/store
+func TestGroupCommitThroughput(t *testing.T) {
+	if os.Getenv("KBTABLE_PERF") == "" {
+		t.Skip("set KBTABLE_PERF=1 to run the group-commit throughput floor (timing-based)")
+	}
+	payload := []byte(`{"ops":[{"op":"add_entity","type":"T","text":"hello world"}]}`)
+	run := func(workers, per int) float64 {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := s.Append(payload); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		return float64(workers*per) / time.Since(t0).Seconds()
+	}
+
+	// Warm both paths once so filesystem cache state is comparable.
+	run(1, 20)
+	base := run(1, 300) // one fsync per append: the old behavior
+	conc := run(8, 300) // 8 concurrent writers share fsync batches
+	t.Logf("baseline 1 writer: %.0f appends/s; 8 writers: %.0f appends/s; speedup %.1fx",
+		base, conc, conc/base)
+	if conc < 2*base {
+		t.Fatalf("group commit speedup %.2fx < 2x at concurrency 8", conc/base)
+	}
+}

@@ -1,0 +1,219 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitHammer fires many concurrent Appends and asserts the
+// committer's core contract under -race: every acked record got a
+// unique sequence number, the sequences are exactly 1..N with no gaps
+// or duplicates, and a reopen replays every record in order with
+// byte-identical payloads.
+func TestGroupCommitHammer(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 16
+	const perWriter = 50
+	type acked struct {
+		seq     uint64
+		payload string
+	}
+	results := make(chan acked, writers*perWriter)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				payload := fmt.Sprintf("writer=%d record=%d", w, i)
+				seq, err := s.Append([]byte(payload))
+				if err != nil {
+					t.Errorf("append w%d/%d: %v", w, i, err)
+					return
+				}
+				results <- acked{seq, payload}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(results)
+
+	want := make(map[uint64]string, writers*perWriter)
+	for a := range results {
+		if prev, dup := want[a.seq]; dup {
+			t.Fatalf("seq %d acked twice (%q and %q)", a.seq, prev, a.payload)
+		}
+		want[a.seq] = a.payload
+	}
+	if len(want) != writers*perWriter {
+		t.Fatalf("acked %d records, want %d", len(want), writers*perWriter)
+	}
+	for seq := uint64(1); seq <= uint64(writers*perWriter); seq++ {
+		if _, ok := want[seq]; !ok {
+			t.Fatalf("sequence gap at %d", seq)
+		}
+	}
+
+	st := s.Stats()
+	if st.GroupCommit.Records != uint64(writers*perWriter) {
+		t.Fatalf("group-commit stats cover %d records, want %d", st.GroupCommit.Records, writers*perWriter)
+	}
+	if st.GroupCommit.Batches == 0 || st.GroupCommit.Batches > st.GroupCommit.Records {
+		t.Fatalf("implausible batch count %d for %d records", st.GroupCommit.Batches, st.GroupCommit.Records)
+	}
+	if st.GroupCommit.MaxBatch > DefaultGroupMaxBatch {
+		t.Fatalf("batch of %d exceeds the %d cap", st.GroupCommit.MaxBatch, DefaultGroupMaxBatch)
+	}
+	var histTotal uint64
+	for _, c := range st.GroupCommit.Hist {
+		histTotal += c
+	}
+	if histTotal != st.GroupCommit.Batches {
+		t.Fatalf("histogram counts %d batches, stats say %d", histTotal, st.GroupCommit.Batches)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: replay must yield every acked record, in seq order.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	next := uint64(1)
+	_, err = s2.Replay(0, func(seq uint64, payload []byte) error {
+		if seq != next {
+			return fmt.Errorf("replayed seq %d, want %d", seq, next)
+		}
+		if got := string(payload); got != want[seq] {
+			return fmt.Errorf("seq %d replayed %q, want %q", seq, got, want[seq])
+		}
+		next = seq + 1
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != uint64(writers*perWriter)+1 {
+		t.Fatalf("replay stopped at seq %d, want %d records", next, writers*perWriter)
+	}
+}
+
+// TestGroupCommitMaxDelayBatches checks that a positive MaxDelay
+// actually merges appends that arrive within the window: with the
+// committer holding each batch open, concurrent appends should land in
+// far fewer fsyncs than records.
+func TestGroupCommitMaxDelayBatches(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithGroupCommit(64, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const writers = 8
+	const perWriter = 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := s.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.GroupCommit.Records != writers*perWriter {
+		t.Fatalf("records = %d, want %d", st.GroupCommit.Records, writers*perWriter)
+	}
+	if st.GroupCommit.Batches >= st.GroupCommit.Records {
+		t.Fatalf("no batching happened: %d batches for %d records", st.GroupCommit.Batches, st.GroupCommit.Records)
+	}
+}
+
+// TestGroupCommitMaxBatchCap pins the MaxBatch bound: even with a huge
+// queue, no batch may exceed the configured cap.
+func TestGroupCommitMaxBatchCap(t *testing.T) {
+	dir := t.TempDir()
+	const cap = 4
+	s, err := Open(dir, WithGroupCommit(cap, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 64
+	pending := make([]*Pending, n)
+	for i := 0; i < n; i++ {
+		pending[i] = s.AppendAsync([]byte(fmt.Sprintf("r%d", i)))
+	}
+	for i, p := range pending {
+		if _, err := p.Wait(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if got := s.Stats().GroupCommit.MaxBatch; got > cap {
+		t.Fatalf("batch of %d exceeds cap %d", got, cap)
+	}
+}
+
+// TestAppendAfterCloseErrClosed pins the shutdown contract: appends
+// racing or following Close resolve with ErrClosed, never hang.
+func TestAppendAfterCloseErrClosed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("after")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestAsyncOrdering pins the enqueue-order = commit-order contract a
+// serialized caller relies on: AppendAsync calls made in sequence get
+// consecutive, increasing sequence numbers.
+func TestAsyncOrdering(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithGroupCommit(8, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const n = 40
+	pending := make([]*Pending, n)
+	for i := 0; i < n; i++ {
+		pending[i] = s.AppendAsync([]byte(fmt.Sprintf("ordered-%d", i)))
+	}
+	for i, p := range pending {
+		seq, err := p.Wait()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if seq != uint64(i)+1 {
+			t.Fatalf("record %d committed as seq %d", i, seq)
+		}
+	}
+}

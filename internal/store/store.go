@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 )
 
 // ErrSnapshotCurrent reports that Checkpoint had nothing to do: a
@@ -51,8 +52,19 @@ type Store struct {
 	hasSnap  bool
 	tornOpen bool  // Open found (and truncated) an invalid WAL suffix
 	dropped  int64 // bytes that truncation discarded at Open
+	gcStats  GroupCommitStats
 
 	ckptMu sync.Mutex // serializes whole Checkpoint calls
+
+	// Group-commit machinery (groupcommit.go): appends queue under gcMu
+	// and a single committer goroutine batches them into shared fsyncs.
+	gcMu       sync.Mutex
+	gcCond     *sync.Cond
+	gcQueue    []appendReq
+	gcClosing  bool
+	gcWG       sync.WaitGroup
+	gcMaxBatch int
+	gcMaxDelay time.Duration
 }
 
 // Open opens (creating if needed) a data directory. An exclusive flock
@@ -63,7 +75,7 @@ type Store struct {
 // never wedges the directory. The WAL is then scanned to find its valid
 // end; an invalid suffix (torn tail from a crash) is truncated so new
 // appends land after the last good record.
-func Open(dir string) (*Store, error) {
+func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
 	}
@@ -72,6 +84,9 @@ func Open(dir string) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, lock: lock, nextSeq: 1}
+	for _, o := range opts {
+		o(s)
+	}
 	if sn, err := latestSnapshot(dir); err == nil {
 		s.snapSeq, s.hasSnap = sn.Manifest.Seq, true
 	} else if !errors.Is(err, ErrNoSnapshot) {
@@ -102,6 +117,7 @@ func Open(dir string) (*Store, error) {
 		s.nextSeq = s.snapSeq + 1
 		s.walBytes = 0
 	}
+	s.startCommitter()
 	return s, nil
 }
 
@@ -212,38 +228,6 @@ func (s *Store) setTail(segStart, nextSeq uint64) error {
 	}
 	s.seg, s.segStart, s.nextSeq = f, segStart, nextSeq
 	return nil
-}
-
-// Append adds one record to the WAL and fsyncs; the record is durable
-// when Append returns its sequence number. After a failed append the
-// tail's contents are suspect, so the store turns read-only for
-// appends (every later Append returns the original error).
-func (s *Store) Append(payload []byte) (uint64, error) {
-	if len(payload) > MaxWALRecord {
-		return 0, fmt.Errorf("store: record of %d bytes exceeds the %d limit", len(payload), MaxWALRecord)
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.broken != nil {
-		return 0, fmt.Errorf("store: wal is read-only after an append failure: %w", s.broken)
-	}
-	if s.seg == nil {
-		if err := s.newSegmentLocked(); err != nil {
-			return 0, err
-		}
-	}
-	seq := s.nextSeq
-	if err := appendRecord(s.seg, seq, payload); err != nil {
-		s.broken = err
-		return 0, fmt.Errorf("store: append: %w", err)
-	}
-	if err := s.seg.Sync(); err != nil {
-		s.broken = err
-		return 0, fmt.Errorf("store: sync: %w", err)
-	}
-	s.nextSeq = seq + 1
-	s.walBytes += int64(walHeaderLen + len(payload) + walTrailerLen)
-	return seq, nil
 }
 
 // newSegmentLocked starts a fresh tail segment at nextSeq.
@@ -462,6 +446,10 @@ type Stats struct {
 	// trusted, every further append is refused, and the process needs a
 	// restart (which re-truncates to the last good record).
 	Broken bool
+	// GroupCommit describes the committer's batching: how many fsyncs
+	// covered how many records, the largest batch, and a batch-size
+	// histogram.
+	GroupCommit GroupCommitStats
 }
 
 // Stats returns current counters.
@@ -476,13 +464,16 @@ func (s *Store) Stats() Stats {
 		TornOnOpen:   s.tornOpen,
 		DroppedBytes: s.dropped,
 		Broken:       s.broken != nil,
+		GroupCommit:  s.gcStats,
 	}
 }
 
-// Close releases the WAL tail and the directory lock. Appended records
-// are already durable (every Append fsyncs), so Close is not a flush
-// point.
+// Close flushes the group-commit queue (acknowledged records are
+// already durable — every commit fsyncs before acking — so this only
+// resolves stragglers), then releases the WAL tail and the directory
+// lock. Appends racing Close resolve with ErrClosed.
 func (s *Store) Close() error {
+	s.stopCommitter()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var err error

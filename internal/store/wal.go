@@ -84,14 +84,25 @@ func listSegments(dir string) ([]uint64, error) {
 	return segs, nil
 }
 
+// frameRecord appends one framed record to buf and returns the
+// extended slice; group commit uses it to pack a whole batch into a
+// single write.
+func frameRecord(buf []byte, seq uint64, payload []byte) []byte {
+	start := len(buf)
+	var hdr [walHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[4:12], seq)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[start:], walCRC)
+	var tr [walTrailerLen]byte
+	binary.BigEndian.PutUint32(tr[:], crc)
+	return append(buf, tr[:]...)
+}
+
 // appendRecord frames and writes one record (no sync).
 func appendRecord(w io.Writer, seq uint64, payload []byte) error {
-	buf := make([]byte, walHeaderLen+len(payload)+walTrailerLen)
-	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint64(buf[4:12], seq)
-	copy(buf[walHeaderLen:], payload)
-	crc := crc32.Checksum(buf[:walHeaderLen+len(payload)], walCRC)
-	binary.BigEndian.PutUint32(buf[walHeaderLen+len(payload):], crc)
+	buf := frameRecord(make([]byte, 0, walHeaderLen+len(payload)+walTrailerLen), seq, payload)
 	_, err := w.Write(buf)
 	return err
 }
