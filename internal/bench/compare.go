@@ -87,6 +87,17 @@ func CompareReports(old, new *ShardBenchReport, threshold float64) []Regression 
 		}
 	}
 
+	oldStreaming := map[string]StreamingBenchResult{}
+	for _, r := range old.Streaming {
+		oldStreaming[r.Algo+"/"+r.Mode] = r
+	}
+	for _, n := range new.Streaming {
+		if o, ok := oldStreaming[n.Algo+"/"+n.Mode]; ok {
+			check("streaming "+n.Algo+"/"+n.Mode, "ns/op", float64(o.NsPerOp), float64(n.NsPerOp), true)
+			check("streaming "+n.Algo+"/"+n.Mode, "allocs/op", float64(o.AllocsPerOp), float64(n.AllocsPerOp), true)
+		}
+	}
+
 	if old.ColdStart != nil && new.ColdStart != nil {
 		check("cold-start", "load_ms", old.ColdStart.LoadMs, new.ColdStart.LoadMs, true)
 	}

@@ -15,6 +15,10 @@ func baseReport() *ShardBenchReport {
 		Planner: []PlannerBenchResult{
 			{Corpus: "wiki", Algo: "auto", NsPerOp: 500},
 		},
+		Streaming: []StreamingBenchResult{
+			{Algo: "pe", Mode: "staged", NsPerOp: 800, AllocsPerOp: 4000},
+			{Algo: "pe", Mode: "streaming", NsPerOp: 500, AllocsPerOp: 2000},
+		},
 		ColdStart: &ColdStartBenchResult{LoadMs: 100},
 		ServeLatency: []ServeLatencyResult{
 			{Op: "search", ThroughputRPS: 1000, P99MS: 10},
@@ -65,6 +69,21 @@ func TestCompareReportsSkipsUnmatchedRows(t *testing.T) {
 	cur.ServeLatency[1].ThroughputRPS = 1 // would regress if matched
 	if regs := CompareReports(old, cur, 0.25); len(regs) != 0 {
 		t.Fatalf("unmatched rows must not gate: %v", regs)
+	}
+}
+
+func TestCompareReportsStreamingRegression(t *testing.T) {
+	old, cur := baseReport(), baseReport()
+	cur.Streaming[1].NsPerOp = 800      // streaming row lost its speed edge
+	cur.Streaming[1].AllocsPerOp = 3500 // and most of its allocation win
+	regs := CompareReports(old, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("want ns/op + allocs/op streaming regressions, got %v", regs)
+	}
+	for _, r := range regs {
+		if !strings.HasPrefix(r.String(), "streaming pe/streaming") {
+			t.Errorf("regression %q not attributed to the streaming row", r)
+		}
 	}
 }
 

@@ -92,6 +92,28 @@ type PlannerBenchResult struct {
 	ChoseLE int `json:"chose_le,omitempty"`
 }
 
+// StreamingBenchResult is one streaming-executor ablation row: a
+// (algorithm, mode) cell comparing the streaming default against the
+// staged baseline (Options.Staged) on the wiki workload, serial, with
+// tree materialization off — the enumerate+aggregate path the streaming
+// rewrite targets.
+type StreamingBenchResult struct {
+	// Algo is "pe" or "le".
+	Algo string `json:"algo"`
+	// Mode is "staged" (the ablation baseline) or "streaming".
+	Mode string `json:"mode"`
+	// NsPerOp answers the whole query workload once.
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SpeedupVsStaged is the staged row's ns/op divided by this row's
+	// (1 on staged rows).
+	SpeedupVsStaged float64 `json:"speedup_vs_staged"`
+	// AllocReductionVsStaged is 1 - allocs/op ÷ staged allocs/op
+	// (0 on staged rows).
+	AllocReductionVsStaged float64 `json:"alloc_reduction_vs_staged"`
+}
+
 // ColdStartBenchResult compares a cold start from a durable snapshot
 // (kbtable.OpenDir: load graph + indexes, replay nothing) against
 // rebuilding the same engine from scratch — the quantity the snapshot
@@ -118,6 +140,8 @@ type ShardBenchReport struct {
 	Results    []ShardBenchResult `json:"results"`
 	// Planner is the PE vs LE vs Auto ablation per corpus.
 	Planner []PlannerBenchResult `json:"planner"`
+	// Streaming is the streaming-vs-staged executor ablation on wiki.
+	Streaming []StreamingBenchResult `json:"streaming_executor,omitempty"`
 	// ColdStart is the snapshot-load vs index-rebuild comparison.
 	ColdStart *ColdStartBenchResult `json:"cold_start,omitempty"`
 	// ServeLatency / GroupCommit come from a kbload soak report
@@ -258,6 +282,47 @@ func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
 			report.Planner = append(report.Planner, row)
 		}
 	}
+
+	// Streaming-executor ablation: the same wiki workload, serial, under
+	// the staged baseline (Options.Staged) and the streaming default, for
+	// both enumeration algorithms. SkipTrees keeps the measurement on the
+	// fused enumerate+aggregate path the streaming rewrite targets.
+	for _, algo := range []struct {
+		name string
+		a    search.Algo
+	}{{"pe", search.AlgoPE}, {"le", search.AlgoLE}} {
+		var staged StreamingBenchResult
+		for _, mode := range []string{"staged", "streaming"} {
+			mOpts := serialOpts
+			mOpts.Staged = mode == "staged"
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, q := range qs {
+						if _, err := search.Execute(context.Background(), ix, q, algo.a, mOpts); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			row := StreamingBenchResult{
+				Algo:        algo.name,
+				Mode:        mode,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if mode == "staged" {
+				row.SpeedupVsStaged = 1
+				staged = row
+			} else {
+				row.SpeedupVsStaged = float64(staged.NsPerOp) / float64(row.NsPerOp)
+				if staged.AllocsPerOp > 0 {
+					row.AllocReductionVsStaged = 1 - float64(row.AllocsPerOp)/float64(staged.AllocsPerOp)
+				}
+			}
+			report.Streaming = append(report.Streaming, row)
+		}
+	}
 	return report, nil
 }
 
@@ -327,5 +392,24 @@ func (r *ShardBenchReport) String() string {
 			choice,
 		})
 	}
-	return t.String() + "\n" + p.String() + cold
+	out := t.String() + "\n" + p.String()
+	if len(r.Streaming) > 0 {
+		s := Table{
+			Title:  "Streaming executor ablation — staged baseline vs streaming (wiki, serial)",
+			Header: []string{"algo", "mode", "ns/op", "B/op", "allocs/op", "vs staged", "alloc cut"},
+		}
+		for _, res := range r.Streaming {
+			s.Rows = append(s.Rows, []string{
+				res.Algo,
+				res.Mode,
+				fmt.Sprintf("%d", res.NsPerOp),
+				fmt.Sprintf("%d", res.BytesPerOp),
+				fmt.Sprintf("%d", res.AllocsPerOp),
+				fmt.Sprintf("%.2fx", res.SpeedupVsStaged),
+				fmt.Sprintf("%.0f%%", res.AllocReductionVsStaged*100),
+			})
+		}
+		out += "\n" + s.String()
+	}
+	return out + cold
 }

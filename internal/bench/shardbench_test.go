@@ -39,6 +39,18 @@ func TestRunShardBench(t *testing.T) {
 		}
 	}
 
+	if len(report.Streaming) != 4 {
+		t.Fatalf("got %d streaming rows, want 2 algorithms x 2 modes", len(report.Streaming))
+	}
+	for i, s := range report.Streaming {
+		if s.NsPerOp <= 0 || s.AllocsPerOp <= 0 || s.SpeedupVsStaged <= 0 {
+			t.Fatalf("unmeasured streaming row: %+v", s)
+		}
+		if s.Mode == "staged" && (s.SpeedupVsStaged != 1 || s.AllocReductionVsStaged != 0) {
+			t.Fatalf("staged reference row %d malformed: %+v", i, s)
+		}
+	}
+
 	var buf bytes.Buffer
 	if err := report.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

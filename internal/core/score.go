@@ -60,6 +60,33 @@ func pow(x, z float64) float64 {
 	return math.Pow(x, z)
 }
 
+// TreeUB returns an upper bound on Tree() over every term vector whose
+// summed Len/PR/Sim components lie in the given closed intervals. The
+// streaming executor pushes the running k-th-score bound down into
+// enumeration with it: a pattern whose TreeUB-derived aggregate bound
+// cannot enter the top-k heap is pruned before any path expansion.
+// Intervals must satisfy 0 <= lo <= hi (score terms are non-negative);
+// the bound is conservative (+Inf) when a negative exponent meets a zero
+// lower endpoint.
+func (s Scorer) TreeUB(lenLo, lenHi, prLo, prHi, simLo, simHi float64) float64 {
+	return maxPow(lenLo, lenHi, s.Z1) * maxPow(prLo, prHi, s.Z2) * maxPow(simLo, simHi, s.Z3)
+}
+
+// maxPow maximizes pow(x, z) over x in [lo, hi]: x^z is monotone on the
+// non-negative reals, so the maximum sits at hi for z >= 0 and at lo for
+// z < 0. A zero lower endpoint under a negative exponent is unbounded —
+// return +Inf rather than pow's 0-for-empty fast path, which exists for
+// actual scores (a zero sum means no match), not for interval bounds.
+func maxPow(lo, hi, z float64) float64 {
+	if z >= 0 {
+		return pow(hi, z)
+	}
+	if lo <= 0 {
+		return math.Inf(1)
+	}
+	return pow(lo, z)
+}
+
 // Agg selects how subtree scores aggregate into a pattern score
 // (Section 2.2.3): the paper's default is Sum; Count, Avg and Max are the
 // alternatives it names.

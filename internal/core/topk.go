@@ -64,6 +64,19 @@ func (t *TopK[T]) Offer(score float64, key string, val T) bool {
 	return true
 }
 
+// Reset empties the queue in place, retaining capacity. The streaming
+// executor keeps one shard-local bounded heap per worker and resets it at
+// every shard boundary, so pruning decisions depend only on the shard's
+// own enumeration prefix (never on which worker ran the preceding shards)
+// while the heap's backing array is allocated once.
+func (t *TopK[T]) Reset() {
+	var zero topkItem[T]
+	for i := range t.items {
+		t.items[i] = zero // drop value references so the GC can reclaim them
+	}
+	t.items = t.items[:0]
+}
+
 // Merge offers every item retained by src into t. Because ranking is a
 // total order on (score, key) and Offer keeps the best k of everything it
 // has seen, merging per-worker queues yields the same retained set in any

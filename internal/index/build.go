@@ -396,17 +396,47 @@ func finishWord(wi *wordIndex, patRootType []kg.TypeID) {
 		return a.Root < b.Root
 	})
 
-	// Scan out patGroups / pfRuns / typeGroups.
+	// Scan out patGroups / pfRuns / typeGroups. The same pass accumulates
+	// each group's score-term bounds and largest per-root run — the
+	// PatternBounds the streaming executor's pruning consumes.
 	n := int32(len(wi.entries))
 	for i := int32(0); i < n; {
 		j := i
 		pat := wi.entries[i].Pattern
 		runStart := int32(len(wi.pfRuns))
+		e0 := &wi.entries[i]
+		b := patBounds{
+			minLen: int32(e0.Terms.Len), maxLen: int32(e0.Terms.Len),
+			minPR: e0.Terms.PR, maxPR: e0.Terms.PR,
+			minSim: e0.Terms.Sim, maxSim: e0.Terms.Sim,
+		}
 		for j < n && wi.entries[j].Pattern == pat {
 			k := j
 			root := wi.entries[j].Root
 			for k < n && wi.entries[k].Pattern == pat && wi.entries[k].Root == root {
+				t := &wi.entries[k].Terms
+				if int32(t.Len) < b.minLen {
+					b.minLen = int32(t.Len)
+				}
+				if int32(t.Len) > b.maxLen {
+					b.maxLen = int32(t.Len)
+				}
+				if t.PR < b.minPR {
+					b.minPR = t.PR
+				}
+				if t.PR > b.maxPR {
+					b.maxPR = t.PR
+				}
+				if t.Sim < b.minSim {
+					b.minSim = t.Sim
+				}
+				if t.Sim > b.maxSim {
+					b.maxSim = t.Sim
+				}
 				k++
+			}
+			if run := k - j; run > b.maxRun {
+				b.maxRun = run
 			}
 			wi.pfRuns = append(wi.pfRuns, rootRun{Root: root, Start: j, End: k})
 			j = k
@@ -418,6 +448,7 @@ func finishWord(wi *wordIndex, patRootType []kg.TypeID) {
 			End:      j,
 			RunStart: runStart,
 			RunEnd:   int32(len(wi.pfRuns)),
+			bounds:   b,
 		})
 		i = j
 	}

@@ -78,6 +78,20 @@ type patGroup struct {
 	Start, End int32 // entry range
 	RunStart   int32 // range in pfRuns
 	RunEnd     int32
+	// bounds summarize the group's score terms for the streaming
+	// executor's pruning; derived in finishWord alongside the group scan,
+	// so every construction path (build, delta, load) carries them without
+	// a wire-format change.
+	bounds patBounds
+}
+
+// patBounds are the per-(word, pattern) score-term ranges and the largest
+// per-root path run, the raw material of PatternBounds.
+type patBounds struct {
+	minLen, maxLen int32
+	minPR, maxPR   float64
+	minSim, maxSim float64
+	maxRun         int32
 }
 
 // rootRun is a run of entries with the same (pattern, root).
@@ -268,6 +282,42 @@ func (ix *Index) PathsPF(w text.WordID, p core.PatternID, r kg.NodeID) []Entry {
 		return nil
 	}
 	return wi.entries[runs[i].Start:runs[i].End]
+}
+
+// PatternBounds summarizes one (word, pattern) posting group: the closed
+// ranges of its per-path score terms and the largest per-root path count.
+// The streaming executor sums these intervals across a query's keywords to
+// bound any subtree score a pattern combination can produce (via
+// core.Scorer.TreeUB) before expanding it — the top-k bound pushdown.
+type PatternBounds struct {
+	// MinLen..MaxSim bound the score terms of every path in the group.
+	MinLen, MaxLen int
+	MinPR, MaxPR   float64
+	MinSim, MaxSim float64
+	// MaxRun is max_r |Paths(w, P, r)|: no root contributes more than
+	// MaxRun paths, so a root set R yields at most |R|·Π MaxRun_i valid
+	// subtrees for a combination of patterns.
+	MaxRun int
+}
+
+// PatternBounds returns the posting-group summary for (w, p), or false
+// when the word has no postings under that pattern.
+func (ix *Index) PatternBounds(w text.WordID, p core.PatternID) (PatternBounds, bool) {
+	wi := ix.word(w)
+	if wi == nil {
+		return PatternBounds{}, false
+	}
+	pg, ok := findPatGroup(wi.patGroups, ix.pt, p)
+	if !ok {
+		return PatternBounds{}, false
+	}
+	b := pg.bounds
+	return PatternBounds{
+		MinLen: int(b.minLen), MaxLen: int(b.maxLen),
+		MinPR: b.minPR, MaxPR: b.maxPR,
+		MinSim: b.minSim, MaxSim: b.maxSim,
+		MaxRun: int(b.maxRun),
+	}, true
 }
 
 // --- Root-first access methods (Figure 4b) ---

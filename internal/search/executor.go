@@ -13,7 +13,7 @@ import (
 	"kbtable/internal/text"
 )
 
-// This file is the staged query executor: every query — whichever
+// This file is the streaming query executor: every query — whichever
 // algorithm answers it — runs the same four-stage pipeline
 //
 //	prepare    resolve keywords, fetch the per-keyword posting metadata
@@ -22,9 +22,14 @@ import (
 //	           The only stage that differs per algorithm is how much of
 //	           this metadata it needs; cancellation is honored between
 //	           posting lookups.
-//	enumerate  the algorithm's frontier walk: PATTERNENUM's combination
-//	           tree, LINEARENUM-TOPK's per-root expansion (both sharded
-//	           across the worker pool, scoring fused into the walk).
+//	enumerate  the algorithm's fused, lazy enumerate→aggregate walk:
+//	           PATTERNENUM's combination tree with the running k-th-score
+//	           bound pushed into it, LINEARENUM-TOPK's per-root expansion
+//	           with the keyword predicate pushed below pattern expansion
+//	           (both sharded across the worker pool; each enumeration unit
+//	           is scored and offered into a per-worker heap the moment it
+//	           is produced — see stream.go, and Options.Staged for the
+//	           non-pruning ablation baseline).
 //	aggregate  fold the per-worker accumulators — local top-k heaps and
 //	           stat counters — into the global queue (the cross-worker
 //	           half of the canonical two-level root fold; the in-shard
@@ -106,14 +111,16 @@ func (s *PlanStats) Merge(o PlanStats) {
 	}
 	s.PatternSpace = satAdd(s.PatternSpace, o.PatternSpace)
 	s.Frontier = satAdd(s.Frontier, o.Frontier)
-	if s.PostingRoots == nil {
-		s.PostingRoots = append([]int(nil), o.PostingRoots...)
-	} else {
-		for i := range s.PostingRoots {
-			if i < len(o.PostingRoots) {
-				s.PostingRoots[i] += o.PostingRoots[i]
-			}
-		}
+	// Sum PostingRoots positionally over the longer of the two vectors: a
+	// shard that resolved fewer keywords (or probed first) must not
+	// silently truncate the other partition's posting counts.
+	if len(o.PostingRoots) > len(s.PostingRoots) {
+		grown := make([]int, len(o.PostingRoots))
+		copy(grown, s.PostingRoots)
+		s.PostingRoots = grown
+	}
+	for i, n := range o.PostingRoots {
+		s.PostingRoots[i] += n
 	}
 }
 
@@ -140,9 +147,12 @@ type Plan struct {
 	Stats PlanStats
 }
 
-// StageTimings instruments the staged pipeline, one wall-clock duration
-// per stage. Rank includes subtree materialization (the paper's table
-// composition) since it only runs for the ranked winners.
+// StageTimings instruments the pipeline, one wall-clock duration per
+// stage. Enumerate covers the fused enumerate→aggregate walk (scoring and
+// per-worker top-k maintenance happen inside it — there is no separate
+// aggregation pass over materialized candidates); Aggregate covers only
+// the final cross-worker fold. Rank includes subtree materialization (the
+// paper's table composition) since it only runs for the ranked winners.
 type StageTimings struct {
 	Prepare   time.Duration
 	Enumerate time.Duration
@@ -170,6 +180,13 @@ const DefaultAutoBias = 1.0
 // cost(PE) <= bias·cost(LE). The decision is a pure function of
 // (PlanStats, Options), so any engine holding the same merged statistics
 // — in particular every shard of a scatter — resolves identically.
+//
+// The comparison is saturation-safe: cost terms saturate at MaxInt64
+// (never wrap negative — an overflowed LE cost would otherwise force
+// LINEARENUM on precisely the explosive queries PE exists for), and the
+// default bias compares costs in integer space, where float64 would
+// collapse distinct values near 2^63 onto the same rounding bucket and
+// flip decisions between near-saturated plans.
 func ChoosePlan(algo Algo, st PlanStats, o Options) Plan {
 	if algo != AlgoAuto {
 		return Plan{Algo: algo, Stats: st}
@@ -183,9 +200,15 @@ func ChoosePlan(algo Algo, st PlanStats, o Options) Plan {
 		cand = int64(st.CandidateRoots)
 	}
 	peCost := st.PatternSpace
-	leCost := satAdd(cand, st.Frontier/2) + 1
+	leCost := satAdd(satAdd(cand, st.Frontier/2), 1)
 	p := Plan{Auto: true, Stats: st}
-	if float64(peCost) <= bias*float64(leCost) {
+	var pePreferred bool
+	if bias == 1 {
+		pePreferred = peCost <= leCost
+	} else {
+		pePreferred = float64(peCost) <= bias*float64(leCost)
+	}
+	if pePreferred {
 		p.Algo = AlgoPE
 		p.Reason = fmt.Sprintf("pattern space %d <= %.3g x linear cost %d (roots %d + frontier %d / 2): PATTERNENUM",
 			peCost, bias, leCost, cand, st.Frontier)

@@ -62,12 +62,24 @@ func leEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 	pt := ix.PatternTable()
 	workers := resolveWorkers(o.Workers)
 	ws := newWorkerStates[RankedPattern](workers, o.K)
+	// Streaming mode expands roots through per-worker arena scratch with
+	// the keyword predicate pushed below pattern expansion (leScratch.
+	// fetch); LINEARENUM gets no score pruning — its per-root partials
+	// are lower bounds, so no mid-type cut is sound (stream.go).
+	var scratches []leScratch
+	if !o.Staged {
+		scratches = make([]leScratch, workers)
+	}
 	err := runShards(ctx, workers, len(prep.types), func(worker, ti int) {
 		c := prep.types[ti]
 		rc := prep.byType[c]
 		st := &ws[worker].stats
 		ltop := ws[worker].top
 		pc := &pollCancel{ctx: ctx}
+		var sc *leScratch
+		if !o.Staged {
+			sc = &scratches[worker]
+		}
 
 		// Line 4: NR = Σ_r Π_i |Paths(wi, r)| without enumeration.
 		nr := subtreeCount(ix, words, rc)
@@ -87,7 +99,7 @@ func leEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 				continue
 			}
 			st.SampledRoots++
-			expandRoot(ix, words, r, o, treeDict)
+			expandRoot(ix, words, r, o, treeDict, pc, sc)
 		}
 
 		st.PatternsFound += len(treeDict)
@@ -190,23 +202,44 @@ func subtreeCountPoll(ix *index.Index, words []text.WordID, roots []kg.NodeID, p
 // Patterns(wi, r) gives the (necessarily non-empty) tree patterns under r;
 // for each, the product of Paths(wi, r, Pi) gives its valid subtrees, which
 // are folded into TreeDict.
-func expandRoot(ix *index.Index, words []text.WordID, r kg.NodeID, o Options, treeDict map[string]*dictEntry) {
+//
+// sc, when non-nil, switches to the streaming fetch: the keyword predicate
+// is evaluated from the run table before anything is materialized, and
+// each keyword's paths arrive in one root-first arena walk — replacing
+// |Patterns(wi, r)| binary-searched fetches and their allocations with the
+// same (pattern, path) sequences, so the fold is bit-identical. A nil sc
+// keeps the original per-pattern fetches (the Options.Staged baseline).
+func expandRoot(ix *index.Index, words []text.WordID, r kg.NodeID, o Options, treeDict map[string]*dictEntry, pc *pollCancel, sc *leScratch) {
 	m := len(words)
-	patLists := make([][]core.PatternID, m)
-	pathLists := make([][][]pathTerm, m)
-	for i, w := range words {
-		patLists[i] = ix.PatternsAt(w, r)
-		if len(patLists[i]) == 0 {
-			return // not a candidate root for this keyword
+	var patLists [][]core.PatternID
+	var pathLists [][][]pathTerm
+	var choice []core.PatternID
+	var chosenPaths [][]pathTerm
+	var psc *aggScratch
+	if sc != nil {
+		patLists, pathLists = sc.fetch(ix, words, r)
+		if patLists == nil {
+			return // some keyword has no path at r: predicate pushdown
 		}
-		pathLists[i] = make([][]pathTerm, len(patLists[i]))
-		for j, p := range patLists[i] {
-			pathLists[i][j] = pathsRF(ix, w, r, p)
+		choice, chosenPaths = sc.choice[:m], sc.chosen[:m]
+		psc = &sc.agg
+	} else {
+		patLists = make([][]core.PatternID, m)
+		pathLists = make([][][]pathTerm, m)
+		for i, w := range words {
+			patLists[i] = ix.PatternsAt(w, r)
+			if len(patLists[i]) == 0 {
+				return // not a candidate root for this keyword
+			}
+			pathLists[i] = make([][]pathTerm, len(patLists[i]))
+			for j, p := range patLists[i] {
+				pathLists[i][j] = pathsRF(ix, w, r, p)
+			}
 		}
+		choice = make([]core.PatternID, m)
+		chosenPaths = make([][]pathTerm, m)
 	}
 
-	choice := make([]core.PatternID, m)
-	chosenPaths := make([][]pathTerm, m)
 	var rec func(i int)
 	rec = func(i int) {
 		if i == m {
@@ -215,7 +248,7 @@ func expandRoot(ix *index.Index, words []text.WordID, r kg.NodeID, o Options, tr
 			// entry, so LE produces the same bits as PE and as the
 			// re-folded shard gather.
 			var local core.PatternScore
-			productPaths(ix.Graph(), chosenPaths, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+			productPaths(ix.Graph(), chosenPaths, o.RequireTreeShape, r, pc, psc, func(_ []core.Path, terms []core.ScoreTerms) {
 				local.Add(o.Scorer.Tree(terms))
 			})
 			if local.Count == 0 {
@@ -262,7 +295,7 @@ func aggregatePatternRF(ix *index.Index, words []text.WordID, tp core.TreePatter
 			continue
 		}
 		var local core.PatternScore
-		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, nil, nil, func(_ []core.Path, terms []core.ScoreTerms) {
 			local.Add(o.Scorer.Tree(terms))
 		})
 		if local.Count > 0 {
@@ -329,7 +362,7 @@ func aggregateSelected(ix *index.Index, words []text.WordID, selected []*dictEnt
 					return // combination exists but was not selected
 				}
 				var local core.PatternScore
-				productPaths(ix.Graph(), chosen, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+				productPaths(ix.Graph(), chosen, o.RequireTreeShape, r, pc, nil, func(_ []core.Path, terms []core.ScoreTerms) {
 					local.Add(o.Scorer.Tree(terms))
 				})
 				if local.Count == 0 {

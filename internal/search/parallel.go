@@ -52,7 +52,10 @@ func runShards(ctx context.Context, workers, n int, shard func(worker, i int)) e
 			}
 			shard(0, i)
 		}
-		return nil
+		// A cancellation that lands inside the final shard (caught only by
+		// its pollCancel) must still surface — the parallel path below
+		// reports it, and callers discard partial results on error.
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -101,6 +104,7 @@ func mergeWorkerStates[T any](ws []workerState[T], top *core.TopK[T], stats *Que
 		stats.PatternsFound += ws[i].stats.PatternsFound
 		stats.TreesFound += ws[i].stats.TreesFound
 		stats.EmptyChecked += ws[i].stats.EmptyChecked
+		stats.BoundPruned += ws[i].stats.BoundPruned
 	}
 }
 

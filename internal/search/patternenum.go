@@ -42,23 +42,37 @@ func PETopKWordsCtx(ctx context.Context, ix *index.Index, words []text.WordID, s
 // PatternsC(wi) and the cached root list per pattern, plus the keyword
 // enumeration order (selective first, so empty prefixes prune the
 // combination tree as early as possible; choice[] stays indexed by the
-// original keyword position, so the output is unchanged).
+// original keyword position, so the output is unchanged). bounds carries
+// the per-pattern posting envelopes the streaming bound pushdown reads;
+// it is only populated when pruning is enabled.
 type peType struct {
-	pats  [][]core.PatternID
-	roots [][][]kg.NodeID
-	order []int
+	pats   [][]core.PatternID
+	roots  [][][]kg.NodeID
+	bounds [][]index.PatternBounds
+	order  []int
 }
 
-// peEnumerate is PATTERNENUM's enumerate stage. The enumeration is sharded
-// by (root type, first path-pattern choice) across the worker pool
-// configured by Options.Workers; every tree pattern is scored entirely
-// inside one shard, so the parallel run returns exactly the serial
-// results. The caller folds the returned per-worker accumulators in the
-// aggregate stage.
+// peEnumerate is PATTERNENUM's fused enumerate→aggregate walk. The
+// enumeration is sharded by (root type, first path-pattern choice) across
+// the worker pool configured by Options.Workers; every tree pattern is
+// scored entirely inside one shard, so the parallel run returns exactly
+// the serial results. The caller folds the returned per-worker
+// accumulators in the aggregate stage.
+//
+// In streaming mode (the default) each worker scores into a shard-local
+// bounded heap and, once that heap holds K patterns, prunes leaf
+// combinations whose posting-envelope bound (peLeafUB) cannot displace
+// the shard-local k-th score — before any path is fetched. stream.go's
+// package comment argues soundness and determinism; Options.Staged or
+// CollectRootAggs disable the pruning (the shard scatter must surface
+// every pattern). Pruning applies only at leaves: interior prefixes keep
+// the original empty-intersection pruning, so EmptyChecked counts exactly
+// the combinations the staged walk counts.
 func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options) ([]workerState[RankedPattern], error) {
 	words := prep.words
 	m := len(words)
 	pt := ix.PatternTable()
+	pruneOK := !o.Staged && !o.CollectRootAggs
 
 	// Serial prelude: fetch the per-type pattern and root lists (cheap
 	// index lookups) and cut the enumeration into shards. One shard is the
@@ -72,11 +86,20 @@ func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 		tt := &types[ti]
 		tt.pats = make([][]core.PatternID, m)
 		tt.roots = make([][][]kg.NodeID, m)
+		if pruneOK {
+			tt.bounds = make([][]index.PatternBounds, m)
+		}
 		for i, w := range words {
 			tt.pats[i] = ix.PatternsOfType(w, c)
 			tt.roots[i] = make([][]kg.NodeID, len(tt.pats[i]))
+			if pruneOK {
+				tt.bounds[i] = make([]index.PatternBounds, len(tt.pats[i]))
+			}
 			for j, p := range tt.pats[i] {
 				tt.roots[i][j] = ix.RootsOf(w, p)
+				if pruneOK {
+					tt.bounds[i][j], _ = ix.PatternBounds(w, p)
+				}
 			}
 		}
 		tt.order = make([]int, m)
@@ -99,11 +122,36 @@ func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 	// Section 4.1; the pruning does not change the output).
 	workers := resolveWorkers(o.Workers)
 	ws := newWorkerStates[RankedPattern](workers, o.K)
+	streaming := !o.Staged
+	var locals []*core.TopK[RankedPattern]
+	var scratches []aggScratch
+	if streaming {
+		scratches = make([]aggScratch, workers)
+	}
+	if pruneOK {
+		locals = make([]*core.TopK[RankedPattern], workers)
+		for i := range locals {
+			locals[i] = core.NewTopK[RankedPattern](o.K)
+		}
+	}
 	err := runShards(ctx, workers, len(shards), func(worker, si int) {
 		sh := shards[si]
 		tt := &types[sh.t]
 		st := &ws[worker].stats
-		ltop := ws[worker].top
+		sink := ws[worker].top
+		var sc *aggScratch
+		if streaming {
+			sc = &scratches[worker]
+		}
+		if pruneOK {
+			// Score into a fresh shard-local heap (backing array reused
+			// across the worker's shards) so the pruning bound depends only
+			// on this shard's own enumeration prefix — never on which
+			// worker ran the preceding shards — keeping serial and parallel
+			// runs, and their counters, identical.
+			sink = locals[worker]
+			sink.Reset()
+		}
 		pc := &pollCancel{ctx: ctx}
 		w0 := tt.order[0]
 		r0 := tt.roots[w0][sh.j]
@@ -113,11 +161,23 @@ func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 		}
 		choice := make([]core.PatternID, m)
 		choice[w0] = tt.pats[w0][sh.j]
+		var chosenB []index.PatternBounds
+		if pruneOK {
+			chosenB = make([]index.PatternBounds, m)
+			chosenB[w0] = tt.bounds[w0][sh.j]
+		}
 		var rec func(i int, r []kg.NodeID)
 		rec = func(i int, r []kg.NodeID) {
 			if i == m {
+				// Top-k bound pushdown: bound the combination's best
+				// possible aggregate from the posting envelopes before
+				// paying for the path-product aggregation.
+				if pruneOK && sink.Len() >= o.K && !sink.WouldAccept(peLeafUB(chosenB, len(r), o)) {
+					st.BoundPruned++
+					return
+				}
 				tp := core.TreePattern{Paths: append([]core.PatternID(nil), choice...)}
-				agg, n, rootAggs := aggregatePattern(ix, words, tp, r, o, pc)
+				agg, n, rootAggs := aggregatePattern(ix, words, tp, r, o, pc, sc)
 				if pc.hit() {
 					return // partial aggregate; the query is aborting
 				}
@@ -128,7 +188,7 @@ func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 				}
 				st.PatternsFound++
 				st.TreesFound += n
-				ltop.Offer(agg.Value(o.Agg), tp.ContentKey(pt),
+				sink.Offer(agg.Value(o.Agg), tp.ContentKey(pt),
 					RankedPattern{Pattern: tp, Agg: agg, Score: agg.Value(o.Agg), RootAggs: rootAggs})
 				return
 			}
@@ -143,10 +203,16 @@ func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 					continue
 				}
 				choice[w] = p
+				if pruneOK {
+					chosenB[w] = tt.bounds[w][j]
+				}
 				rec(i+1, next)
 			}
 		}
 		rec(1, r0)
+		if pruneOK {
+			ws[worker].top.Merge(sink)
+		}
 	})
 	return ws, err
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"testing"
 
@@ -159,6 +160,75 @@ func TestPlanStatsMerge(t *testing.T) {
 	c.Merge(b)
 	if c.CandidateRoots != -1 {
 		t.Errorf("-1 should poison the sum, got %d", c.CandidateRoots)
+	}
+}
+
+// TestPlanStatsMergeAsymmetricPostingRoots is the regression test for the
+// length-dependent merge bug: when the receiver's PostingRoots vector was
+// shorter than the argument's, the tail entries were silently dropped,
+// under-counting posting sizes in the merged plan. The merge must sum
+// positionally over the longer vector regardless of which side is longer.
+func TestPlanStatsMergeAsymmetricPostingRoots(t *testing.T) {
+	a := PlanStats{PostingRoots: []int{4}}
+	a.Merge(PlanStats{PostingRoots: []int{1, 7, 9}})
+	if want := []int{5, 7, 9}; !reflect.DeepEqual(a.PostingRoots, want) {
+		t.Errorf("short receiver: merged PostingRoots = %v, want %v", a.PostingRoots, want)
+	}
+	b := PlanStats{PostingRoots: []int{1, 7, 9}}
+	b.Merge(PlanStats{PostingRoots: []int{4}})
+	if want := []int{5, 7, 9}; !reflect.DeepEqual(b.PostingRoots, want) {
+		t.Errorf("long receiver: merged PostingRoots = %v, want %v", b.PostingRoots, want)
+	}
+	var c PlanStats
+	c.Merge(PlanStats{PostingRoots: []int{2, 3}})
+	if want := []int{2, 3}; !reflect.DeepEqual(c.PostingRoots, want) {
+		t.Errorf("nil receiver: merged PostingRoots = %v, want %v", c.PostingRoots, want)
+	}
+}
+
+// TestChoosePlanSaturation is the regression test for the cost-compare
+// overflow bugs on explosive queries:
+//
+//  1. When candidate roots + half the frontier saturated, the former
+//     "+ 1" wrapped LINEARENUM's cost to MinInt64, making every bias
+//     choose LE — precisely on the queries PATTERNENUM exists for.
+//  2. At the default bias the costs were compared as float64, which
+//     collapses distinct int64 values above 2^53 onto one rounding
+//     bucket and could flip near-saturated decisions.
+func TestChoosePlanSaturation(t *testing.T) {
+	// Case 1: LE cost saturates, PE cost is trivial — PE must win.
+	st := PlanStats{
+		CandidateRoots: math.MaxInt64 - 10,
+		RootTypes:      1,
+		PatternSpace:   1,
+		Frontier:       math.MaxInt64,
+	}
+	for _, bias := range []float64{0, 1, 1e-6} {
+		if p := ChoosePlan(AlgoAuto, st, Options{AutoBias: bias}); p.Algo != AlgoPE {
+			t.Errorf("bias=%g: saturated LE cost resolved to %v, want PE (leCost must not wrap negative)", bias, p.Algo)
+		}
+	}
+	// Case 2: costs 1 apart above 2^53 — float64 would see them equal
+	// and pick PE; the exact integer compare must pick LE.
+	leCost := int64(1)<<59 + 1 // cand 0 + frontier/2 + 1
+	st = PlanStats{
+		CandidateRoots: 0,
+		RootTypes:      1,
+		PatternSpace:   leCost + 1,
+		Frontier:       1 << 60,
+	}
+	if p := ChoosePlan(AlgoAuto, st, Options{}); p.Algo != AlgoLE {
+		t.Errorf("peCost=leCost+1 above 2^53 resolved to %v, want LE (default bias must compare exactly)", p.Algo)
+	}
+	st.PatternSpace = leCost // exactly equal: tie goes to PE
+	if p := ChoosePlan(AlgoAuto, st, Options{}); p.Algo != AlgoPE {
+		t.Errorf("peCost=leCost resolved to %v, want PE", p.Algo)
+	}
+	// Both costs saturated: indistinguishable, the tie still resolves
+	// deterministically (PE at default bias) and never panics.
+	st = PlanStats{CandidateRoots: math.MaxInt64 - 10, PatternSpace: math.MaxInt64, Frontier: math.MaxInt64}
+	if p := ChoosePlan(AlgoAuto, st, Options{}); p.Algo != AlgoPE {
+		t.Errorf("both-saturated costs resolved to %v, want PE", p.Algo)
 	}
 }
 

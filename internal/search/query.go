@@ -81,6 +81,14 @@ type Options struct {
 	// DefaultAutoBias; values > 1 favor PE, values < 1 favor LE. Ignored
 	// for explicit algorithms.
 	AutoBias float64
+	// Staged reverts to the original staged enumerate→aggregate execution:
+	// no top-k bound pushdown, no predicate pushdown below pattern
+	// expansion, and per-(pattern, root) fetch allocations instead of
+	// reused scratch buffers (see stream.go for the streaming pipeline it
+	// disables). Answers are bit-identical either way — only cost differs —
+	// so the flag exists as the ablation baseline the benchmark suite and
+	// the equivalence tests compare streaming against.
+	Staged bool
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +138,15 @@ type QueryStats struct {
 	PatternsFound  int   // nonempty tree patterns seen
 	TreesFound     int64 // valid subtrees aggregated (sampled runs count sampled trees)
 	EmptyChecked   int64 // pattern combinations checked that had no subtree (PETopK waste)
+	// BoundPruned counts enumeration units the streaming executor's
+	// k-th-score bound discarded before expansion: tree-pattern
+	// combinations (PATTERNENUM) or candidate roots (TopTrees). Pruned
+	// units never reach PatternsFound or EmptyChecked. Always 0 under
+	// Options.Staged, under CollectRootAggs (the shard scatter must
+	// surface every pattern regardless of local rank), and in LINEARENUM
+	// (its per-root partial aggregates are lower bounds of the final
+	// pattern scores, so no sound mid-enumeration cut exists).
+	BoundPruned int64
 }
 
 // Result is the output of one query.
@@ -227,28 +244,45 @@ type tupleVisitor func(paths []core.Path, terms []core.ScoreTerms)
 // productPaths enumerates the cartesian product of per-keyword path lists
 // rooted at the same node (Algorithm 2 line 7 / Algorithm 3 line 9): each
 // combination is one valid subtree. The visitor's arguments are reused
-// across calls; it must copy what it keeps.
-func productPaths(g *kg.Graph, lists [][]pathTerm, requireTree bool, root kg.NodeID, visit tupleVisitor) {
+// across calls; it must copy what it keeps. pc is polled once per tuple so
+// a canceled query stops inside a huge single-root product rather than
+// only at the next root or pattern boundary — on a hit the recursion
+// unwinds the whole product immediately (every frame returns false) and
+// the remaining tuples are never visited. sc, when non-nil, lends the
+// tuple buffers so the hot path allocates nothing per (pattern, root).
+func productPaths(g *kg.Graph, lists [][]pathTerm, requireTree bool, root kg.NodeID, pc *pollCancel, sc *aggScratch, visit tupleVisitor) {
 	m := len(lists)
-	paths := make([]core.Path, m)
-	terms := make([]core.ScoreTerms, m)
-	var rec func(i int)
-	rec = func(i int) {
+	var paths []core.Path
+	var terms []core.ScoreTerms
+	if sc != nil {
+		paths, terms = sc.tuple(m)
+	} else {
+		paths = make([]core.Path, m)
+		terms = make([]core.ScoreTerms, m)
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
 		if i == m {
+			if pc.hit() {
+				return false
+			}
 			if requireTree {
 				st := core.Subtree{Root: root, Paths: paths}
 				if !st.IsTreeShaped(g) {
-					return
+					return true
 				}
 			}
 			visit(paths, terms)
-			return
+			return true
 		}
 		for _, pt := range lists[i] {
 			paths[i] = pt.path
 			terms[i] = pt.terms
-			rec(i + 1)
+			if !rec(i + 1) {
+				return false
+			}
 		}
+		return true
 	}
 	rec(0)
 }
@@ -267,6 +301,17 @@ func pathsPF(ix *index.Index, w text.WordID, p core.PatternID, r kg.NodeID) []pa
 		out[i] = pathTerm{path: ix.Path(w, &es[i]), terms: es[i].Terms}
 	}
 	return out
+}
+
+// appendPathsPF is pathsPF into a caller-owned buffer: the streaming
+// executor fetches every (pattern, root) run into per-worker scratch that
+// is truncated and refilled instead of reallocated.
+func appendPathsPF(dst []pathTerm, ix *index.Index, w text.WordID, p core.PatternID, r kg.NodeID) []pathTerm {
+	es := ix.PathsPF(w, p, r)
+	for i := range es {
+		dst = append(dst, pathTerm{path: ix.Path(w, &es[i]), terms: es[i].Terms})
+	}
+	return dst
 }
 
 // pathsRF fetches Paths(w, r, P) from the root-first index as pathTerms.
@@ -288,18 +333,31 @@ func pathsRF(ix *index.Index, w text.WordID, r kg.NodeID, p core.PatternID) []pa
 // root partitions, reproduces exactly these bits (see Options.
 // CollectRootAggs). Every aggregation site in this package uses the same
 // shape.
-func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options, pc *pollCancel) (core.PatternScore, int64, []RootAgg) {
+//
+// sc, when non-nil, lends the per-keyword list and tuple buffers so the
+// streaming hot path performs zero allocations per (pattern, root); a nil
+// sc keeps the original allocating behavior (the Options.Staged baseline).
+func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern, roots []kg.NodeID, o Options, pc *pollCancel, sc *aggScratch) (core.PatternScore, int64, []RootAgg) {
 	var agg core.PatternScore
 	var n int64
 	var rootAggs []RootAgg
-	lists := make([][]pathTerm, len(words))
+	var lists [][]pathTerm
+	if sc != nil {
+		lists = sc.listsFor(len(words))
+	} else {
+		lists = make([][]pathTerm, len(words))
+	}
 	for _, r := range roots {
 		if pc.hit() {
 			break
 		}
 		ok := true
 		for i, w := range words {
-			lists[i] = pathsPF(ix, w, tp.Paths[i], r)
+			if sc != nil {
+				lists[i] = appendPathsPF(lists[i][:0], ix, w, tp.Paths[i], r)
+			} else {
+				lists[i] = pathsPF(ix, w, tp.Paths[i], r)
+			}
 			if len(lists[i]) == 0 {
 				ok = false
 				break
@@ -309,7 +367,7 @@ func aggregatePattern(ix *index.Index, words []text.WordID, tp core.TreePattern,
 			continue
 		}
 		var local core.PatternScore
-		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(_ []core.Path, terms []core.ScoreTerms) {
+		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, pc, sc, func(_ []core.Path, terms []core.ScoreTerms) {
 			local.Add(o.Scorer.Tree(terms))
 			n++
 		})
@@ -349,7 +407,7 @@ func materializeTrees(ix *index.Index, words []text.WordID, tp core.TreePattern,
 		if !ok {
 			continue
 		}
-		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, func(paths []core.Path, terms []core.ScoreTerms) {
+		productPaths(ix.Graph(), lists, o.RequireTreeShape, r, pc, nil, func(paths []core.Path, terms []core.ScoreTerms) {
 			if o.MaxTreesPerPattern > 0 && len(out) >= o.MaxTreesPerPattern {
 				return
 			}

@@ -1,0 +1,219 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+)
+
+// equalRanked asserts two results rank identical patterns with
+// bit-identical scores, aggregates and trees. Work counters are NOT
+// compared: the streaming executor's bound pushdown legitimately skips
+// enumeration units the staged baseline counts (BoundPruned accounts for
+// them), so only the answers must match.
+func equalRanked(t *testing.T, label string, ix *index.Index, a, b *Result) {
+	t.Helper()
+	if len(a.Patterns) != len(b.Patterns) {
+		t.Fatalf("%s: %d patterns vs %d", label, len(a.Patterns), len(b.Patterns))
+	}
+	pt := ix.PatternTable()
+	for i := range a.Patterns {
+		ap, bp := a.Patterns[i], b.Patterns[i]
+		if ap.Score != bp.Score {
+			t.Errorf("%s: rank %d score %v != %v", label, i, ap.Score, bp.Score)
+		}
+		if ap.Pattern.ContentKey(pt) != bp.Pattern.ContentKey(pt) {
+			t.Errorf("%s: rank %d pattern content differs", label, i)
+		}
+		if ap.Agg != bp.Agg {
+			t.Errorf("%s: rank %d aggregate %+v != %+v", label, i, ap.Agg, bp.Agg)
+		}
+		if !reflect.DeepEqual(ap.Trees, bp.Trees) {
+			t.Errorf("%s: rank %d materialized trees differ", label, i)
+		}
+		if !reflect.DeepEqual(ap.RootAggs, bp.RootAggs) {
+			t.Errorf("%s: rank %d root decompositions differ", label, i)
+		}
+	}
+}
+
+// TestStreamingMatchesStagedExecutor is the streaming executor's core
+// guarantee: for every algorithm, worker count and query, the streaming
+// default returns bit-identical answers to the Options.Staged baseline.
+// Small K makes the bound pushdown actually fire; the CollectRootAggs
+// round exercises streaming's fetch paths with pruning auto-disabled.
+func TestStreamingMatchesStagedExecutor(t *testing.T) {
+	for _, tc := range synthCases(t) {
+		ix, err := index.Build(tc.g, index.Options{D: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []Algo{AlgoPE, AlgoLE, AlgoAuto} {
+			for _, workers := range []int{1, 4} {
+				for _, collect := range []bool{false, true} {
+					for _, q := range tc.queries {
+						opts := Options{K: 5, Workers: workers, CollectRootAggs: collect}
+						staged := opts
+						staged.Staged = true
+						sres, err := Execute(context.Background(), ix, q, algo, staged)
+						if err != nil {
+							t.Fatal(err)
+						}
+						stream, err := Execute(context.Background(), ix, q, algo, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						label := fmt.Sprintf("%s/%v/w=%d/collect=%v/%q", tc.name, algo, workers, collect, q)
+						equalRanked(t, label, ix, sres, stream)
+						if sres.Stats.BoundPruned != 0 {
+							t.Errorf("%s: staged run reports BoundPruned=%d", label, sres.Stats.BoundPruned)
+						}
+						if collect && stream.Stats.BoundPruned != 0 {
+							t.Errorf("%s: pruning fired under CollectRootAggs", label)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingTopTreesMatchesStaged: individual-tree ranking under the
+// streaming per-root bound pushdown returns the staged answers
+// bit-identically, and its TreesFound still reports the full enumerated
+// frontier (pruned roots credit their exact subtree count).
+func TestStreamingTopTreesMatchesStaged(t *testing.T) {
+	for _, tc := range synthCases(t) {
+		ix, err := index.Build(tc.g, index.Options{D: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 5} {
+			for _, q := range tc.queries {
+				sTrees, sStats := TopTrees(ix, q, k, Options{Staged: true})
+				trees, stats := TopTrees(ix, q, k, Options{})
+				label := fmt.Sprintf("%s/k=%d/%q", tc.name, k, q)
+				if !reflect.DeepEqual(sTrees, trees) {
+					t.Errorf("%s: streaming trees differ from staged", label)
+				}
+				if sStats.TreesFound != stats.TreesFound {
+					t.Errorf("%s: TreesFound %d != staged %d (pruned-root credit broken)",
+						label, stats.TreesFound, sStats.TreesFound)
+				}
+				if sStats.BoundPruned != 0 {
+					t.Errorf("%s: staged run reports BoundPruned=%d", label, sStats.BoundPruned)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingPruningFires guards against the bound pushdown silently
+// degrading into a no-op: across a realistic workload at small K, at
+// least some enumeration units must actually be pruned (each individually
+// verified sound by the equivalence tests above).
+func TestStreamingPruningFires(t *testing.T) {
+	g := dataset.SynthWiki(dataset.WikiConfig{Entities: 1500, Types: 40})
+	ix, err := index.Build(g, index.Options{D: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pePruned, ttPruned int64
+	for _, q := range dataset.Workload(g, dataset.WorkloadConfig{PerM: 3, MaxM: 4}) {
+		res, err := Execute(context.Background(), ix, q.Text, AlgoPE, Options{K: 2, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pePruned += res.Stats.BoundPruned
+		_, stats := TopTrees(ix, q.Text, 2, Options{})
+		ttPruned += stats.BoundPruned
+	}
+	if pePruned == 0 {
+		t.Errorf("PATTERNENUM bound pushdown never fired across the workload")
+	}
+	if ttPruned == 0 {
+		t.Errorf("TopTrees bound pushdown never fired across the workload")
+	}
+}
+
+// starGraph builds a worst-case single-root product: one hub entity whose
+// subtree contains `fan` children per keyword, each child matching exactly
+// one keyword through the same attribute (so each keyword contributes one
+// pattern with `fan` paths). The query "alpha beta gamma" then has ONE
+// candidate root, ONE pattern combination, and fan^3 valid subtrees — all
+// cancellation opportunities the pre-streaming executor had (between
+// shards, roots and patterns) collapse, leaving only the per-tuple poll
+// inside productPaths.
+func starGraph(fan int) *kg.Graph {
+	b := kg.NewBuilder()
+	hub := b.Entity("Hub", "hub")
+	for _, w := range []string{"alpha", "beta", "gamma"} {
+		for i := 0; i < fan; i++ {
+			b.Attr(hub, "has", b.Entity("Leaf", fmt.Sprintf("%s %d", w, i)))
+		}
+	}
+	return b.MustFreeze()
+}
+
+// TestCancellationInsideProduct pins the satellite fix: a query canceled
+// in the middle of one enormous path product must return promptly with
+// context.Canceled instead of enumerating ~10^8 remaining tuples to
+// completion (and, through the serial runShards bug this PR also fixes,
+// returning a truncated result with a nil error).
+func TestCancellationInsideProduct(t *testing.T) {
+	g := starGraph(500) // 500^3 = 1.25e8 tuples under the single root
+	ix, err := index.Build(g, index.Options{D: 2, UniformPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algo{AlgoPE, AlgoLE} {
+		for _, staged := range []bool{false, true} {
+			ctx, cancel := context.WithCancel(context.Background())
+			time.AfterFunc(25*time.Millisecond, cancel)
+			start := time.Now()
+			_, err := Execute(ctx, ix, "alpha beta gamma", algo, Options{K: 5, Workers: 1, Staged: staged})
+			elapsed := time.Since(start)
+			cancel()
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%v/staged=%v: err = %v, want context.Canceled (after %v)", algo, staged, err, elapsed)
+			}
+		}
+	}
+}
+
+// TestPeLeafUBIsSound cross-checks the PATTERNENUM leaf bound against the
+// exact aggregates on real corpora: for every enumerated combination, the
+// envelope bound must dominate the exact pattern aggregate.
+func TestPeLeafUBIsSound(t *testing.T) {
+	ix, _ := buildFig1Index(t, 3)
+	words, _ := ResolveQuery(ix, fig1Query)
+	for _, agg := range []core.Agg{core.AggSum, core.AggCount, core.AggAvg, core.AggMax} {
+		o := Options{Agg: agg}.withDefaults()
+		res, err := Execute(context.Background(), ix, fig1Query, AlgoPE, Options{K: 100, Agg: agg, CollectRootAggs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rp := range res.Patterns {
+			bounds := make([]index.PatternBounds, len(words))
+			for i, w := range words {
+				b, ok := ix.PatternBounds(w, rp.Pattern.Paths[i])
+				if !ok {
+					t.Fatalf("agg=%v: ranked pattern lacks bounds", agg)
+				}
+				bounds[i] = b
+			}
+			nRoots := len(rp.RootAggs)
+			if ub := peLeafUB(bounds, nRoots, o); ub < rp.Score {
+				t.Errorf("agg=%v: peLeafUB=%v < exact score %v", agg, ub, rp.Score)
+			}
+		}
+	}
+}

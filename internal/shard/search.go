@@ -63,6 +63,12 @@ func fromSearchAlgo(a search.Algo) Algo {
 // Engine.CountAllContent / kbtable.Explain before execution, exactly as
 // the paper fences exact enumeration. A bounded two-phase gather with
 // score upper bounds is the known follow-up if this bites in production.
+//
+// For the same reason the streaming executor's top-k bound pushdown must
+// not fire inside a shard — a locally dominated pattern can win globally —
+// and it does not: search.peEnumerate gates pruning on !CollectRootAggs,
+// which this engine always sets. Per-shard runs still get streaming's
+// predicate pushdown and scratch reuse; only the score cut is disabled.
 const allK = 1 << 30
 
 // RankedPattern is one globally ranked pattern after the gather. Pattern's
@@ -374,6 +380,7 @@ func (e *Engine) mergeStats(algo Algo, outs []shardOut) search.QueryStats {
 		stats.SampledRoots += outs[i].stats.SampledRoots
 		stats.TreesFound += outs[i].stats.TreesFound
 		stats.EmptyChecked += outs[i].stats.EmptyChecked
+		stats.BoundPruned += outs[i].stats.BoundPruned
 	}
 	return stats
 }
@@ -455,6 +462,7 @@ func (e *Engine) TopTrees(query string, k int, opts search.Options) ([]RankedTre
 		}
 		stats.CandidateRoots += outs[si].stats.CandidateRoots
 		stats.TreesFound += outs[si].stats.TreesFound
+		stats.BoundPruned += outs[si].stats.BoundPruned
 	}
 	return top.Results(), stats
 }

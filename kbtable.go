@@ -234,6 +234,11 @@ type SearchOptions struct {
 	// frontier). 0 means the default (search.DefaultAutoBias); larger
 	// values favor PatternEnum.
 	AutoBias float64
+	// Staged reverts to the staged (non-streaming) executor: no top-k
+	// bound pushdown, no predicate pushdown, allocating fetches. Answers
+	// are bit-identical to the streaming default — the flag exists as the
+	// ablation baseline for benchmarks and equivalence tests.
+	Staged bool
 }
 
 // PlanInfo reports how a query executed (or, from Plan, would execute):
@@ -433,6 +438,7 @@ func (e *Engine) searchOptions(opts SearchOptions) search.Options {
 		MaxTreesPerPattern: opts.MaxRowsPerTable,
 		Workers:            e.o.Workers,
 		AutoBias:           opts.AutoBias,
+		Staged:             opts.Staged,
 	}
 }
 

@@ -75,6 +75,49 @@ func TestAutoEquivalenceProperty(t *testing.T) {
 	}
 }
 
+// TestStreamingMatchesStagedProperty is the facade-level half of the
+// streaming executor's guarantee: on both golden corpora, across
+// unsharded and sharded engines and every algorithm, the streaming
+// default's answers are BYTE-identical — via the same full-fidelity
+// rendering the golden suite pins — to the staged ablation baseline's.
+// Small K makes the top-k bound pushdown actually fire on the unsharded
+// engines (sharded scatters disable it by design).
+func TestStreamingMatchesStagedProperty(t *testing.T) {
+	for name, g := range autoCorpora(t) {
+		queries := map[string][]string{}
+		for _, spec := range goldenCorpora() {
+			queries[spec.name] = spec.queries
+		}
+		for _, shards := range []int{1, 2, 4} {
+			label := fmt.Sprintf("%s/shards=%d", name, shards)
+			e, err := NewEngine(g, EngineOptions{D: 3, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range []Algorithm{PatternEnum, LinearEnum, Auto} {
+				for _, k := range []int{2, 10} {
+					for _, q := range queries[name] {
+						opts := SearchOptions{K: k, Algorithm: algo, MaxRowsPerTable: 6}
+						stream, err := e.SearchContext(context.Background(), q, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						opts.Staged = true
+						staged, err := e.SearchContext(context.Background(), q, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got, want := renderGolden(q, stream), renderGolden(q, staged); got != want {
+							t.Errorf("%s/%v/k=%d/%q: streaming diverges from staged:\n%s",
+								label, algo, k, q, diffHint(want, got))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestPlanMatchesSearchPlan pins that the execution-free Plan API
 // resolves exactly the algorithm a subsequent Auto search runs as — the
 // property the serve layer's cache keying relies on.
