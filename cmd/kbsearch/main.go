@@ -43,6 +43,7 @@ func main() {
 	lambda := flag.Int64("lambda", 0, "LETopK sampling threshold Λ (0 = exact)")
 	rho := flag.Float64("rho", 0.1, "LETopK sampling rate ρ")
 	autoBias := flag.Float64("auto-bias", 0, "-algo auto: planner PE preference multiplier (0 = default 1; larger favors PE)")
+	repeat := flag.Int("repeat", 1, "re-execute each query this many times through a prepared handle (prepare once, run enumerate/aggregate/rank per iteration) and report cold vs prepared timings")
 	flag.Parse()
 
 	var g *kg.Graph
@@ -111,6 +112,57 @@ func main() {
 		count   int
 		trees   []core.Subtree
 	}
+	// runPrepared re-executes q through a prepared handle: the prepare
+	// stage (keyword resolution, posting lookups, planner probe) runs
+	// once, each iteration runs only enumerate → aggregate → rank. The
+	// report compares against the cold end-to-end elapsed time.
+	runPrepared := func(q string, n int, cold time.Duration) {
+		opts := search.Options{K: *k, Lambda: *lambda, Rho: *rho, MaxTreesPerPattern: *rows, AutoBias: *autoBias}
+		ctx := context.Background()
+		var exec func() (time.Duration, error)
+		if se != nil {
+			p, err := se.Prepare(ctx, shalgo, q, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			exec = func() (time.Duration, error) {
+				res, err := se.SearchPrepared(ctx, p, opts)
+				if err != nil {
+					return 0, err
+				}
+				return res.Stats.Elapsed, nil
+			}
+		} else {
+			p, err := search.PrepareQuery(ctx, ix, q, salgo, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			exec = func() (time.Duration, error) {
+				res, err := search.ExecutePrepared(ctx, ix, p, p.Algo(), opts)
+				if err != nil {
+					return 0, err
+				}
+				return res.Stats.Elapsed, nil
+			}
+		}
+		var total, min time.Duration
+		for i := 0; i < n; i++ {
+			d, err := exec()
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += d
+			if i == 0 || d < min {
+				min = d
+			}
+		}
+		avg := total / time.Duration(n)
+		speedup := float64(cold) / float64(avg)
+		fmt.Printf("prepared: %d executions, avg=%v min=%v (cold=%v, %.1fx)\n",
+			n, avg.Round(time.Microsecond), min.Round(time.Microsecond),
+			cold.Round(time.Microsecond), speedup)
+	}
+
 	run := func(q string) {
 		opts := search.Options{K: *k, Lambda: *lambda, Rho: *rho, MaxTreesPerPattern: *rows, AutoBias: *autoBias}
 		var answers []answer
@@ -154,6 +206,9 @@ func main() {
 			fmt.Printf("stages: prepare=%v enumerate=%v aggregate=%v rank=%v\n",
 				stages.Prepare.Round(time.Microsecond), stages.Enumerate.Round(time.Microsecond),
 				stages.Aggregate.Round(time.Microsecond), stages.Rank.Round(time.Microsecond))
+		}
+		if *repeat > 1 && salgo != search.AlgoBaseline {
+			runPrepared(q, *repeat, elapsed)
 		}
 		for i, rp := range answers {
 			tab := core.ComposeTable(g, rp.pt, rp.pattern, rp.trees)

@@ -74,6 +74,7 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 0, "admission control: longest a search may wait for an execution slot (0 = -timeout)")
 	gcBatch := flag.Int("group-commit-batch", 0, "WAL group commit: records per fsync batch (0 = default 128)")
 	gcDelay := flag.Duration("group-commit-delay", 0, "WAL group commit: hold a non-full batch open this long for stragglers (0 = commit immediately)")
+	adaptiveBias := flag.Bool("adaptive-bias", false, "learn the auto planner's PE/LE crossover bias from observed stage timings (applies to auto requests without an explicit auto_bias; answers are unchanged)")
 	flag.Parse()
 
 	// With -data-dir, the snapshot manifest is authoritative for the
@@ -175,6 +176,7 @@ func main() {
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueue:         *maxQueue,
 		QueueTimeout:     *queueTimeout,
+		AdaptiveBias:     *adaptiveBias,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

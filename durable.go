@@ -11,6 +11,7 @@ import (
 
 	"kbtable/internal/index"
 	"kbtable/internal/kg"
+	"kbtable/internal/search"
 	"kbtable/internal/shard"
 	"kbtable/internal/store"
 )
@@ -452,7 +453,7 @@ func loadSnapshot(sn *store.Snapshot, opts EngineOptions) (*Engine, error) {
 		}
 	}
 
-	eng := &Engine{g: &Graph{g: g}, o: opts, seq: m.Seq}
+	eng := &Engine{g: &Graph{g: g}, o: opts, seq: m.Seq, plans: search.NewPlanCache(0)}
 	if m.Shards > 1 {
 		owners, err := sn.ReadFile(store.OwnersFileName)
 		if err != nil {

@@ -98,6 +98,16 @@ func CompareReports(old, new *ShardBenchReport, threshold float64) []Regression 
 		}
 	}
 
+	oldPC := map[string]PlanCacheBenchResult{}
+	for _, r := range old.PlanCache {
+		oldPC[r.Mode] = r
+	}
+	for _, n := range new.PlanCache {
+		if o, ok := oldPC[n.Mode]; ok {
+			check("plan-cache "+n.Mode, "ns/op", float64(o.NsPerOp), float64(n.NsPerOp), true)
+		}
+	}
+
 	if old.ColdStart != nil && new.ColdStart != nil {
 		check("cold-start", "load_ms", old.ColdStart.LoadMs, new.ColdStart.LoadMs, true)
 	}

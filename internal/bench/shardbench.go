@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strings"
 	"testing"
 
 	"kbtable/internal/dataset"
@@ -13,6 +14,7 @@ import (
 	"kbtable/internal/kg"
 	"kbtable/internal/search"
 	"kbtable/internal/shard"
+	"math"
 )
 
 // ShardBenchConfig scales the shard-scaling benchmark (the BENCH
@@ -114,6 +116,28 @@ type StreamingBenchResult struct {
 	AllocReductionVsStaged float64 `json:"alloc_reduction_vs_staged"`
 }
 
+// PlanCacheBenchResult is one plan-cache / prepared-query ablation row:
+// the same Auto workload executed cold (planner probe + execution, a
+// fresh request), against a warm plan cache (probe skipped), against a
+// retained prepare stage (only enumerate→aggregate→rank runs).
+type PlanCacheBenchResult struct {
+	// Mode is "cold", "cached" or "prepared".
+	Mode string `json:"mode"`
+	// NsPerOp is the geometric mean over the workload's queries of one
+	// query's execution time — the paper suite's geo-time convention. A
+	// repeat-query benchmark weighs each query shape equally; a plain
+	// total would let one scan-heavy query swamp the point lookups the
+	// plan cache and prepared statements exist to serve.
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the matching geometric mean of allocations.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// SpeedupVsCold is the cold row's ns/op divided by this row's.
+	SpeedupVsCold float64 `json:"speedup_vs_cold"`
+	// HitRate is the plan-cache hit fraction measured during the run
+	// (cached row only; 1.0 means every probe was skipped).
+	HitRate float64 `json:"hit_rate,omitempty"`
+}
+
 // ColdStartBenchResult compares a cold start from a durable snapshot
 // (kbtable.OpenDir: load graph + indexes, replay nothing) against
 // rebuilding the same engine from scratch — the quantity the snapshot
@@ -142,6 +166,8 @@ type ShardBenchReport struct {
 	Planner []PlannerBenchResult `json:"planner"`
 	// Streaming is the streaming-vs-staged executor ablation on wiki.
 	Streaming []StreamingBenchResult `json:"streaming_executor,omitempty"`
+	// PlanCache is the cold vs plan-cache vs prepared ablation on wiki.
+	PlanCache []PlanCacheBenchResult `json:"plan_cache,omitempty"`
 	// ColdStart is the snapshot-load vs index-rebuild comparison.
 	ColdStart *ColdStartBenchResult `json:"cold_start,omitempty"`
 	// ServeLatency / GroupCommit come from a kbload soak report
@@ -323,7 +349,111 @@ func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
 			report.Streaming = append(report.Streaming, row)
 		}
 	}
+
+	// Plan-cache / prepared-query ablation: the same wiki workload,
+	// serial, under Auto, each query timed on its own and summarized by
+	// the geometric mean (the suite's geo-time convention).
+	rows, err := planCacheRows(ix, qs, serialOpts)
+	if err != nil {
+		return nil, err
+	}
+	report.PlanCache = append(report.PlanCache, rows...)
+
 	return report, nil
+}
+
+// planCacheRows measures every workload query under the three
+// plan-resolution modes — cold (planner probe + execution), warm plan
+// cache (probe skipped), retained prepare (only enumerate→aggregate→rank
+// runs) — and folds each mode into one geometric-mean row.
+func planCacheRows(ix *index.Index, qs []string, serialOpts search.Options) ([]PlanCacheBenchResult, error) {
+	ctx := context.Background()
+	words := make([][]string, len(qs))
+	preps := make([]*search.Prepared, len(qs))
+	pc := search.NewPlanCache(0)
+	epoch := pc.Epoch()
+	for i, q := range qs {
+		words[i] = strings.Fields(q)
+		st, err := search.PlanProbe(ctx, ix, q, serialOpts)
+		if err != nil {
+			return nil, err
+		}
+		pc.Put(search.PlanCacheKey(words[i]), epoch, st, words[i])
+		p, err := search.PrepareQuery(ctx, ix, q, search.AlgoAuto, serialOpts)
+		if err != nil {
+			return nil, err
+		}
+		preps[i] = p
+	}
+	modes := []struct {
+		name string
+		op   func(b *testing.B, qi int)
+	}{
+		{"cold", func(b *testing.B, qi int) {
+			st, err := search.PlanProbe(ctx, ix, qs[qi], serialOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan := search.ChoosePlan(search.AlgoAuto, st, serialOpts)
+			if _, err := search.Execute(ctx, ix, qs[qi], plan.Algo, serialOpts); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"cached", func(b *testing.B, qi int) {
+			st, ok := pc.Get(search.PlanCacheKey(words[qi]), epoch)
+			if !ok {
+				b.Fatal("plan cache miss on a warmed key")
+			}
+			plan := search.ChoosePlan(search.AlgoAuto, st, serialOpts)
+			if _, err := search.Execute(ctx, ix, qs[qi], plan.Algo, serialOpts); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"prepared", func(b *testing.B, qi int) {
+			if _, err := search.ExecutePrepared(ctx, ix, preps[qi], preps[qi].Algo(), serialOpts); err != nil {
+				b.Fatal(err)
+			}
+		}},
+	}
+	var out []PlanCacheBenchResult
+	var coldNs int64
+	for _, m := range modes {
+		var logNs, logAllocs float64
+		for qi := range qs {
+			op := m.op
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					op(b, qi)
+				}
+			})
+			logNs += math.Log(float64(r.NsPerOp()))
+			allocs := r.AllocsPerOp()
+			if allocs < 1 {
+				allocs = 1
+			}
+			logAllocs += math.Log(float64(allocs))
+		}
+		n := float64(len(qs))
+		row := PlanCacheBenchResult{
+			Mode:        m.name,
+			NsPerOp:     int64(math.Exp(logNs / n)),
+			AllocsPerOp: int64(math.Exp(logAllocs / n)),
+		}
+		if m.name == "cold" {
+			coldNs = row.NsPerOp
+			row.SpeedupVsCold = 1
+		} else {
+			row.SpeedupVsCold = float64(coldNs) / float64(row.NsPerOp)
+		}
+		if m.name == "cached" {
+			cs := pc.Stats()
+			if cs.Hits+cs.Misses > 0 {
+				row.HitRate = float64(cs.Hits) / float64(cs.Hits+cs.Misses)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
 }
 
 // WikiGraph synthesizes the same wiki corpus RunShardBench measures, so
@@ -410,6 +540,26 @@ func (r *ShardBenchReport) String() string {
 			})
 		}
 		out += "\n" + s.String()
+	}
+	if len(r.PlanCache) > 0 {
+		pc := Table{
+			Title:  "Plan cache / prepared queries — auto plan resolution on wiki, serial",
+			Header: []string{"mode", "ns/op", "allocs/op", "vs cold", "hit rate"},
+		}
+		for _, res := range r.PlanCache {
+			hit := ""
+			if res.HitRate > 0 {
+				hit = fmt.Sprintf("%.0f%%", res.HitRate*100)
+			}
+			pc.Rows = append(pc.Rows, []string{
+				res.Mode,
+				fmt.Sprintf("%d", res.NsPerOp),
+				fmt.Sprintf("%d", res.AllocsPerOp),
+				fmt.Sprintf("%.2fx", res.SpeedupVsCold),
+				hit,
+			})
+		}
+		out += "\n" + pc.String()
 	}
 	return out + cold
 }

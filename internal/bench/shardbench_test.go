@@ -51,6 +51,28 @@ func TestRunShardBench(t *testing.T) {
 		}
 	}
 
+	if n := len(report.PlanCache); n != 3 {
+		t.Fatalf("got %d plan-cache rows, want cold+cached+prepared", n)
+	}
+	for _, p := range report.PlanCache {
+		if p.NsPerOp <= 0 || p.SpeedupVsCold <= 0 {
+			t.Fatalf("unmeasured plan-cache row: %+v", p)
+		}
+		switch p.Mode {
+		case "cold":
+			if p.SpeedupVsCold != 1 {
+				t.Fatalf("cold reference row malformed: %+v", p)
+			}
+		case "cached":
+			if p.HitRate != 1 {
+				t.Fatalf("warmed plan cache should hit every lookup: %+v", p)
+			}
+		case "prepared":
+		default:
+			t.Fatalf("unknown plan-cache mode: %+v", p)
+		}
+	}
+
 	var buf bytes.Buffer
 	if err := report.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

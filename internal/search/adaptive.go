@@ -1,0 +1,147 @@
+package search
+
+import (
+	"sync"
+	"time"
+)
+
+// AdaptiveBias closes the planner's feedback loop: it folds observed
+// enumerate-stage timings, per resolved algorithm, back into the
+// effective AutoBias. The cost model compares
+//
+//	cost(PE) = PatternSpace        against
+//	cost(LE) = CandidateRoots + Frontier/2 + 1
+//
+// in abstract units; the hand-tuned bias is the exchange rate between
+// them. AdaptiveBias learns that rate from the workload itself: each
+// executed query contributes its enumerate nanoseconds divided by its
+// plan's cost units to a per-algorithm EWMA, and the effective bias is
+// the base scaled by the observed LE/PE per-unit cost ratio — if LE
+// units are measured to cost 2x what PE units cost on this corpus, PE
+// should win up to twice the static crossover. The scale factor is
+// clamped to [1/8, 8] so a burst of degenerate observations cannot pin
+// the planner to one algorithm forever, and until BOTH algorithms have
+// been observed the base bias is returned unchanged.
+//
+// The bias steers only the PE/LE choice; answers are bit-identical under
+// either algorithm (the Auto-equivalence property), so any learned value
+// is answer-preserving by construction.
+type AdaptiveBias struct {
+	mu    sync.Mutex
+	base  float64
+	alpha float64
+	pe    ewma
+	le    ewma
+}
+
+// ewma is an exponentially-weighted moving average seeded by its first
+// observation.
+type ewma struct {
+	v float64
+	n uint64
+}
+
+func (e *ewma) observe(x, alpha float64) {
+	if e.n == 0 {
+		e.v = x
+	} else {
+		e.v = alpha*x + (1-alpha)*e.v
+	}
+	e.n++
+}
+
+// AdaptiveBiasStats snapshots the accumulator for observability.
+type AdaptiveBiasStats struct {
+	// Base is the static bias the learned scale applies to.
+	Base float64
+	// Effective is the current learned bias (== Base until both
+	// algorithms have been observed).
+	Effective float64
+	// PEObservations / LEObservations count folded executions.
+	PEObservations uint64
+	LEObservations uint64
+	// PENsPerUnit / LENsPerUnit are the current EWMA estimates of
+	// enumerate nanoseconds per cost-model unit.
+	PENsPerUnit float64
+	LENsPerUnit float64
+}
+
+// adaptiveAlpha is the EWMA smoothing factor: recent executions dominate
+// after a few tens of observations, but one outlier moves the estimate
+// at most 20%.
+const adaptiveAlpha = 0.2
+
+// adaptiveClamp bounds the learned scale factor applied to the base.
+const adaptiveClamp = 8.0
+
+// NewAdaptiveBias returns an accumulator around the given base bias (a
+// non-positive base gets DefaultAutoBias, matching ChoosePlan).
+func NewAdaptiveBias(base float64) *AdaptiveBias {
+	if base <= 0 {
+		base = DefaultAutoBias
+	}
+	return &AdaptiveBias{base: base, alpha: adaptiveAlpha}
+}
+
+// Observe folds one executed query's enumerate timing into the per-unit
+// estimate of the algorithm that ran. Queries that did no enumeration
+// work (zero duration or an unanswerable shape) are ignored.
+func (a *AdaptiveBias) Observe(algo Algo, st PlanStats, enumerate time.Duration) {
+	ns := float64(enumerate.Nanoseconds())
+	if ns <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch algo {
+	case AlgoPE:
+		units := float64(st.PatternSpace)
+		if units < 1 {
+			units = 1
+		}
+		a.pe.observe(ns/units, a.alpha)
+	case AlgoLE:
+		cand := 0
+		if st.CandidateRoots > 0 {
+			cand = st.CandidateRoots
+		}
+		units := float64(cand) + float64(st.Frontier)/2 + 1
+		a.le.observe(ns/units, a.alpha)
+	}
+}
+
+// Effective returns the current learned bias. It is always positive, so
+// it can be passed straight into Options.AutoBias (where 0 means "use
+// the default").
+func (a *AdaptiveBias) Effective() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.effectiveLocked()
+}
+
+func (a *AdaptiveBias) effectiveLocked() float64 {
+	if a.pe.n == 0 || a.le.n == 0 || a.pe.v <= 0 {
+		return a.base
+	}
+	scale := a.le.v / a.pe.v
+	if scale > adaptiveClamp {
+		scale = adaptiveClamp
+	} else if scale < 1/adaptiveClamp {
+		scale = 1 / adaptiveClamp
+	}
+	return a.base * scale
+}
+
+// Stats snapshots the accumulator.
+func (a *AdaptiveBias) Stats() AdaptiveBiasStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdaptiveBiasStats{
+		Base:           a.base,
+		Effective:      a.effectiveLocked(),
+		PEObservations: a.pe.n,
+		LEObservations: a.le.n,
+		PENsPerUnit:    a.pe.v,
+		LENsPerUnit:    a.le.v,
+	}
+}

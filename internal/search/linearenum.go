@@ -82,7 +82,7 @@ func leEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 		}
 
 		// Line 4: NR = Σ_r Π_i |Paths(wi, r)| without enumeration.
-		nr := subtreeCount(ix, words, rc)
+		nr := prep.typeNR(ix, ti)
 		rate := 1.0
 		if o.samplingEnabled() && nr >= o.Lambda {
 			rate = o.Rho

@@ -68,22 +68,30 @@ type peType struct {
 // every pattern). Pruning applies only at leaves: interior prefixes keep
 // the original empty-intersection pruning, so EmptyChecked counts exactly
 // the combinations the staged walk counts.
-func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options) ([]workerState[RankedPattern], error) {
+// peShard is one unit of PATTERNENUM's enumeration cut: the subtree of
+// combinations under pattern choice j of type t's most selective keyword.
+type peShard struct{ t, j int }
+
+// peTables is the serial prelude's output — everything the combination
+// walk reads but never writes. It depends only on the retained prepare,
+// the immutable index, and whether pruning is enabled, so a Prepared
+// caches one per pruning mode and repeat executions skip the prelude.
+type peTables struct {
+	types  []peType
+	shards []peShard
+}
+
+// pePrelude fetches the per-type pattern and root lists (cheap index
+// lookups) and cuts the enumeration into shards. One shard is the
+// subtree of combinations under one choice of the most selective
+// keyword's pattern — disjoint by construction, and fine-grained enough
+// to balance a skewed type distribution across workers.
+func pePrelude(ix *index.Index, prep *prepared, pruneOK bool) *peTables {
 	words := prep.words
 	m := len(words)
-	pt := ix.PatternTable()
-	pruneOK := !o.Staged && !o.CollectRootAggs
-
-	// Serial prelude: fetch the per-type pattern and root lists (cheap
-	// index lookups) and cut the enumeration into shards. One shard is the
-	// subtree of combinations under one choice of the most selective
-	// keyword's pattern — disjoint by construction, and fine-grained
-	// enough to balance a skewed type distribution across workers.
-	types := make([]peType, len(prep.rootTypes))
-	type peShard struct{ t, j int }
-	var shards []peShard
+	tb := &peTables{types: make([]peType, len(prep.rootTypes))}
 	for ti, c := range prep.rootTypes {
-		tt := &types[ti]
+		tt := &tb.types[ti]
 		tt.pats = make([][]core.PatternID, m)
 		tt.roots = make([][][]kg.NodeID, m)
 		if pruneOK {
@@ -110,9 +118,19 @@ func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options
 			return len(tt.pats[tt.order[a]]) < len(tt.pats[tt.order[b]])
 		})
 		for j := range tt.pats[tt.order[0]] {
-			shards = append(shards, peShard{t: ti, j: j})
+			tb.shards = append(tb.shards, peShard{t: ti, j: j})
 		}
 	}
+	return tb
+}
+
+func peEnumerate(ctx context.Context, ix *index.Index, prep *prepared, o Options) ([]workerState[RankedPattern], error) {
+	words := prep.words
+	m := len(words)
+	pt := ix.PatternTable()
+	pruneOK := !o.Staged && !o.CollectRootAggs
+	tb := prep.peTables(ix, pruneOK)
+	types, shards := tb.types, tb.shards
 
 	// Lines 4-8 per shard: enumerate the tree-pattern product. The root
 	// intersection of line 5 is computed incrementally along the

@@ -432,6 +432,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"kbserve_admission_queue_depth",
 		"kbserve_admission_shed_total",
 		"kbserve_cache_hits_total",
+		"kbserve_bound_pruned_total",
+		"kbserve_plan_cache_hits_total",
+		"kbserve_plan_cache_misses_total",
+		"kbserve_prepared_total",
+		"kbserve_prepared_live",
 		"kbserve_epoch",
 	} {
 		if !families[want] {

@@ -185,6 +185,47 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE kbserve_cache_misses_total counter\n")
 	fmt.Fprintf(&b, "kbserve_cache_misses_total %d\n", cs.Misses)
 
+	fmt.Fprintf(&b, "# HELP kbserve_bound_pruned_total Enumeration units cut by the executor's top-k bound pushdown, across executed searches.\n")
+	fmt.Fprintf(&b, "# TYPE kbserve_bound_pruned_total counter\n")
+	fmt.Fprintf(&b, "kbserve_bound_pruned_total %d\n", s.boundPruned.Load())
+
+	if pcs, ok := s.cur.Load().eng.(planCacheStatser); ok {
+		if ps := pcs.PlanCacheStats(); ps.Capacity > 0 {
+			fmt.Fprintf(&b, "# HELP kbserve_plan_cache_hits_total Plan-cache hits (planner probes skipped).\n")
+			fmt.Fprintf(&b, "# TYPE kbserve_plan_cache_hits_total counter\n")
+			fmt.Fprintf(&b, "kbserve_plan_cache_hits_total %d\n", ps.Hits)
+			fmt.Fprintf(&b, "# HELP kbserve_plan_cache_misses_total Plan-cache misses (planner probes executed).\n")
+			fmt.Fprintf(&b, "# TYPE kbserve_plan_cache_misses_total counter\n")
+			fmt.Fprintf(&b, "kbserve_plan_cache_misses_total %d\n", ps.Misses)
+			fmt.Fprintf(&b, "# HELP kbserve_plan_cache_invalidated_total Plan-cache entries evicted by updates.\n")
+			fmt.Fprintf(&b, "# TYPE kbserve_plan_cache_invalidated_total counter\n")
+			fmt.Fprintf(&b, "kbserve_plan_cache_invalidated_total %d\n", ps.Invalidated)
+			fmt.Fprintf(&b, "# HELP kbserve_plan_cache_size Plan-cache entries currently resident.\n")
+			fmt.Fprintf(&b, "# TYPE kbserve_plan_cache_size gauge\n")
+			fmt.Fprintf(&b, "kbserve_plan_cache_size %d\n", ps.Size)
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP kbserve_prepared_total Prepared-query events: handles created, executions served, handles expired by epoch swaps.\n")
+	fmt.Fprintf(&b, "# TYPE kbserve_prepared_total counter\n")
+	fmt.Fprintf(&b, "kbserve_prepared_total{event=\"prepare\"} %d\n", s.prepares.Load())
+	fmt.Fprintf(&b, "kbserve_prepared_total{event=\"search\"} %d\n", s.preparedSearches.Load())
+	fmt.Fprintf(&b, "kbserve_prepared_total{event=\"expired\"} %d\n", s.preparedExpired.Load())
+	fmt.Fprintf(&b, "# HELP kbserve_prepared_live Prepared handles valid on the current epoch.\n")
+	fmt.Fprintf(&b, "# TYPE kbserve_prepared_live gauge\n")
+	fmt.Fprintf(&b, "kbserve_prepared_live %d\n", s.preparedLive())
+
+	if s.abias != nil {
+		bs := s.abias.Stats()
+		fmt.Fprintf(&b, "# HELP kbserve_planner_effective_bias Learned Auto-planner bias applied to auto requests without an explicit auto_bias.\n")
+		fmt.Fprintf(&b, "# TYPE kbserve_planner_effective_bias gauge\n")
+		fmt.Fprintf(&b, "kbserve_planner_effective_bias %g\n", bs.Effective)
+		fmt.Fprintf(&b, "# HELP kbserve_planner_bias_observations_total Executions folded into the adaptive bias, by algorithm.\n")
+		fmt.Fprintf(&b, "# TYPE kbserve_planner_bias_observations_total counter\n")
+		fmt.Fprintf(&b, "kbserve_planner_bias_observations_total{algo=\"patternenum\"} %d\n", bs.PEObservations)
+		fmt.Fprintf(&b, "kbserve_planner_bias_observations_total{algo=\"linearenum\"} %d\n", bs.LEObservations)
+	}
+
 	fmt.Fprintf(&b, "# HELP kbserve_epoch Currently published KB epoch.\n")
 	fmt.Fprintf(&b, "# TYPE kbserve_epoch gauge\n")
 	fmt.Fprintf(&b, "kbserve_epoch %d\n", s.cur.Load().epoch)

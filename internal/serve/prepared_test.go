@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kbtable"
+)
+
+// postPrepare POSTs /prepare and decodes the reply (nil on non-200).
+func postPrepare(t *testing.T, url string, req PrepareRequest) (*http.Response, *PrepareResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/prepare", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	var pr PrepareResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &pr
+}
+
+// TestCacheKeyInjective pins the non-forgeable key encoding: under the
+// old plain "|" join, a query containing the separator re-parsed as a
+// different (query, algo) split — cacheKey("a|b","c",...) and
+// cacheKey("a","b|c",...) were the SAME string — so two different
+// request shapes shared one result entry. The length-prefixed encoding
+// keeps every field boundary explicit.
+func TestCacheKeyInjective(t *testing.T) {
+	pairs := [][2]string{
+		{cacheKey("a|b", "c", 1, 2, 3), cacheKey("a", "b|c", 1, 2, 3)},
+		{cacheKey("x|patternenum", "patternenum", 10, 3, 50), cacheKey("x", "patternenum|patternenum", 10, 3, 50)},
+		{cacheKey("q", "patternenum", 10, 3, 50), cacheKey("q", "patternenum", 1, 3, 50)},
+		{cacheKey("", "patternenum", 1, 1, 1), cacheKey("patternenum", "", 1, 1, 1)},
+	}
+	for i, p := range pairs {
+		if p[0] == p[1] {
+			t.Errorf("pair %d: distinct inputs encode to the same key %q", i, p[0])
+		}
+	}
+	// Identical inputs still share an entry.
+	if cacheKey("software", "patternenum", 5, 3, 50) != cacheKey("software", "patternenum", 5, 3, 50) {
+		t.Error("identical inputs must encode identically")
+	}
+}
+
+// TestCacheKeyNoForgery is the behavioral half: the adversarial query
+// from the key-forgery report and the innocent request it aimed to
+// impersonate must never serve each other's bytes.
+func TestCacheKeyNoForgery(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, adv := postSearch(t, ts.URL, SearchRequest{Query: "x|patternenum"})
+	if adv == nil {
+		t.Fatal("adversarial query rejected")
+	}
+	resp, innocent := postSearch(t, ts.URL, SearchRequest{Query: "x", Algorithm: "patternenum"})
+	if innocent == nil {
+		t.Fatalf("innocent query rejected: %v", resp.Status)
+	}
+	if innocent.Cached {
+		t.Fatalf("innocent request served from the adversarial query's cache entry: %+v", innocent)
+	}
+	if innocent.Query == adv.Query {
+		t.Fatalf("both requests normalized onto one query %q", adv.Query)
+	}
+}
+
+// TestPunctuationSharesCacheEntry pins the tokenized normalization fix:
+// the engine drops punctuation during keyword resolution, so "foo," and
+// "foo" produce byte-identical answers and must occupy ONE cache entry
+// instead of fragmenting the result cache.
+func TestPunctuationSharesCacheEntry(t *testing.T) {
+	srv, ts := newTestServer(t)
+	_, first := postSearch(t, ts.URL, SearchRequest{Query: "database, software; company (revenue)!"})
+	if first == nil || first.Cached {
+		t.Fatalf("first spelling: %+v", first)
+	}
+	if first.Query != "database software company revenue" {
+		t.Fatalf("normalized query = %q, want the engine's token form", first.Query)
+	}
+	_, second := postSearch(t, ts.URL, SearchRequest{Query: "database software company revenue"})
+	if second == nil || !second.Cached {
+		t.Fatalf("punctuation-free spelling missed the shared entry: %+v", second)
+	}
+	if len(second.Answers) != len(first.Answers) {
+		t.Fatalf("answers differ across spellings: %d vs %d", len(second.Answers), len(first.Answers))
+	}
+	if st := srv.cache.Stats(); st.Hits == 0 {
+		t.Fatalf("no cache hit recorded: %+v", st)
+	}
+}
+
+// TestAutoBiasValidation pins the 400 on invalid auto_bias. NaN and
+// ±Inf cannot cross the JSON decoder (it rejects them earlier, also as
+// 400), so the checkAutoBias unit cases cover them directly.
+func TestAutoBiasValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, _ := postSearch(t, ts.URL, SearchRequest{Query: "software", Algorithm: "auto", AutoBias: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("auto_bias=-1: status %d, want 400", resp.StatusCode)
+	}
+	for _, b := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.001} {
+		if checkAutoBias(b) == "" {
+			t.Errorf("checkAutoBias(%v) accepted an invalid bias", b)
+		}
+	}
+	for _, b := range []float64{0, 0.5, 1, 8} {
+		if msg := checkAutoBias(b); msg != "" {
+			t.Errorf("checkAutoBias(%v) rejected a valid bias: %s", b, msg)
+		}
+	}
+	// A raw NaN in the body is malformed JSON: still a 400, never a 500.
+	resp2, err := http.Post(ts.URL+"/search", "application/json",
+		bytes.NewReader([]byte(`{"query":"software","algorithm":"auto","auto_bias":NaN}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NaN body: status %d, want 400", resp2.StatusCode)
+	}
+}
+
+// TestPrepareAndExecute drives the full prepared-query flow: prepare,
+// execute by handle, byte-identical answers vs a fresh search, and the
+// request-shape validation around prepared_id.
+func TestPrepareAndExecute(t *testing.T) {
+	const query = "database software company revenue"
+	_, ts := newTestServer(t)
+
+	resp, pr := postPrepare(t, ts.URL, PrepareRequest{Query: query, K: 3, Algorithm: "auto"})
+	if pr == nil {
+		t.Fatalf("prepare failed: %v", resp.Status)
+	}
+	if pr.ID == "" || pr.Epoch != 0 || pr.Plan == nil || pr.Algorithm != "auto" {
+		t.Fatalf("prepare response: %+v", pr)
+	}
+
+	_, fresh := postSearch(t, ts.URL, SearchRequest{Query: query, K: 3, Algorithm: "auto"})
+	if fresh == nil || len(fresh.Answers) == 0 {
+		t.Fatalf("fresh search: %+v", fresh)
+	}
+
+	for i := 0; i < 3; i++ {
+		_, prep := postSearch(t, ts.URL, SearchRequest{PreparedID: pr.ID})
+		if prep == nil {
+			t.Fatalf("prepared execution %d failed", i)
+		}
+		if prep.PreparedID != pr.ID || prep.Cached || prep.Epoch != 0 {
+			t.Fatalf("prepared response %d: %+v", i, prep)
+		}
+		if !reflect.DeepEqual(prep.Answers, fresh.Answers) {
+			t.Fatalf("prepared answers diverge from fresh search:\nprepared: %+v\nfresh:    %+v", prep.Answers, fresh.Answers)
+		}
+		if prep.Plan == nil || prep.Plan.Algorithm != fresh.Plan.Algorithm {
+			t.Fatalf("prepared plan %+v vs fresh %+v", prep.Plan, fresh.Plan)
+		}
+	}
+
+	// prepared_id fixes the shape: combining it with a query is an error.
+	respBad, _ := postSearch(t, ts.URL, SearchRequest{PreparedID: pr.ID, Query: "software"})
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("prepared_id+query: status %d, want 400", respBad.StatusCode)
+	}
+	// Unknown handles are Gone, not an internal error.
+	respGone, _ := postSearch(t, ts.URL, SearchRequest{PreparedID: "p0-999"})
+	if respGone.StatusCode != http.StatusGone {
+		t.Fatalf("unknown prepared_id: status %d, want 410", respGone.StatusCode)
+	}
+	// Baseline has no prepare stage.
+	respBase, _ := postPrepare(t, ts.URL, PrepareRequest{Query: query, Algorithm: "baseline"})
+	if respBase.StatusCode != http.StatusBadRequest {
+		t.Fatalf("baseline prepare: status %d, want 400", respBase.StatusCode)
+	}
+}
+
+// TestPreparedExpiresOnUpdate pins handle invalidation: an epoch swap
+// expires every outstanding handle (410 Gone), and re-preparing binds to
+// the new epoch and sees the update.
+func TestPreparedExpiresOnUpdate(t *testing.T) {
+	_, ts := newTestServer(t)
+	_, pr := postPrepare(t, ts.URL, PrepareRequest{Query: "postgres database", Algorithm: "patternenum"})
+	if pr == nil {
+		t.Fatal("prepare failed")
+	}
+	if _, got := postSearch(t, ts.URL, SearchRequest{PreparedID: pr.ID}); got == nil || len(got.Answers) != 0 {
+		t.Fatalf("pre-update prepared execution: %+v", got)
+	}
+
+	var u kbtable.Update
+	pg := u.AddEntity("Software", "Postgres")
+	u.AddAttr(pg, "Genre", 1)
+	if resp, ur := postUpdate(t, ts.URL, UpdateRequest{Ops: u.Ops}); ur == nil {
+		t.Fatalf("update failed: %v", resp.Status)
+	}
+
+	resp, _ := postSearch(t, ts.URL, SearchRequest{PreparedID: pr.ID})
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("expired handle: status %d, want 410", resp.StatusCode)
+	}
+
+	_, pr2 := postPrepare(t, ts.URL, PrepareRequest{Query: "postgres database", Algorithm: "patternenum"})
+	if pr2 == nil || pr2.Epoch != 1 {
+		t.Fatalf("re-prepare: %+v", pr2)
+	}
+	_, got := postSearch(t, ts.URL, SearchRequest{PreparedID: pr2.ID})
+	if got == nil || len(got.Answers) == 0 || got.Epoch != 1 {
+		t.Fatalf("post-update prepared execution must see the new entity: %+v", got)
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	p := h.Planner.Prepared
+	if p.Expired != 1 || p.Live != 1 || p.Prepares != 2 || p.Searches != 2 {
+		t.Fatalf("prepared health: %+v", p)
+	}
+	if h.Planner.PlanCache == nil {
+		t.Fatal("healthz omits the plan cache on a real engine")
+	}
+}
+
+// TestAdaptiveBiasServer exercises the feedback loop end to end: with
+// AdaptiveBias on, executed searches feed the accumulator, /healthz
+// exposes the learned state, and auto answers stay byte-identical to
+// explicit requests at the learned bias.
+func TestAdaptiveBiasServer(t *testing.T) {
+	srv := New(Config{Engine: fig1Engine(t), D: 3, AdaptiveBias: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	const query = "database software company revenue"
+
+	// Feed both algorithms so the accumulator can learn an exchange rate.
+	for i := 0; i < 4; i++ {
+		for _, algo := range []string{"patternenum", "linearenum"} {
+			if resp, sr := postSearch(t, ts.URL, SearchRequest{Query: query, K: 2 + i, Algorithm: algo}); sr == nil {
+				t.Fatalf("%s: %v", algo, resp.Status)
+			}
+		}
+	}
+	bs := srv.abias.Stats()
+	if bs.PEObservations == 0 || bs.LEObservations == 0 {
+		t.Fatalf("executions were not observed: %+v", bs)
+	}
+	if bs.Effective <= 0 {
+		t.Fatalf("learned bias must stay positive: %+v", bs)
+	}
+
+	// The learned bias steers only the choice: an auto request answers
+	// byte-identically to the explicit algorithm it resolves to.
+	_, auto := postSearch(t, ts.URL, SearchRequest{Query: query, K: 7, Algorithm: "auto"})
+	if auto == nil || auto.Plan == nil || !auto.Plan.Auto {
+		t.Fatalf("auto response: %+v", auto)
+	}
+	_, explicit := postSearch(t, ts.URL, SearchRequest{Query: query, K: 7, Algorithm: auto.Algorithm})
+	if explicit == nil || !reflect.DeepEqual(auto.Answers, explicit.Answers) {
+		t.Fatalf("auto at learned bias diverges from explicit %s", auto.Algorithm)
+	}
+
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	ab := h.Planner.AdaptiveBias
+	if ab == nil || ab.Effective <= 0 || ab.PEObservations < bs.PEObservations || ab.LEObservations < bs.LEObservations {
+		t.Fatalf("healthz adaptive bias: %+v (earlier snapshot %+v)", ab, bs)
+	}
+}
+
+// TestPreparedConcurrentWithUpdates hammers prepared handles from many
+// goroutines while updates swap epochs underneath — the -race guard for
+// the registry and for shared Prepared executions. Every outcome must be
+// a clean 200, 409 (prepare lost the race to a swap) or 410 (handle
+// expired); anything else is a correctness failure.
+func TestPreparedConcurrentWithUpdates(t *testing.T) {
+	srv := New(Config{Engine: fig1Engine(t), D: 3, AdaptiveBias: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	stop := make(chan struct{})
+
+	// Updaters: each swap expires all handles.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			var u kbtable.Update
+			e := u.AddEntity("Software", fmt.Sprintf("DB-%d", i))
+			u.AddAttr(e, "Genre", 1)
+			if resp, ur := postUpdate(t, ts.URL, UpdateRequest{Ops: u.Ops}); ur == nil {
+				errs <- fmt.Errorf("update %d: %v", i, resp.Status)
+			}
+		}
+		close(stop)
+	}()
+
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var id string
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if id == "" || i%4 == 0 {
+					body, _ := json.Marshal(PrepareRequest{Query: "database software", K: 3, Algorithm: "auto"})
+					resp, err := http.Post(ts.URL+"/prepare", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					if resp.StatusCode == http.StatusOK {
+						var pr PrepareResponse
+						if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+							errs <- err
+						} else {
+							id = pr.ID
+						}
+					} else if resp.StatusCode != http.StatusConflict {
+						errs <- fmt.Errorf("prepare: unexpected status %d", resp.StatusCode)
+					}
+					resp.Body.Close()
+					continue
+				}
+				body, _ := json.Marshal(SearchRequest{PreparedID: id})
+				resp, err := http.Post(ts.URL+"/search", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var sr SearchResponse
+					if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+						errs <- err
+					} else if sr.PreparedID != id {
+						errs <- fmt.Errorf("prepared response for %q carries id %q", id, sr.PreparedID)
+					}
+				case http.StatusGone:
+					id = "" // expired by a swap: re-prepare
+				default:
+					errs <- fmt.Errorf("prepared search: unexpected status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"strings"
@@ -75,6 +76,20 @@ type planner interface {
 	SearchPlan(ctx context.Context, query string, opts kbtable.SearchOptions) ([]kbtable.Answer, kbtable.PlanInfo, error)
 }
 
+// preparer is the prepared-query surface: retaining one query's
+// prepare-stage output so repeat executions run only enumerate →
+// aggregate → rank. *kbtable.Engine implements it; fakes that do not
+// leave POST /prepare disabled (501).
+type preparer interface {
+	PrepareContext(ctx context.Context, query string, opts kbtable.SearchOptions) (*kbtable.PreparedQuery, error)
+}
+
+// planCacheStatser exposes the engine chain's plan-cache counters for
+// /healthz and /metrics. *kbtable.Engine implements it.
+type planCacheStatser interface {
+	PlanCacheStats() kbtable.PlanCacheStats
+}
+
 // Config configures a Server.
 type Config struct {
 	// Engine answers the queries. Required.
@@ -120,6 +135,12 @@ type Config struct {
 	// QueueTimeout bounds one search's wait for an execution slot
 	// (shed with 429 beyond it); default Timeout.
 	QueueTimeout time.Duration
+	// AdaptiveBias enables the planner feedback loop: observed
+	// enumerate-stage timings, per resolved algorithm, are folded into
+	// the effective AutoBias applied to "auto" requests that do not set
+	// an explicit auto_bias. Off by default; the learned bias steers
+	// only the PE/LE choice, never the answer bytes.
+	AdaptiveBias bool
 }
 
 func (c Config) withDefaults() Config {
@@ -166,9 +187,23 @@ type engineState struct {
 	words    wordResolver       // nil if the engine cannot resolve query words
 	shards   shardInfoer        // nil if the engine cannot describe its shards
 	plans    planner            // nil if the engine cannot resolve plans
+	preps    preparer           // nil if the engine cannot prepare queries
 	dur      durableEngine      // nil if the engine cannot log/checkpoint
 	durAsync asyncDurableEngine // nil if the engine cannot pipeline durable updates
 	epoch    uint64
+}
+
+// preparedHandle is one registered prepared query: the normalized
+// request captured at prepare time, the engine-level handle, and the
+// epoch it is bound to. Handles are invalidated wholesale on every epoch
+// swap — a prepared execution must answer from the snapshot the client
+// prepared against or not at all (410 Gone, re-prepare).
+type preparedHandle struct {
+	id    string
+	epoch uint64
+	req   SearchRequest // normalized at prepare time
+	auto  bool          // the prepare-time request asked for "auto"
+	pq    *kbtable.PreparedQuery
 }
 
 // cacheEntry is one cached response tagged with the canonical words its
@@ -194,6 +229,28 @@ type Server struct {
 	autoRequests atomic.Uint64
 	autoChosePE  atomic.Uint64
 	autoChoseLE  atomic.Uint64
+
+	// boundPruned accumulates PlanInfo.BoundPruned across executed
+	// searches (leader runs and prepared executions; cache hits and
+	// coalesced followers did no enumeration).
+	boundPruned atomic.Int64
+
+	// abias is the adaptive planner-feedback accumulator (nil = off):
+	// leader and prepared executions feed their stage timings in, and
+	// "auto" requests without an explicit auto_bias read the learned
+	// effective bias out.
+	abias *kbtable.AdaptiveBias
+
+	// Prepared-query registry. Handles live exactly one epoch: the
+	// publish path drops every handle bound to a superseded epoch, and
+	// registration re-checks the published epoch under preparedMu so a
+	// prepare racing an update can never leave a stale handle behind.
+	preparedMu       sync.Mutex
+	preparedByID     map[string]*preparedHandle
+	preparedSeq      uint64
+	prepares         atomic.Uint64
+	preparedSearches atomic.Uint64
+	preparedExpired  atomic.Uint64
 
 	// Durability counters: completed background/explicit checkpoints,
 	// failures, the busy latch that keeps at most one background
@@ -232,11 +289,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: NewLRU[*cacheEntry](cfg.CacheSize),
-		start: time.Now(),
+		cfg:          cfg,
+		cache:        NewLRU[*cacheEntry](cfg.CacheSize),
+		start:        time.Now(),
+		preparedByID: make(map[string]*preparedHandle),
 	}
 	s.pubCond = sync.NewCond(&s.pubMu)
+	if cfg.AdaptiveBias {
+		s.abias = kbtable.NewAdaptiveBias(0)
+	}
 	if cfg.MaxConcurrent > 0 {
 		s.gate = newGate(cfg.MaxConcurrent, cfg.MaxQueue)
 	}
@@ -247,6 +308,7 @@ func New(cfg Config) *Server {
 	st.words, _ = cfg.Engine.(wordResolver)
 	st.shards, _ = cfg.Engine.(shardInfoer)
 	st.plans, _ = cfg.Engine.(planner)
+	st.preps, _ = cfg.Engine.(preparer)
 	st.dur, _ = cfg.Engine.(durableEngine)
 	st.durAsync, _ = cfg.Engine.(asyncDurableEngine)
 	s.cur.Store(st)
@@ -268,6 +330,7 @@ func New(cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/search", s.instrument("search", s.handleSearch))
+	mux.Handle("/prepare", s.instrument("prepare", s.handlePrepare))
 	mux.Handle("/update", s.instrument("update", s.handleUpdate))
 	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
@@ -319,6 +382,12 @@ type SearchRequest struct {
 	// Priority orders only queue admission under load; it never changes
 	// the answer bytes and does not participate in the cache key.
 	Priority string `json:"priority,omitempty"`
+	// PreparedID executes a handle from POST /prepare instead of
+	// planning from scratch: query/k/algorithm/d/max_rows come from the
+	// prepare-time request (and must be omitted here), only auto_bias
+	// and priority may be set per execution. A handle whose epoch has
+	// been superseded by an update answers 410 Gone — re-prepare.
+	PreparedID string `json:"prepared_id,omitempty"`
 }
 
 // SearchAnswer is one ranked table answer on the wire.
@@ -348,8 +417,11 @@ type SearchResponse struct {
 	// Coalesced reports that this response shares an execution with an
 	// identical concurrent request (same normalized query, options, and
 	// epoch) instead of having run the search itself.
-	Coalesced bool    `json:"coalesced,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// PreparedID echoes the handle a prepared execution ran (prepared
+	// searches bypass the result cache; Epoch is the handle's).
+	PreparedID string  `json:"prepared_id,omitempty"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
 	// Plan reports the resolved execution plan and per-stage timings
 	// (omitted when the engine does not expose plans). On cache hits the
 	// stage timings are those of the run that populated the entry.
@@ -375,6 +447,10 @@ type PlanOut struct {
 	EnumerateMS float64 `json:"enumerate_ms"`
 	AggregateMS float64 `json:"aggregate_ms"`
 	RankMS      float64 `json:"rank_ms"`
+	// BoundPruned counts enumeration units the executor's top-k bound
+	// pushdown cut before materialization (0 when pruning was off or
+	// never fired).
+	BoundPruned int64 `json:"bound_pruned"`
 }
 
 // planOut converts a facade PlanInfo to the wire form.
@@ -392,6 +468,7 @@ func planOut(pi kbtable.PlanInfo) *PlanOut {
 		EnumerateMS:    ms(pi.Enumerate),
 		AggregateMS:    ms(pi.Aggregate),
 		RankMS:         ms(pi.Rank),
+		BoundPruned:    pi.BoundPruned,
 	}
 }
 
@@ -443,6 +520,54 @@ type PlannerHealth struct {
 	// ChosePatternEnum / ChoseLinearEnum split the resolutions.
 	ChosePatternEnum uint64 `json:"chose_patternenum"`
 	ChoseLinearEnum  uint64 `json:"chose_linearenum"`
+	// PlanCache reports the engine chain's plan cache (absent when the
+	// engine does not expose one): repeat query shapes resolve their
+	// Auto plan from cached statistics instead of re-probing.
+	PlanCache *PlanCacheHealth `json:"plan_cache,omitempty"`
+	// AdaptiveBias reports the learned planner bias (absent when
+	// Config.AdaptiveBias is off).
+	AdaptiveBias *AdaptiveBiasHealth `json:"adaptive_bias,omitempty"`
+	// Prepared reports prepared-query traffic.
+	Prepared PreparedHealth `json:"prepared"`
+}
+
+// PlanCacheHealth is the /healthz view of the engine's plan cache.
+type PlanCacheHealth struct {
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+	// Epoch is the cache's invalidation epoch — it advances on every
+	// applied update, fencing superseded snapshots out of the cache.
+	Epoch       uint64 `json:"epoch"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Invalidated uint64 `json:"invalidated"`
+}
+
+// AdaptiveBiasHealth is the /healthz view of the adaptive planner
+// feedback accumulator.
+type AdaptiveBiasHealth struct {
+	// Base is the static bias the learned scale applies to; Effective
+	// is the bias "auto" requests without an explicit auto_bias run
+	// under right now (== Base until both algorithms were observed).
+	Base      float64 `json:"base"`
+	Effective float64 `json:"effective"`
+	// PEObservations / LEObservations count folded executions, and the
+	// NsPerUnit pair is the learned cost-model exchange rate.
+	PEObservations uint64  `json:"pe_observations"`
+	LEObservations uint64  `json:"le_observations"`
+	PENsPerUnit    float64 `json:"pe_ns_per_unit"`
+	LENsPerUnit    float64 `json:"le_ns_per_unit"`
+}
+
+// PreparedHealth is the /healthz view of the prepared-query registry.
+type PreparedHealth struct {
+	// Live counts handles valid on the current epoch.
+	Live int `json:"live"`
+	// Prepares / Searches / Expired count handles created, prepared
+	// executions served, and handles invalidated by epoch swaps.
+	Prepares uint64 `json:"prepares"`
+	Searches uint64 `json:"searches"`
+	Expired  uint64 `json:"expired"`
 }
 
 // DurabilityHealth is the /healthz view of the snapshot + WAL store.
@@ -552,11 +677,14 @@ func wireName(a kbtable.Algorithm) string {
 	return "patternenum"
 }
 
-// normalizeQuery canonicalizes whitespace and case so trivially different
-// spellings of the same keyword set share a cache entry. Keyword order is
-// preserved: it determines answer column order.
+// normalizeQuery canonicalizes a query through the engine's own
+// tokenization: lowercased maximal letter/digit runs joined by single
+// spaces. Punctuation the tokenizer drops never reaches the cache key, so
+// "foo," and "foo" (and every punctuation variant between them) occupy
+// ONE cache entry instead of fragmenting the result cache. Keyword order
+// is preserved: it determines answer column order.
 func normalizeQuery(q string) string {
-	return strings.ToLower(strings.Join(strings.Fields(q), " "))
+	return kbtable.NormalizeQuery(q)
 }
 
 // normalizeRequest canonicalizes a request before it reaches the cache
@@ -588,15 +716,36 @@ func (s *Server) normalizeRequest(req *SearchRequest) (string, int) {
 	if req.Algorithm == "" {
 		req.Algorithm = s.cfg.DefaultAlgorithm
 	}
+	if msg := checkAutoBias(req.AutoBias); msg != "" {
+		return msg, http.StatusBadRequest
+	}
 	return "", 0
+}
+
+// checkAutoBias validates the auto_bias request field: 0 means "planner
+// default", any positive finite value is a legal crossover override, and
+// everything else (negative, NaN, ±Inf) would silently corrupt the
+// planner's comparison, so it is rejected up front. Returns an error
+// message, or "" when valid.
+func checkAutoBias(b float64) string {
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		return fmt.Sprintf("auto_bias must be a finite non-negative number, got %v", b)
+	}
+	return ""
 }
 
 // cacheKey identifies one (query, options) result in the LRU. algo is the
 // *resolved* algorithm name: an "auto" request whose plan resolves to
 // patternenum shares its entry with explicit patternenum requests (the
 // answers are bit-identical by the planner's equivalence guarantee).
+//
+// The variable-length fields are length-prefixed, making the encoding
+// injective: a query containing the field separator (or any future algo
+// name) can never re-parse as a different (query, algo) split the way a
+// plain join would ("a|b"+"c" vs "a"+"b|c"). The numeric tail needs no
+// prefixes — "|%d" never contains another separator.
 func cacheKey(query, algo string, k, d, maxRows int) string {
-	return fmt.Sprintf("%s|%s|%d|%d|%d", query, algo, k, d, maxRows)
+	return fmt.Sprintf("%d:%s|%d:%s|%d|%d|%d", len(query), query, len(algo), algo, k, d, maxRows)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -609,6 +758,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.PreparedID != "" {
+		s.servePrepared(w, r, &req)
 		return
 	}
 	if msg, status := s.normalizeRequest(&req); status != 0 {
@@ -673,6 +826,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var chosen *kbtable.PlanInfo
 	if algo == kbtable.Auto {
 		s.autoRequests.Add(1)
+		if s.abias != nil && opts.AutoBias == 0 {
+			// Adaptive feedback: requests without an explicit bias run
+			// under the learned crossover. The bias steers only the PE/LE
+			// choice — the resolved algorithm still keys the cache, so a
+			// drifting bias can never serve mismatched bytes.
+			opts.AutoBias = s.abias.Effective()
+		}
 		if st.plans != nil {
 			pi, err := st.plans.Plan(ctx, req.Query, opts)
 			if err != nil {
@@ -734,6 +894,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 					pi.PatternSpace = chosen.PatternSpace
 					pi.Frontier = chosen.Frontier
 				}
+				s.observePlan(pi)
 				plan = planOut(pi)
 			}
 		} else {
@@ -751,17 +912,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Epoch:     st.epoch,
 			ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
 			Plan:      plan,
-			Answers:   make([]SearchAnswer, 0, len(answers)),
-		}
-		for _, a := range answers {
-			resp.Answers = append(resp.Answers, SearchAnswer{
-				Rank:    a.Rank,
-				Score:   a.Score,
-				NumRows: a.NumRows,
-				Pattern: a.Pattern,
-				Columns: a.Columns,
-				Rows:    a.Rows,
-			})
+			Answers:   wireAnswers(answers),
 		}
 		ent := &cacheEntry{resp: resp}
 		if st.words != nil {
@@ -805,6 +956,243 @@ func personalizePlan(plan *PlanOut, chosen *kbtable.PlanInfo) *PlanOut {
 		p.Auto, p.Reason = false, ""
 	}
 	return &p
+}
+
+// wireAnswers converts engine answers to the wire form.
+func wireAnswers(answers []kbtable.Answer) []SearchAnswer {
+	out := make([]SearchAnswer, 0, len(answers))
+	for _, a := range answers {
+		out = append(out, SearchAnswer{
+			Rank:    a.Rank,
+			Score:   a.Score,
+			NumRows: a.NumRows,
+			Pattern: a.Pattern,
+			Columns: a.Columns,
+			Rows:    a.Rows,
+		})
+	}
+	return out
+}
+
+// observePlan folds one executed query's plan into the server's
+// execution-side accounting: the bound-pruned counter and, when enabled,
+// the adaptive-bias accumulator. Only runs that actually enumerated call
+// it — cache hits and coalesced followers carry another run's timings.
+func (s *Server) observePlan(pi kbtable.PlanInfo) {
+	s.boundPruned.Add(pi.BoundPruned)
+	if s.abias != nil {
+		s.abias.Observe(pi)
+	}
+}
+
+// PrepareRequest is the POST /prepare body: the search shape to retain.
+// The fields mirror SearchRequest (auto_bias here becomes the handle's
+// default bias; baseline cannot be prepared — it has no prepare stage).
+type PrepareRequest struct {
+	Query     string  `json:"query"`
+	K         int     `json:"k,omitempty"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	D         int     `json:"d,omitempty"`
+	MaxRows   int     `json:"max_rows,omitempty"`
+	AutoBias  float64 `json:"auto_bias,omitempty"`
+}
+
+// PrepareResponse is the POST /prepare reply: the handle to pass as
+// prepared_id to POST /search. Handles are bound to the epoch that
+// prepared them and expire on the next update (410 Gone).
+type PrepareResponse struct {
+	ID        string `json:"id"`
+	Epoch     uint64 `json:"epoch"`
+	Query     string `json:"query"`
+	K         int    `json:"k"`
+	Algorithm string `json:"algorithm"`
+	D         int    `json:"d"`
+	MaxRows   int    `json:"max_rows"`
+	// Plan is the plan the handle would execute right now (stage
+	// timings zero — nothing has run). An "auto" handle re-resolves it
+	// per execution, so a later search may legally run the other
+	// algorithm if the adaptive bias drifted across the crossover.
+	Plan *PlanOut `json:"plan,omitempty"`
+}
+
+// handlePrepare runs the prepare stage for a query and registers a
+// handle for repeated execution via /search {"prepared_id": ...}.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var preq PrepareRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(r.Body).Decode(&preq); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	req := SearchRequest{
+		Query:     preq.Query,
+		K:         preq.K,
+		Algorithm: preq.Algorithm,
+		D:         preq.D,
+		MaxRows:   preq.MaxRows,
+		AutoBias:  preq.AutoBias,
+	}
+	if msg, status := s.normalizeRequest(&req); status != 0 {
+		writeError(w, status, msg)
+		return
+	}
+	algo, algoName, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if algo == kbtable.Baseline {
+		writeError(w, http.StatusBadRequest, "baseline has no prepare stage and cannot be prepared")
+		return
+	}
+	req.Algorithm = algoName
+
+	st := s.cur.Load()
+	if st.preps == nil {
+		writeError(w, http.StatusNotImplemented, "this engine does not support prepared queries")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	pq, err := st.preps.PrepareContext(ctx, req.Query, kbtable.SearchOptions{
+		K:               req.K,
+		Algorithm:       algo,
+		MaxRowsPerTable: req.MaxRows,
+		AutoBias:        req.AutoBias,
+	})
+	if err != nil {
+		s.writeSearchError(w, err)
+		return
+	}
+
+	// Register under preparedMu, re-checking the published epoch inside
+	// the same critical section the invalidation pass uses: if an update
+	// published while we prepared, the handle answers from a superseded
+	// snapshot and must not be handed out.
+	s.preparedMu.Lock()
+	if s.cur.Load().epoch != st.epoch {
+		s.preparedMu.Unlock()
+		writeError(w, http.StatusConflict, "knowledge base updated during prepare; retry")
+		return
+	}
+	s.preparedSeq++
+	h := &preparedHandle{
+		id:    fmt.Sprintf("p%d-%d", st.epoch, s.preparedSeq),
+		epoch: st.epoch,
+		req:   req,
+		auto:  algo == kbtable.Auto,
+		pq:    pq,
+	}
+	s.preparedByID[h.id] = h
+	s.preparedMu.Unlock()
+	s.prepares.Add(1)
+
+	writeJSON(w, http.StatusOK, &PrepareResponse{
+		ID:        h.id,
+		Epoch:     h.epoch,
+		Query:     req.Query,
+		K:         req.K,
+		Algorithm: algoName,
+		D:         req.D,
+		MaxRows:   req.MaxRows,
+		Plan:      planOut(pq.Plan()),
+	})
+}
+
+// servePrepared answers a /search carrying prepared_id: look the handle
+// up, execute only enumerate → aggregate → rank on the snapshot it was
+// prepared against, and bypass the result cache and read coalescing (the
+// execution IS the fast path). Admission control still applies.
+func (s *Server) servePrepared(w http.ResponseWriter, r *http.Request, req *SearchRequest) {
+	if req.Query != "" || req.Algorithm != "" || req.K != 0 || req.D != 0 || req.MaxRows != 0 {
+		writeError(w, http.StatusBadRequest, "prepared_id fixes query/k/algorithm/d/max_rows at prepare time; only auto_bias and priority may accompany it")
+		return
+	}
+	if msg := checkAutoBias(req.AutoBias); msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
+		return
+	}
+	prioName := r.Header.Get("X-KB-Priority")
+	if prioName == "" {
+		prioName = req.Priority
+	}
+	prio, err := parsePriority(prioName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.gate != nil {
+		if err := s.gate.acquire(r.Context(), prio, s.cfg.QueueTimeout); err != nil {
+			switch {
+			case errors.Is(err, errShedFull), errors.Is(err, errShedTimeout):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, err.Error())
+			default:
+				writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+			}
+			return
+		}
+		defer s.gate.release()
+	}
+
+	s.preparedMu.Lock()
+	h := s.preparedByID[req.PreparedID]
+	s.preparedMu.Unlock()
+	if h == nil {
+		writeError(w, http.StatusGone, fmt.Sprintf("unknown or expired prepared query %q: POST /prepare again on the current epoch", req.PreparedID))
+		return
+	}
+
+	bias := h.req.AutoBias
+	if req.AutoBias != 0 {
+		bias = req.AutoBias
+	}
+	if h.auto && bias == 0 && s.abias != nil {
+		bias = s.abias.Effective()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	t0 := time.Now()
+	answers, pi, err := h.pq.SearchBias(ctx, bias)
+	if err != nil {
+		s.writeSearchError(w, err)
+		return
+	}
+	s.observePlan(pi)
+	s.preparedSearches.Add(1)
+	writeJSON(w, http.StatusOK, &SearchResponse{
+		Query:      h.req.Query,
+		K:          h.req.K,
+		Algorithm:  wireName(pi.Algorithm),
+		D:          h.req.D,
+		Epoch:      h.epoch,
+		PreparedID: h.id,
+		ElapsedMS:  float64(time.Since(t0).Microseconds()) / 1000,
+		Plan:       planOut(pi),
+		Answers:    wireAnswers(answers),
+	})
+}
+
+// dropPrepared expires every prepared handle bound to a superseded
+// epoch. Called after each epoch publish; a prepare racing the publish
+// either registered before (and is dropped here) or re-checks the epoch
+// under the same mutex and refuses to register.
+func (s *Server) dropPrepared() {
+	cur := s.cur.Load().epoch
+	s.preparedMu.Lock()
+	for id, h := range s.preparedByID {
+		if h.epoch != cur {
+			delete(s.preparedByID, id)
+			s.preparedExpired.Add(1)
+		}
+	}
+	s.preparedMu.Unlock()
 }
 
 // writeSearchError maps a search failure onto an HTTP status.
@@ -905,7 +1293,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, epoch: base.epoch + 1}
+	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, preps: newEng, epoch: base.epoch + 1}
 	if base.dur != nil {
 		// Durability stays engaged only when the whole chain was durable:
 		// an engine wrapped by a non-durable fake produced an unlogged
@@ -967,6 +1355,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.swapMu.Unlock()
 	s.pubCond.Broadcast()
 	s.pubMu.Unlock()
+	// Prepared handles are bound to their snapshot: every one from a
+	// superseded epoch now answers 410 and the client re-prepares.
+	s.dropPrepared()
 	s.updates.Add(1)
 	s.maybeCheckpoint()
 
@@ -1077,8 +1468,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			AutoRequests:     s.autoRequests.Load(),
 			ChosePatternEnum: s.autoChosePE.Load(),
 			ChoseLinearEnum:  s.autoChoseLE.Load(),
+			Prepared: PreparedHealth{
+				Live:     s.preparedLive(),
+				Prepares: s.prepares.Load(),
+				Searches: s.preparedSearches.Load(),
+				Expired:  s.preparedExpired.Load(),
+			},
 		},
 		Serving: ServingHealth{Coalesced: s.metrics.coalesced.Load()},
+	}
+	if pcs, ok := st.eng.(planCacheStatser); ok {
+		if cs := pcs.PlanCacheStats(); cs.Capacity > 0 {
+			resp.Planner.PlanCache = &PlanCacheHealth{
+				Size:        cs.Size,
+				Capacity:    cs.Capacity,
+				Epoch:       cs.Epoch,
+				Hits:        cs.Hits,
+				Misses:      cs.Misses,
+				Invalidated: cs.Invalidated,
+			}
+		}
+	}
+	if s.abias != nil {
+		bs := s.abias.Stats()
+		resp.Planner.AdaptiveBias = &AdaptiveBiasHealth{
+			Base:           bs.Base,
+			Effective:      bs.Effective,
+			PEObservations: bs.PEObservations,
+			LEObservations: bs.LEObservations,
+			PENsPerUnit:    bs.PENsPerUnit,
+			LENsPerUnit:    bs.LENsPerUnit,
+		}
 	}
 	if s.gate != nil {
 		resp.Serving.MaxConcurrent = s.cfg.MaxConcurrent
@@ -1118,6 +1538,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// preparedLive counts the currently registered prepared handles.
+func (s *Server) preparedLive() int {
+	s.preparedMu.Lock()
+	defer s.preparedMu.Unlock()
+	return len(s.preparedByID)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

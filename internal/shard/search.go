@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -194,8 +195,43 @@ func (e *Engine) Search(ctx context.Context, algo Algo, query string, opts searc
 	} else {
 		plan = search.Plan{Algo: searchAlgo(algo)}
 	}
+	return e.searchResolved(ctx, start, plan, algo, query, opts)
+}
+
+// SearchWithPlan executes query under a pre-resolved plan — the facade's
+// plan-cache hit path for Auto queries: the cached merged statistics
+// already fed ChoosePlan, so the scatter skips the per-shard planner
+// probe entirely and carries plan.Algo. The result reports the given
+// plan. Answers are bit-identical to Search(ctx, Auto, …) resolving to
+// the same algorithm (the Auto-equivalence property).
+func (e *Engine) SearchWithPlan(ctx context.Context, plan search.Plan, query string, opts search.Options) (*Result, error) {
+	return e.searchResolved(ctx, time.Now(), plan, fromSearchAlgo(plan.Algo), query, opts)
+}
+
+// searchResolved is the scatter-gather body shared by Search and
+// SearchWithPlan: algo is already resolved (never Auto) and probe time,
+// if any, is already spent.
+func (e *Engine) searchResolved(ctx context.Context, start time.Time, plan search.Plan, algo Algo, query string, opts search.Options) (*Result, error) {
 	probed := time.Now()
 
+	so := e.scatterOptions(algo, opts)
+
+	outs := make([]shardOut, e.n)
+	var wg sync.WaitGroup
+	for si := 0; si < e.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			outs[si] = e.searchShard(ctx, si, algo, query, so)
+		}(si)
+	}
+	wg.Wait()
+	return e.gather(ctx, start, probed, plan, algo, outs, opts)
+}
+
+// scatterOptions lowers the caller's options into the per-shard scatter
+// options shared by every execution path.
+func (e *Engine) scatterOptions(algo Algo, opts search.Options) search.Options {
 	so := opts
 	so.K = allK
 	so.CollectRootAggs = true
@@ -221,17 +257,13 @@ func (e *Engine) Search(ctx context.Context, algo Algo, query string, opts searc
 	// necessarily collects trees while enumerating (its dictionary IS the
 	// materialization), so its per-shard caps are merged instead.
 	so.SkipTrees = algo != Baseline
+	return so
+}
 
-	outs := make([]shardOut, e.n)
-	var wg sync.WaitGroup
-	for si := 0; si < e.n; si++ {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			outs[si] = e.searchShard(ctx, si, algo, query, so)
-		}(si)
-	}
-	wg.Wait()
+// gather merges the scatter's per-shard outputs into the global top-k:
+// the exact cross-shard fold shared by Search, SearchWithPlan and
+// SearchPrepared.
+func (e *Engine) gather(ctx context.Context, start, probed time.Time, plan search.Plan, algo Algo, outs []shardOut, opts search.Options) (*Result, error) {
 	scattered := time.Now()
 	for si := range outs {
 		if outs[si].err != nil {
@@ -361,6 +393,94 @@ func (e *Engine) searchShard(ctx context.Context, si int, algo Algo, query strin
 		}
 		return shardOut{patterns: res.Patterns, table: res.Table, stats: res.Stats, plan: res.Plan}
 	}
+}
+
+// Prepared retains one query's prepare-stage output on every shard plus
+// the merged planner statistics, bound to the engine snapshot it was
+// built from. Executions run only enumerate→aggregate→rank per shard;
+// Auto resolves once per execution from the merged statistics (with that
+// execution's bias), exactly as Search resolves from a probe.
+type Prepared struct {
+	algo  Algo
+	query string
+	units []*search.Prepared
+	stats search.PlanStats
+}
+
+// Stats returns the merged prepare-stage statistics.
+func (p *Prepared) Stats() search.PlanStats { return p.stats }
+
+// Plan resolves the plan the prepared query would execute under opts.
+func (p *Prepared) Plan(opts search.Options) search.Plan {
+	return search.ChoosePlan(searchAlgo(p.algo), p.stats, opts)
+}
+
+// Prepare scatters the prepare stage to every shard and retains the
+// per-shard output. The merged statistics are identical to PlanStats'
+// (same per-shard probes, same merge order), so a prepared Auto query
+// resolves exactly as Search would. The baseline has no prepare stage.
+func (e *Engine) Prepare(ctx context.Context, algo Algo, query string, opts search.Options) (*Prepared, error) {
+	if algo == Baseline {
+		return nil, fmt.Errorf("shard: the baseline has no prepare stage")
+	}
+	p := &Prepared{algo: algo, query: query, units: make([]*search.Prepared, e.n)}
+	errs := make([]error, e.n)
+	var wg sync.WaitGroup
+	for si := 0; si < e.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			p.units[si], errs[si] = search.PrepareQuery(ctx, e.units[si].ix, query, searchAlgo(algo), opts)
+		}(si)
+	}
+	wg.Wait()
+	for si := range errs {
+		if errs[si] != nil {
+			return nil, errs[si]
+		}
+		if si == 0 {
+			p.stats = p.units[si].Stats()
+			continue
+		}
+		p.stats.Merge(p.units[si].Stats())
+	}
+	return p, nil
+}
+
+// SearchPrepared executes a prepared query: Auto is resolved once from
+// the retained merged statistics, then every shard runs stages 2-4 of
+// the pipeline over its retained prepare. The gather is Search's —
+// answers are bit-identical to a fresh Search of the same query on the
+// same engine snapshot.
+func (e *Engine) SearchPrepared(ctx context.Context, p *Prepared, opts search.Options) (*Result, error) {
+	start := time.Now()
+	algo := p.algo
+	var plan search.Plan
+	if algo == Auto {
+		plan = search.ChoosePlan(search.AlgoAuto, p.stats, opts)
+		algo = fromSearchAlgo(plan.Algo)
+	} else {
+		plan = search.Plan{Algo: searchAlgo(algo)}
+	}
+	probed := time.Now()
+	so := e.scatterOptions(algo, opts)
+
+	outs := make([]shardOut, e.n)
+	var wg sync.WaitGroup
+	for si := 0; si < e.n; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			res, err := search.ExecutePrepared(ctx, e.units[si].ix, p.units[si], searchAlgo(algo), so)
+			if err != nil {
+				outs[si] = shardOut{err: err}
+				return
+			}
+			outs[si] = shardOut{patterns: res.Patterns, table: e.units[si].ix.PatternTable(), stats: res.Stats, plan: res.Plan, words: res.Stats.Words}
+		}(si)
+	}
+	wg.Wait()
+	return e.gather(ctx, start, probed, plan, algo, outs, opts)
 }
 
 // mergeStats folds the per-shard counters. Candidate-root partitions are

@@ -269,10 +269,15 @@ type PlanInfo struct {
 	Enumerate time.Duration
 	Aggregate time.Duration
 	Rank      time.Duration
+	// BoundPruned counts enumeration units the streaming executor's top-k
+	// bound pushdown cut before any path was fetched (0 when the run had
+	// no execution, pruning was disabled, or the bound never fired).
+	BoundPruned int64
 }
 
-// planInfo converts an executor plan + stage timings to the facade view.
-func planInfo(p search.Plan, st search.StageTimings) PlanInfo {
+// planInfo converts an executor plan + the run's query statistics to the
+// facade view (pass a zero QueryStats when nothing executed).
+func planInfo(p search.Plan, qs search.QueryStats) PlanInfo {
 	return PlanInfo{
 		Algorithm:      facadeAlgo(p.Algo),
 		Auto:           p.Auto,
@@ -281,10 +286,11 @@ func planInfo(p search.Plan, st search.StageTimings) PlanInfo {
 		RootTypes:      p.Stats.RootTypes,
 		PatternSpace:   p.Stats.PatternSpace,
 		Frontier:       p.Stats.Frontier,
-		Prepare:        st.Prepare,
-		Enumerate:      st.Enumerate,
-		Aggregate:      st.Aggregate,
-		Rank:           st.Rank,
+		Prepare:        qs.Stages.Prepare,
+		Enumerate:      qs.Stages.Enumerate,
+		Aggregate:      qs.Stages.Aggregate,
+		Rank:           qs.Stages.Rank,
+		BoundPruned:    qs.BoundPruned,
 	}
 }
 
@@ -301,6 +307,15 @@ type Engine struct {
 	// snapshot (0 when the engine is not attached to a Store, or holds
 	// only the initial state). See ApplyLogged / Checkpoint in durable.go.
 	seq uint64
+
+	// plans is the plan cache shared along this engine's whole update
+	// chain (ApplyUpdate carries the pointer forward); planEpoch is the
+	// cache epoch this snapshot was created at. A superseded snapshot's
+	// epoch is stale, so its lookups miss and its puts are dropped — a
+	// slow request racing an update can never install pre-update
+	// statistics. See search.PlanCache.
+	plans     *search.PlanCache
+	planEpoch uint64
 
 	blOnce sync.Once // lazy baseline build, safe under concurrent Search
 	bl     *search.BaselineIndex
@@ -328,13 +343,13 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("kbtable: %w", err)
 		}
-		return &Engine{g: g, sh: sh, o: opts}, nil
+		return &Engine{g: g, sh: sh, o: opts, plans: search.NewPlanCache(0)}, nil
 	}
 	ix, err := index.Build(g.g, iopts)
 	if err != nil {
 		return nil, fmt.Errorf("kbtable: %w", err)
 	}
-	return &Engine{g: g, ix: ix, o: opts}, nil
+	return &Engine{g: g, ix: ix, o: opts, plans: search.NewPlanCache(0)}, nil
 }
 
 // IndexStats describe the built index (the quantities of Figure 6).
@@ -454,11 +469,22 @@ func (e *Engine) SearchPlan(ctx context.Context, query string, opts SearchOption
 		if err != nil {
 			return nil, PlanInfo{}, err
 		}
-		res, err := e.sh.Search(ctx, algo, query, so)
+		var res *shard.Result
+		if plan, hit := e.cachedAutoPlan(query, so, algo == shard.Auto); hit {
+			// Plan-cache hit: skip the per-shard planner probe and scatter
+			// the resolved algorithm directly (answers are bit-identical —
+			// the Auto-equivalence property).
+			res, err = e.sh.SearchWithPlan(ctx, plan, query, so)
+		} else {
+			res, err = e.sh.Search(ctx, algo, query, so)
+			if err == nil && algo == shard.Auto {
+				e.rememberPlanStats(query, res.Plan.Stats)
+			}
+		}
 		if err != nil {
 			return nil, PlanInfo{}, fmt.Errorf("kbtable: %w", err)
 		}
-		return e.shardAnswers(res), planInfo(res.Plan, res.Stats.Stages), nil
+		return e.shardAnswers(res), planInfo(res.Plan, res.Stats), nil
 	}
 	algo, err := searchAlgo(opts.Algorithm)
 	if err != nil {
@@ -470,11 +496,27 @@ func (e *Engine) SearchPlan(ctx context.Context, query string, opts SearchOption
 			return nil, PlanInfo{}, err
 		}
 	}
-	res, err := ex.Search(ctx, query, algo, so)
+	var res *search.Result
+	if plan, hit := e.cachedAutoPlan(query, so, algo == search.AlgoAuto); hit {
+		// Plan-cache hit: execute the resolved algorithm explicitly (its
+		// prepare needs less than a planner probe) and report the cached
+		// auto plan. Bit-identical to resolving via a fresh probe.
+		res, err = ex.Search(ctx, query, plan.Algo, so)
+		if err == nil {
+			res.Plan = plan
+		}
+	} else {
+		res, err = ex.Search(ctx, query, algo, so)
+		if err == nil && algo == search.AlgoAuto {
+			// An Auto execution's plan statistics are exactly a probe's
+			// (the prepare ran with the planner's full needs).
+			e.rememberPlanStats(query, res.Plan.Stats)
+		}
+	}
 	if err != nil {
 		return nil, PlanInfo{}, fmt.Errorf("kbtable: %w", err)
 	}
-	return e.toAnswers(res), planInfo(res.Plan, res.Stats.Stages), nil
+	return e.toAnswers(res), planInfo(res.Plan, res.Stats), nil
 }
 
 // Plan resolves a query's execution plan without running it: the prepare
@@ -483,26 +525,15 @@ func (e *Engine) SearchPlan(ctx context.Context, query string, opts SearchOption
 // the answers Auto would. Stage timings are zero (nothing executed).
 func (e *Engine) Plan(ctx context.Context, query string, opts SearchOptions) (PlanInfo, error) {
 	so := e.searchOptions(opts)
-	if e.sh != nil {
-		algo, err := shardAlgo(opts.Algorithm)
-		if err != nil {
-			return PlanInfo{}, err
-		}
-		p, err := e.sh.Plan(ctx, algo, query, so)
-		if err != nil {
-			return PlanInfo{}, fmt.Errorf("kbtable: %w", err)
-		}
-		return planInfo(p, search.StageTimings{}), nil
-	}
 	algo, err := searchAlgo(opts.Algorithm)
 	if err != nil {
 		return PlanInfo{}, err
 	}
-	st, err := search.PlanProbe(ctx, e.ix, query, so)
+	st, err := e.planStats(ctx, query, so)
 	if err != nil {
 		return PlanInfo{}, fmt.Errorf("kbtable: %w", err)
 	}
-	return planInfo(search.ChoosePlan(algo, st, so), search.StageTimings{}), nil
+	return planInfo(search.ChoosePlan(algo, st, so), search.QueryStats{}), nil
 }
 
 // baseline lazily builds the enumeration–aggregation baseline index.
@@ -573,7 +604,7 @@ func NewEngineFromIndex(g *Graph, path string, opts EngineOptions) (*Engine, err
 	if opts.D != ix.D() {
 		return nil, fmt.Errorf("kbtable: index was built with D=%d, requested D=%d", ix.D(), opts.D)
 	}
-	return &Engine{g: g, ix: ix, o: opts}, nil
+	return &Engine{g: g, ix: ix, o: opts, plans: search.NewPlanCache(0)}, nil
 }
 
 // Graph returns the engine's knowledge-graph snapshot.
@@ -829,6 +860,7 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 			return nil, res, fmt.Errorf("kbtable: %w", err)
 		}
 		ne := &Engine{g: &Graph{g: ch.New}, sh: nsh, o: e.o, seq: e.seq}
+		ne.carryPlanCache(e, us.TouchedWords, us.ScoresRefreshed)
 		res.DirtyRoots = us.DirtyRoots
 		res.EntriesRemoved = us.EntriesRemoved
 		res.EntriesAdded = us.EntriesAdded
@@ -847,6 +879,7 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 		return nil, res, fmt.Errorf("kbtable: %w", err)
 	}
 	ne := &Engine{g: &Graph{g: ch.New}, ix: nix, o: e.o, seq: e.seq}
+	ne.carryPlanCache(e, ds.TouchedWords, ds.ScoresRefreshed)
 	res.DirtyRoots = ds.DirtyRoots
 	res.EntriesRemoved = ds.EntriesRemoved
 	res.EntriesAdded = ds.EntriesAdded

@@ -39,8 +39,27 @@ func TestAutoEquivalenceProperty(t *testing.T) {
 				}
 				// A tiny bias forces LinearEnum, the default lets the
 				// cost model decide — both planner branches are
-				// exercised and both must be answer-preserving.
-				for _, bias := range []float64{0, 1e-12} {
+				// exercised and both must be answer-preserving. The
+				// learned biases replay the adaptive feedback loop:
+				// every query is observed under both algorithms, then
+				// the property is re-checked at the accumulator's
+				// effective bias and at its clamp extremes, pinning
+				// that NO learned value can change an answer bit.
+				ab := NewAdaptiveBias(0)
+				for _, algo := range []Algorithm{PatternEnum, LinearEnum} {
+					for _, q := range queries[name] {
+						_, pi, err := e.SearchPlan(context.Background(), q, SearchOptions{K: 10, Algorithm: algo, MaxRowsPerTable: 6})
+						if err != nil {
+							t.Fatal(err)
+						}
+						ab.Observe(pi)
+					}
+				}
+				learned := ab.Effective()
+				if learned <= 0 {
+					t.Fatalf("%s: learned bias %g not positive", label, learned)
+				}
+				for _, bias := range []float64{0, 1e-12, learned, learned / 8, learned * 8} {
 					for _, q := range queries[name] {
 						opts := SearchOptions{K: 10, Algorithm: Auto, MaxRowsPerTable: 6, AutoBias: bias}
 						auto, pi, err := e.SearchPlan(context.Background(), q, opts)
