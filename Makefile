@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan serve clean ci-local cold-start snapshot-fixture load-soak
+.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan bench-footprint serve clean ci-local cold-start snapshot-fixture load-soak
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,17 @@ bench-json:
 # against the explicit pe/le rows to judge the cost model.
 bench-plan:
 	$(GO) run ./cmd/kbbench -json -bench-entities 4000 -bench-queries 12
+
+# Opt-in scale proof for the wire-v2 footprint win: generate a wiki
+# corpus ~10x the standard bench corpus with kbgen -scale, build its
+# index, and print the index_footprint row (resident B/entry, v2 vs gob
+# snapshot bytes, decode speedup). Takes minutes and a few GB of RAM;
+# not part of check/ci-local.
+FOOTPRINT_KB ?= /tmp/kbtable-footprint-wiki.kb
+bench-footprint:
+	$(GO) build -o bin/ ./cmd/kbgen ./cmd/kbbench
+	./bin/kbgen -kind wiki -entities 2000 -types 40 -seed 1 -scale 10 -o $(FOOTPRINT_KB)
+	./bin/kbbench -footprint $(FOOTPRINT_KB)
 
 # Run the HTTP daemon on the built-in demo knowledge base.
 serve:

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
 	"kbtable"
 	"kbtable/internal/bench"
+	"kbtable/internal/index"
 	"kbtable/internal/kg"
 )
 
@@ -56,6 +58,25 @@ func runColdStartBench(g *kg.Graph) (*bench.ColdStartBenchResult, error) {
 		return nil, err
 	}
 
+	// The load being timed must recover from the current binary wire
+	// format; a gob file here would mean the benchmark silently measures
+	// the legacy path.
+	idxFiles, err := filepath.Glob(filepath.Join(dataDir, "snap-*", "shard-*.idx"))
+	if err != nil || len(idxFiles) == 0 {
+		return nil, fmt.Errorf("cold-start bench: no snapshot index files in %s: %v", dataDir, err)
+	}
+	wireVersion := 0
+	for _, p := range idxFiles {
+		v, err := index.FileWireVersion(p)
+		if err != nil {
+			return nil, err
+		}
+		if v != index.WireVersion {
+			return nil, fmt.Errorf("cold-start bench: %s is wire version %d, want %d", p, v, index.WireVersion)
+		}
+		wireVersion = v
+	}
+
 	t1 := time.Now()
 	_, st2, _, err := kbtable.OpenDir(dataDir, kbtable.EngineOptions{})
 	if err != nil {
@@ -66,9 +87,10 @@ func runColdStartBench(g *kg.Graph) (*bench.ColdStartBenchResult, error) {
 
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	out := &bench.ColdStartBenchResult{
-		SnapshotBytes: cs.Bytes,
-		BuildMs:       ms(build),
-		LoadMs:        ms(load),
+		SnapshotBytes:    cs.Bytes,
+		IndexWireVersion: wireVersion,
+		BuildMs:          ms(build),
+		LoadMs:           ms(load),
 	}
 	if out.LoadMs > 0 {
 		out.SpeedupVsBuild = out.BuildMs / out.LoadMs

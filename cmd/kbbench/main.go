@@ -19,9 +19,16 @@
 // -compare old.json new.json diffs two BENCH artifacts and exits 1 when
 // any pinned metric regressed more than -threshold (default 25%): the
 // CI bench-regression gate.
+//
+// -footprint FILE.kb builds the index for a saved knowledge base (see
+// cmd/kbgen) and prints its index_footprint row — resident bytes/entry,
+// v2 vs gob snapshot size, and encode/decode timings — so the wire-v2
+// win can be demonstrated on corpora far larger than the checked-in
+// ones (make bench-footprint).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +37,8 @@ import (
 	"time"
 
 	"kbtable/internal/bench"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
 )
 
 func main() {
@@ -50,10 +59,17 @@ func main() {
 	loadReport := flag.String("load-report", "", "-json: kbload report to ingest as serve_latency/group_commit rows")
 	compare := flag.Bool("compare", false, "compare two BENCH json files (args: old.json new.json); exit 1 on regression")
 	threshold := flag.Float64("threshold", bench.DefaultRegressionThreshold, "-compare: fractional regression that fails the gate")
+	footprint := flag.String("footprint", "", "measure the index footprint of a saved knowledge base (kbgen output) and print the row")
+	d := flag.Int("d", 3, "-footprint: index depth bound D")
 	flag.Parse()
 
 	if *compare {
 		runCompare(flag.Args(), *threshold)
+		return
+	}
+
+	if *footprint != "" {
+		runFootprint(*footprint, *d)
 		return
 	}
 
@@ -153,6 +169,34 @@ func main() {
 		show(bench.RunAblations(env)...)
 	}
 	fmt.Printf("suite completed in %v\n", time.Since(start).Round(time.Second))
+}
+
+// runFootprint is the opt-in scale proof behind make bench-footprint:
+// build the index for a saved knowledge base and print its
+// index_footprint row (human line + JSON).
+func runFootprint(path string, d int) {
+	g, err := kg.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := g.Stats()
+	fmt.Printf("corpus %s: %d entities, %d edges; building index (d=%d)...\n", path, s.Nodes, s.Edges, d)
+	ix, err := index.Build(g, index.Options{D: d})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fp, err := bench.IndexFootprint(path, g, ix)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("footprint: %d entries, %.1f B/entry resident, snapshot %.2f MB vs gob %.2f MB (%.0f%% smaller), encode %.0fms, decode %.0fms (%.1fx vs gob, %.1fx vs build)\n",
+		fp.Entries, fp.BytesPerEntry, float64(fp.SnapshotBytes)/(1<<20), float64(fp.GobSnapshotBytes)/(1<<20),
+		fp.ShrinkVsGob*100, fp.EncodeMs, fp.DecodeMs, fp.LoadSpeedupVsGob, fp.LoadSpeedupVsBuild)
+	out, err := json.MarshalIndent(fp, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(out))
 }
 
 // runCompare is the bench-regression gate: kbbench -compare old.json

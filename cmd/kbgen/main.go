@@ -6,6 +6,7 @@
 //	kbgen -kind wiki -entities 20000 -types 150 -seed 1 -o wiki.kb
 //	kbgen -kind imdb -movies 8000 -o imdb.kb
 //	kbgen -kind fig1 -o fig1.kb
+//	kbgen -kind wiki -scale 10 -o wiki10x.kb   # footprint-bench preset
 package main
 
 import (
@@ -25,15 +26,19 @@ func main() {
 	types := flag.Int("types", 150, "wiki: number of entity types")
 	movies := flag.Int("movies", 8000, "imdb: number of movies")
 	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Int("scale", 1, "multiply entities/movies by this factor (e.g. -scale 10 for the bench-footprint preset)")
 	out := flag.String("o", "kb.gob", "output file")
 	flag.Parse()
 
+	if *scale < 1 {
+		log.Fatalf("-scale must be >= 1, got %d", *scale)
+	}
 	var g *kg.Graph
 	switch *kind {
 	case "wiki":
-		g = dataset.SynthWiki(dataset.WikiConfig{Entities: *entities, Types: *types, Seed: *seed})
+		g = dataset.SynthWiki(dataset.WikiConfig{Entities: *entities * *scale, Types: *types, Seed: *seed})
 	case "imdb":
-		g = dataset.SynthIMDB(dataset.IMDBConfig{Movies: *movies, Seed: *seed})
+		g = dataset.SynthIMDB(dataset.IMDBConfig{Movies: *movies * *scale, Seed: *seed})
 	case "fig1":
 		g, _ = dataset.Fig1()
 	default:

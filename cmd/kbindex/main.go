@@ -49,7 +49,7 @@ func main() {
 	}
 	s := g.Stats()
 	fmt.Printf("graph: %d entities, %d edges, %d types\n", s.Nodes, s.Edges, s.Types)
-	fmt.Printf("%-4s %-10s %-10s %-12s %-10s\n", "d", "time", "size(MB)", "entries", "patterns")
+	fmt.Printf("%-4s %-10s %-10s %-9s %-12s %-10s\n", "d", "time", "size(MB)", "B/entry", "entries", "patterns")
 	for _, part := range strings.Split(*ds, ",") {
 		d, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
@@ -60,8 +60,8 @@ func main() {
 			log.Fatal(err)
 		}
 		st := ix.Stats()
-		fmt.Printf("%-4d %-10s %-10.1f %-12d %-10d\n",
-			d, st.BuildTime.Round(1e6), float64(st.Bytes)/(1<<20), st.NumEntries, st.NumPatterns)
+		fmt.Printf("%-4d %-10s %-10.1f %-9.1f %-12d %-10d\n",
+			d, st.BuildTime.Round(1e6), float64(st.Bytes)/(1<<20), st.BytesPerEntry(), st.NumEntries, st.NumPatterns)
 	}
 }
 
@@ -97,8 +97,8 @@ func emitSnapshot(kbPath, ds, dir string, shards, workers int, uniformPR bool) {
 	}
 	is := eng.IndexStats()
 	fmt.Printf("graph: %d entities, %d attributes\n", g.NumEntities(), g.NumAttributes())
-	fmt.Printf("index: d=%d, %d shard(s), %d entries, built in %v\n",
-		d, max(1, shards), is.Entries, build.Round(time.Millisecond))
+	fmt.Printf("index: d=%d, %d shard(s), %d entries, %.1f MB resident (%.1f B/entry), built in %v\n",
+		d, max(1, shards), is.Entries, is.SizeMB, is.BytesPerEntry, build.Round(time.Millisecond))
 	fmt.Printf("snapshot: %s — %d files, %.1f MB, written in %v\n",
 		dir, cs.Files, float64(cs.Bytes)/(1<<20), cs.Elapsed.Round(time.Millisecond))
 }

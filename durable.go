@@ -272,13 +272,14 @@ func (e *Engine) Checkpoint(s *Store) (CheckpointStats, error) {
 		return cs, nil
 	}
 	m := store.Manifest{
-		Seq:       e.seq,
-		D:         e.o.D,
-		Shards:    e.o.Shards,
-		Nodes:     e.g.g.NumNodes(),
-		Edges:     e.g.g.NumEdges(),
-		UniformPR: e.o.UniformPageRank,
-		Synonyms:  e.o.Synonyms,
+		Seq:              e.seq,
+		D:                e.o.D,
+		Shards:           e.o.Shards,
+		Nodes:            e.g.g.NumNodes(),
+		Edges:            e.g.g.NumEdges(),
+		UniformPR:        e.o.UniformPageRank,
+		Synonyms:         e.o.Synonyms,
+		IndexWireVersion: index.WireVersion,
 	}
 	files := map[string]func(io.Writer) error{
 		store.GraphFileName: e.g.g.Encode,

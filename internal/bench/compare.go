@@ -112,6 +112,20 @@ func CompareReports(old, new *ShardBenchReport, threshold float64) []Regression 
 		check("cold-start", "load_ms", old.ColdStart.LoadMs, new.ColdStart.LoadMs, true)
 	}
 
+	oldFP := map[string]IndexFootprintResult{}
+	for _, r := range old.Footprint {
+		oldFP[r.Corpus] = r
+	}
+	for _, n := range new.Footprint {
+		if o, ok := oldFP[n.Corpus]; ok {
+			check("footprint "+n.Corpus, "bytes_per_entry", o.BytesPerEntry, n.BytesPerEntry, true)
+			check("footprint "+n.Corpus, "snapshot_bytes", float64(o.SnapshotBytes), float64(n.SnapshotBytes), true)
+			check("footprint "+n.Corpus, "encode_ms", o.EncodeMs, n.EncodeMs, true)
+			check("footprint "+n.Corpus, "decode_ms", o.DecodeMs, n.DecodeMs, true)
+			check("footprint "+n.Corpus, "load_speedup_vs_gob", o.LoadSpeedupVsGob, n.LoadSpeedupVsGob, false)
+		}
+	}
+
 	oldServe := map[string]ServeLatencyResult{}
 	for _, r := range old.ServeLatency {
 		oldServe[r.Op] = r

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+)
+
+// IndexFootprintResult is one index_footprint row of BENCH_kbtable.json:
+// the resident and on-disk cost of one corpus's index, with the legacy
+// gob container measured alongside as the fixed baseline the v2 wire
+// format is pinned against.
+type IndexFootprintResult struct {
+	Corpus  string `json:"corpus"`
+	Entries int64  `json:"entries"`
+	// ResidentBytes is the exact size of the columnar posting arenas;
+	// BytesPerEntry is the same per posting.
+	ResidentBytes int64   `json:"resident_bytes"`
+	BytesPerEntry float64 `json:"bytes_per_entry"`
+	// SnapshotBytes is the v2 container size; GobSnapshotBytes the
+	// legacy container for the same index; ShrinkVsGob = 1 - v2/gob.
+	SnapshotBytes    int64   `json:"snapshot_bytes"`
+	GobSnapshotBytes int64   `json:"gob_snapshot_bytes"`
+	ShrinkVsGob      float64 `json:"shrink_vs_gob"`
+	// EncodeMs / DecodeMs time the v2 container; GobDecodeMs times a
+	// load of the legacy container (best of three each).
+	EncodeMs    float64 `json:"encode_ms"`
+	DecodeMs    float64 `json:"decode_ms"`
+	GobDecodeMs float64 `json:"gob_decode_ms"`
+	// LoadSpeedupVsGob is GobDecodeMs / DecodeMs — the cold-start
+	// improvement from the wire format alone.
+	LoadSpeedupVsGob float64 `json:"load_speedup_vs_gob"`
+	// BuildMs is the original index construction time;
+	// LoadSpeedupVsBuild is BuildMs / DecodeMs (why snapshots exist).
+	BuildMs            float64 `json:"build_ms"`
+	LoadSpeedupVsBuild float64 `json:"load_speedup_vs_build"`
+}
+
+// bestOf runs f n times and returns the fastest wall-clock duration in
+// milliseconds (the usual noise filter for sub-second one-shot costs).
+func bestOf(n int, f func() error) (float64, error) {
+	best := time.Duration(-1)
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); best < 0 || d < best {
+			best = d
+		}
+	}
+	return float64(best.Microseconds()) / 1000, nil
+}
+
+// IndexFootprint measures one corpus's footprint row from an
+// already-built index. Exported for cmd/kbbench's -footprint mode
+// (make bench-footprint), which runs it on corpora far larger than the
+// checked-in ones.
+func IndexFootprint(corpus string, g *kg.Graph, ix *index.Index) (IndexFootprintResult, error) {
+	st := ix.Stats()
+	out := IndexFootprintResult{
+		Corpus:        corpus,
+		Entries:       st.NumEntries,
+		ResidentBytes: st.Bytes,
+		BytesPerEntry: st.BytesPerEntry(),
+		BuildMs:       float64(st.BuildTime.Microseconds()) / 1000,
+	}
+
+	var v2 bytes.Buffer
+	encodeMs, err := bestOf(3, func() error {
+		v2.Reset()
+		return ix.Encode(&v2)
+	})
+	if err != nil {
+		return out, fmt.Errorf("bench: %s footprint encode: %w", corpus, err)
+	}
+	out.EncodeMs = encodeMs
+	out.SnapshotBytes = int64(v2.Len())
+
+	var gob bytes.Buffer
+	if err := ix.EncodeLegacyGob(&gob); err != nil {
+		return out, fmt.Errorf("bench: %s footprint gob encode: %w", corpus, err)
+	}
+	out.GobSnapshotBytes = int64(gob.Len())
+	if gob.Len() > 0 {
+		out.ShrinkVsGob = 1 - float64(v2.Len())/float64(gob.Len())
+	}
+
+	out.DecodeMs, err = bestOf(3, func() error {
+		_, err := index.Load(bytes.NewReader(v2.Bytes()), g)
+		return err
+	})
+	if err != nil {
+		return out, fmt.Errorf("bench: %s footprint decode: %w", corpus, err)
+	}
+	out.GobDecodeMs, err = bestOf(3, func() error {
+		_, err := index.Load(bytes.NewReader(gob.Bytes()), g)
+		return err
+	})
+	if err != nil {
+		return out, fmt.Errorf("bench: %s footprint gob decode: %w", corpus, err)
+	}
+	if out.DecodeMs > 0 {
+		out.LoadSpeedupVsGob = out.GobDecodeMs / out.DecodeMs
+		out.LoadSpeedupVsBuild = out.BuildMs / out.DecodeMs
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+
+	"kbtable/internal/dataset"
+	"kbtable/internal/index"
+)
+
+// TestIndexFootprintPinsWireV2Claims pins the headline footprint claims
+// at test scale: the v2 snapshot is at least 30% smaller than the legacy
+// gob container, loads at least 2x faster than it, and the resident
+// representation stays well under the ~97 B/entry the row-oriented
+// layout measured on this same corpus before the columnar rewrite.
+func TestIndexFootprintPinsWireV2Claims(t *testing.T) {
+	g := dataset.SynthWiki(dataset.WikiConfig{Entities: 2000, Types: 40, Seed: 1})
+	ix, err := index.Build(g, index.Options{D: 3, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := IndexFootprint("wiki", g, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("footprint: %+v", fp)
+	if fp.Entries == 0 || fp.ResidentBytes == 0 {
+		t.Fatalf("degenerate footprint row: %+v", fp)
+	}
+	if fp.ShrinkVsGob < 0.30 {
+		t.Errorf("v2 snapshot only %.0f%% smaller than gob, want >=30%%", fp.ShrinkVsGob*100)
+	}
+	if fp.LoadSpeedupVsGob < 2 {
+		t.Errorf("v2 load only %.1fx faster than gob, want >=2x", fp.LoadSpeedupVsGob)
+	}
+	if fp.BytesPerEntry <= 0 || fp.BytesPerEntry >= 80 {
+		t.Errorf("resident %.1f B/entry, want well under the ~97 B/entry row-layout baseline", fp.BytesPerEntry)
+	}
+}

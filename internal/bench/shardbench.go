@@ -145,6 +145,11 @@ type PlanCacheBenchResult struct {
 type ColdStartBenchResult struct {
 	// SnapshotBytes is the on-disk snapshot size.
 	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// IndexWireVersion is the wire format sniffed from the snapshot's
+	// index files before recovery (the harness fails unless it is the
+	// current index.WireVersion, so the timing below is guaranteed to
+	// measure the binary v2 path, not a legacy gob load).
+	IndexWireVersion int `json:"index_wire_version,omitempty"`
 	// BuildMs is NewEngine (index construction) wall-clock time;
 	// LoadMs is OpenDir (snapshot load) wall-clock time.
 	BuildMs float64 `json:"build_ms"`
@@ -170,6 +175,9 @@ type ShardBenchReport struct {
 	PlanCache []PlanCacheBenchResult `json:"plan_cache,omitempty"`
 	// ColdStart is the snapshot-load vs index-rebuild comparison.
 	ColdStart *ColdStartBenchResult `json:"cold_start,omitempty"`
+	// Footprint is the per-corpus index footprint: resident bytes/entry
+	// and the v2-vs-gob snapshot size and load-time comparison.
+	Footprint []IndexFootprintResult `json:"index_footprint,omitempty"`
 	// ServeLatency / GroupCommit come from a kbload soak report
 	// (kbbench -load-report): the serving path's latency record.
 	ServeLatency []ServeLatencyResult `json:"serve_latency,omitempty"`
@@ -359,6 +367,20 @@ func RunShardBench(cfg ShardBenchConfig) (*ShardBenchReport, error) {
 	}
 	report.PlanCache = append(report.PlanCache, rows...)
 
+	// Index footprint: resident bytes/entry plus the v2-vs-gob snapshot
+	// comparison, on both already-built corpora.
+	for _, corpus := range []struct {
+		name string
+		g    *kg.Graph
+		ix   *index.Index
+	}{{"wiki", g, ix}, {"imdb", imdb, imdbIx}} {
+		fp, err := IndexFootprint(corpus.name, corpus.g, corpus.ix)
+		if err != nil {
+			return nil, err
+		}
+		report.Footprint = append(report.Footprint, fp)
+	}
+
 	return report, nil
 }
 
@@ -492,6 +514,12 @@ func (r *ShardBenchReport) String() string {
 	if r.ColdStart != nil {
 		cold = fmt.Sprintf("\ncold start: snapshot %.1f MB, build %.0fms vs load %.0fms (%.1fx)\n",
 			float64(r.ColdStart.SnapshotBytes)/(1<<20), r.ColdStart.BuildMs, r.ColdStart.LoadMs, r.ColdStart.SpeedupVsBuild)
+	}
+	for _, fp := range r.Footprint {
+		cold += fmt.Sprintf("footprint %s: %.1f B/entry resident, snapshot %.2f MB (%.0f%% under gob), "+
+			"encode %.0fms, decode %.0fms (%.1fx vs gob, %.1fx vs build)\n",
+			fp.Corpus, fp.BytesPerEntry, float64(fp.SnapshotBytes)/(1<<20), fp.ShrinkVsGob*100,
+			fp.EncodeMs, fp.DecodeMs, fp.LoadSpeedupVsGob, fp.LoadSpeedupVsBuild)
 	}
 	for _, sl := range r.ServeLatency {
 		cold += fmt.Sprintf("serve %s: %.0f rps, p50 %s, p99 %s, p99.9 %s\n",

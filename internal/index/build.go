@@ -1,9 +1,12 @@
 package index
 
 import (
+	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -17,6 +20,19 @@ import (
 type wordSim struct {
 	Word text.WordID
 	Sim  float64
+}
+
+// flatEntry is the row-oriented construction form of one posting: the DFS
+// emits these, finishWord sorts them and transposes into the columnar
+// wordIndex layout. flatten reverses the transform for delta splicing and
+// for the legacy gob writer.
+type flatEntry struct {
+	pattern core.PatternID
+	root    kg.NodeID
+	edgeOff int32
+	edgeLen int32
+	edgeEnd bool
+	terms   core.ScoreTerms
 }
 
 // Build runs Algorithm 1: for every root r it enumerates all simple paths
@@ -75,44 +91,84 @@ func Build(g *kg.Graph, opts Options) (*Index, error) {
 	}
 	wg.Wait()
 
-	// Phase 3: merge worker outputs per word (worker ranges are in root
-	// order, so concatenation keeps entries root-ordered), then sort into
-	// the two views.
+	// Phase 3 (parallel per word): merge worker outputs (worker ranges are
+	// in root order, so concatenation keeps entries root-ordered), then
+	// sort and transpose into the two columnar views.
 	ix.words = make([]wordIndex, nWords)
 	patRootType := patternRootTypes(ix.pt)
-	for w := 0; w < nWords; w++ {
+	var entries int64
+	parallelWords(nWords, workers, func(w int) {
 		var total, totalEdges int
 		for _, st := range outs {
+			if w >= len(st.postings) {
+				continue
+			}
 			total += len(st.postings[w].entries)
 			totalEdges += len(st.postings[w].edgeBuf)
 		}
 		if total == 0 {
-			continue
+			return
 		}
-		wi := &ix.words[w]
-		wi.entries = make([]Entry, 0, total)
-		wi.edgeBuf = make([]kg.EdgeID, 0, totalEdges)
+		flat := make([]flatEntry, 0, total)
+		buf := make([]kg.EdgeID, 0, totalEdges)
 		for _, st := range outs {
+			if w >= len(st.postings) {
+				continue
+			}
 			p := &st.postings[w]
-			base := int32(len(wi.edgeBuf))
-			wi.edgeBuf = append(wi.edgeBuf, p.edgeBuf...)
+			base := int32(len(buf))
+			buf = append(buf, p.edgeBuf...)
 			for _, e := range p.entries {
 				e.edgeOff += base
-				wi.entries = append(wi.entries, e)
+				flat = append(flat, e)
 			}
 			// Release worker memory early.
 			p.entries = nil
 			p.edgeBuf = nil
 		}
-		finishWord(wi, patRootType)
-		ix.stats.NumEntries += int64(total)
-	}
+		finishWord(&ix.words[w], flat, buf, patRootType)
+		atomicAdd(&entries, int64(total))
+	})
+	ix.stats.NumEntries = entries
 
 	ix.stats.D = opts.D
 	ix.stats.NumPatterns = ix.pt.Len()
 	ix.stats.Bytes = ix.sizeBytes()
 	ix.stats.BuildTime = time.Since(start)
 	return ix, nil
+}
+
+// atomicAdd is atomic.AddInt64 under a shorter name.
+func atomicAdd(p *int64, v int64) int64 { return atomic.AddInt64(p, v) }
+
+// parallelWords fans f out over word indexes with a bounded worker pool;
+// workers <= 1 degrades to a serial loop.
+func parallelWords(nWords, workers int, f func(w int)) {
+	if workers > nWords {
+		workers = nWords
+	}
+	if workers <= 1 {
+		for w := 0; w < nWords; w++ {
+			f(w)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				w := int(atomicAdd(&next, 1)) - 1
+				if w >= nWords {
+					return
+				}
+				f(w)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // wordSims canonicalizes the token set of s and attaches sim = 1/|tokens|,
@@ -239,7 +295,7 @@ func (cw *corpusWords) attr(a kg.AttrID) []wordSim { return cw.attrWords[a] }
 
 // postings is the per-word accumulation buffer of one worker.
 type postings struct {
-	entries []Entry
+	entries []flatEntry
 	edgeBuf []kg.EdgeID
 }
 
@@ -354,13 +410,13 @@ func (st *builderState) emit(ws wordSim, pid core.PatternID, edgeEnd bool, match
 	p := &st.postings[ws.Word]
 	off := int32(len(p.edgeBuf))
 	p.edgeBuf = append(p.edgeBuf, st.edges...)
-	p.entries = append(p.entries, Entry{
-		Pattern: pid,
-		Root:    st.root,
+	p.entries = append(p.entries, flatEntry{
+		pattern: pid,
+		root:    st.root,
 		edgeOff: off,
-		edgeLen: uint8(len(st.edges)),
+		edgeLen: int32(len(st.edges)),
 		edgeEnd: edgeEnd,
-		Terms: core.ScoreTerms{
+		terms: core.ScoreTerms{
 			Len: len(st.edges) + 1,
 			PR:  st.pr[matchNode],
 			Sim: ws.Sim,
@@ -378,43 +434,132 @@ func patternRootTypes(pt *core.PatternTable) []kg.TypeID {
 	return out
 }
 
-// finishWord sorts one word's postings into the pattern-first order and
-// derives both views' group tables.
-func finishWord(wi *wordIndex, patRootType []kg.TypeID) {
+// finishWord sorts one word's flat postings into the pattern-first order
+// and transposes them into the columnar layout, deriving both views' run
+// and group tables. buf backs the flat entries' edge ranges.
+func finishWord(wi *wordIndex, flat []flatEntry, buf []kg.EdgeID, patRootType []kg.TypeID) {
 	// Pattern-first order: (root type, pattern, root); the pre-sort root
 	// order within equal keys is preserved by stability, keeping path
 	// enumeration deterministic.
-	sort.SliceStable(wi.entries, func(i, j int) bool {
-		a, b := &wi.entries[i], &wi.entries[j]
-		at, bt := patRootType[a.Pattern], patRootType[b.Pattern]
+	sort.SliceStable(flat, func(i, j int) bool {
+		a, b := &flat[i], &flat[j]
+		at, bt := patRootType[a.pattern], patRootType[b.pattern]
 		if at != bt {
 			return at < bt
 		}
-		if a.Pattern != b.Pattern {
-			return a.Pattern < b.Pattern
+		if a.pattern != b.pattern {
+			return a.pattern < b.pattern
 		}
-		return a.Root < b.Root
+		return a.root < b.root
 	})
 
-	// Scan out patGroups / pfRuns / typeGroups. The same pass accumulates
-	// each group's score-term bounds and largest per-root run — the
-	// PatternBounds the streaming executor's pruning consumes.
-	n := int32(len(wi.entries))
-	for i := int32(0); i < n; {
-		j := i
-		pat := wi.entries[i].Pattern
-		runStart := int32(len(wi.pfRuns))
-		e0 := &wi.entries[i]
-		b := patBounds{
-			minLen: int32(e0.Terms.Len), maxLen: int32(e0.Terms.Len),
-			minPR: e0.Terms.PR, maxPR: e0.Terms.PR,
-			minSim: e0.Terms.Sim, maxSim: e0.Terms.Sim,
+	// Transpose into per-entry columns; keep the per-entry pattern/root
+	// keys in transient arrays for the run scan and the root-first sort.
+	n := len(flat)
+	wi.n = int32(n)
+	wi.termRef = make([]uint32, n)
+	wi.edgeStart = make([]int32, n+1)
+	wi.edgeEnds = make([]uint64, (n+63)/64)
+	totalEdges := 0
+	for i := range flat {
+		totalEdges += int(flat[i].edgeLen)
+	}
+	wi.edgeBuf = make([]kg.EdgeID, 0, totalEdges)
+	pats := make([]core.PatternID, n)
+	roots := make([]kg.NodeID, n)
+	pool := make(map[core.ScoreTerms]uint32)
+	for i := range flat {
+		fe := &flat[i]
+		wi.edgeStart[i] = int32(len(wi.edgeBuf))
+		wi.edgeBuf = append(wi.edgeBuf, buf[fe.edgeOff:fe.edgeOff+fe.edgeLen]...)
+		if fe.edgeEnd {
+			wi.edgeEnds[i>>6] |= 1 << (uint(i) & 63)
 		}
-		for j < n && wi.entries[j].Pattern == pat {
+		ref, ok := pool[fe.terms]
+		if !ok {
+			ref = uint32(len(wi.termPool))
+			pool[fe.terms] = ref
+			wi.termPool = append(wi.termPool, fe.terms)
+		}
+		wi.termRef[i] = ref
+		pats[i] = fe.pattern
+		roots[i] = fe.root
+	}
+	wi.edgeStart[n] = int32(len(wi.edgeBuf))
+	wi.termPool = compact(wi.termPool)
+
+	// Scan out the (pattern, root) runs and pattern groups.
+	var groupPats []core.PatternID
+	var groupRuns []int32 // run count per group
+	var runPats []core.PatternID
+	var runRoots []kg.NodeID
+	for i := 0; i < n; {
+		j := i
+		pat := pats[i]
+		runs := int32(0)
+		for j < n && pats[j] == pat {
 			k := j
-			root := wi.entries[j].Root
-			for k < n && wi.entries[k].Pattern == pat && wi.entries[k].Root == root {
-				t := &wi.entries[k].Terms
+			root := roots[j]
+			for k < n && pats[k] == pat && roots[k] == root {
+				k++
+			}
+			wi.runEnd = append(wi.runEnd, int32(k))
+			runPats = append(runPats, pat)
+			runRoots = append(runRoots, root)
+			runs++
+			j = k
+		}
+		groupPats = append(groupPats, pat)
+		groupRuns = append(groupRuns, runs)
+		i = j
+	}
+	wi.runEnd = compact(wi.runEnd)
+
+	buildGroupTables(wi, groupPats, groupRuns, runRoots, patRootType)
+	buildRootFirst(wi, runPats, runRoots)
+}
+
+// buildGroupTables derives the pattern-first group tables from the run
+// partition: the delta-varint root arena with its skip table, the per-group
+// score-term bounds, and the type groups. Shared by finishWord and the
+// wire-v2 decoder.
+func buildGroupTables(wi *wordIndex, groupPats []core.PatternID, groupRuns []int32, runRoots []kg.NodeID, patRootType []kg.TypeID) {
+	wi.patGroups = make([]patGroup, 0, len(groupPats))
+	run := int32(0)
+	for gi, pat := range groupPats {
+		pg := patGroup{
+			Pattern:   pat,
+			RootType:  patRootType[pat],
+			Start:     wi.runStart(run),
+			RunStart:  run,
+			RunEnd:    run + groupRuns[gi],
+			RootOff:   int32(len(wi.rootBytes)),
+			SkipStart: int32(len(wi.skipRoots)),
+		}
+		pg.End = wi.runEnd[pg.RunEnd-1]
+		prev := kg.NodeID(-1)
+		b := patBounds{}
+		for k := pg.RunStart; k < pg.RunEnd; k++ {
+			root := runRoots[k]
+			wi.rootBytes = binary.AppendUvarint(wi.rootBytes, uint64(root-prev))
+			prev = root
+			if (k-pg.RunStart)%rootSkipInterval == 0 {
+				wi.skipRoots = append(wi.skipRoots, root)
+				wi.skipOffs = append(wi.skipOffs, int32(len(wi.rootBytes)))
+				wi.skipRun = append(wi.skipRun, k)
+			}
+			lo, hi := wi.runStart(k), wi.runEnd[k]
+			if rl := hi - lo; rl > b.maxRun {
+				b.maxRun = rl
+			}
+			for i := lo; i < hi; i++ {
+				t := &wi.termPool[wi.termRef[i]]
+				if i == pg.Start {
+					b.minLen, b.maxLen = int32(t.Len), int32(t.Len)
+					b.minPR, b.maxPR = t.PR, t.PR
+					b.minSim, b.maxSim = t.Sim, t.Sim
+					continue
+				}
 				if int32(t.Len) < b.minLen {
 					b.minLen = int32(t.Len)
 				}
@@ -433,25 +578,18 @@ func finishWord(wi *wordIndex, patRootType []kg.TypeID) {
 				if t.Sim > b.maxSim {
 					b.maxSim = t.Sim
 				}
-				k++
 			}
-			if run := k - j; run > b.maxRun {
-				b.maxRun = run
-			}
-			wi.pfRuns = append(wi.pfRuns, rootRun{Root: root, Start: j, End: k})
-			j = k
 		}
-		wi.patGroups = append(wi.patGroups, patGroup{
-			Pattern:  pat,
-			RootType: patRootType[pat],
-			Start:    i,
-			End:      j,
-			RunStart: runStart,
-			RunEnd:   int32(len(wi.pfRuns)),
-			bounds:   b,
-		})
-		i = j
+		pg.SkipEnd = int32(len(wi.skipRoots))
+		pg.bounds = b
+		wi.patGroups = append(wi.patGroups, pg)
+		run = pg.RunEnd
 	}
+	wi.rootBytes = compact(wi.rootBytes)
+	wi.skipRoots = compact(wi.skipRoots)
+	wi.skipOffs = compact(wi.skipOffs)
+	wi.skipRun = compact(wi.skipRun)
+
 	for i := 0; i < len(wi.patGroups); {
 		j := i
 		rt := wi.patGroups[i].RootType
@@ -461,58 +599,134 @@ func finishWord(wi *wordIndex, patRootType []kg.TypeID) {
 		wi.typeGroups = append(wi.typeGroups, typeGroup{Type: rt, Start: int32(i), End: int32(j)})
 		i = j
 	}
-
-	// Root-first view: permutation sorted by (root, pattern, position).
-	wi.rootOrder = make([]int32, n)
-	for i := range wi.rootOrder {
-		wi.rootOrder[i] = int32(i)
-	}
-	sort.SliceStable(wi.rootOrder, func(x, y int) bool {
-		a, b := &wi.entries[wi.rootOrder[x]], &wi.entries[wi.rootOrder[y]]
-		if a.Root != b.Root {
-			return a.Root < b.Root
-		}
-		return a.Pattern < b.Pattern
-	})
-	for i := int32(0); i < n; {
-		j := i
-		root := wi.entries[wi.rootOrder[i]].Root
-		runStart := int32(len(wi.rfRuns))
-		for j < n && wi.entries[wi.rootOrder[j]].Root == root {
-			k := j
-			pat := wi.entries[wi.rootOrder[j]].Pattern
-			for k < n && wi.entries[wi.rootOrder[k]].Root == root && wi.entries[wi.rootOrder[k]].Pattern == pat {
-				k++
-			}
-			wi.rfRuns = append(wi.rfRuns, patRun{Pattern: pat, Start: j, End: k})
-			j = k
-		}
-		wi.rootGroups = append(wi.rootGroups, rootGroup{
-			Root:     root,
-			Start:    i,
-			End:      j,
-			RunStart: runStart,
-			RunEnd:   int32(len(wi.rfRuns)),
-		})
-		wi.roots = append(wi.roots, root)
-		i = j
-	}
 }
 
-// sizeBytes estimates the resident size of both views (Figure 6's "Size").
+// buildRootFirst derives the root-first view: the permutation sorted by
+// (root, pattern, position) and its per-root / per-(root, pattern) run
+// tables. runPats/runRoots are the per-run keys of the pattern-first run
+// partition. Because (root, pattern) is unique per run and entries within
+// a run already sit in pattern-first position order, an unstable sort of
+// the RUNS reproduces the stable per-entry permutation at a fraction of
+// the cost of sorting entries (this is the hot half of a v2 snapshot
+// load).
+func buildRootFirst(wi *wordIndex, runPats []core.PatternID, runRoots []kg.NodeID) {
+	nRuns := len(runRoots)
+	order := make([]int32, nRuns)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(a, b int32) int {
+		if runRoots[a] != runRoots[b] {
+			if runRoots[a] < runRoots[b] {
+				return -1
+			}
+			return 1
+		}
+		if runPats[a] < runPats[b] {
+			return -1
+		}
+		return 1
+	})
+	wi.rootOrder = make([]int32, wi.n)
+	wi.rfPat = make([]core.PatternID, 0, nRuns)
+	wi.rfEnd = make([]int32, 0, nRuns)
+	pos := int32(0)
+	for idx, k := range order {
+		if idx == 0 || runRoots[k] != runRoots[order[idx-1]] {
+			if idx > 0 {
+				wi.rgEnd = append(wi.rgEnd, pos)
+				wi.rgRunEnd = append(wi.rgRunEnd, int32(len(wi.rfPat)))
+			}
+			wi.roots = append(wi.roots, runRoots[k])
+		}
+		for i := wi.runStart(k); i < wi.runEnd[k]; i++ {
+			wi.rootOrder[pos] = i
+			pos++
+		}
+		wi.rfPat = append(wi.rfPat, runPats[k])
+		wi.rfEnd = append(wi.rfEnd, pos)
+	}
+	if nRuns > 0 {
+		wi.rgEnd = append(wi.rgEnd, pos)
+		wi.rgRunEnd = append(wi.rgRunEnd, int32(len(wi.rfPat)))
+	}
+	wi.roots = compact(wi.roots)
+	wi.rgEnd = compact(wi.rgEnd)
+	wi.rgRunEnd = compact(wi.rgRunEnd)
+	wi.rfPat = compact(wi.rfPat)
+	wi.rfEnd = compact(wi.rfEnd)
+}
+
+// flatten transposes the columnar word back into row form for splicing and
+// the legacy writer. The returned entries' edge ranges index wi.edgeBuf,
+// which is returned unchanged (callers copy when they rewrite edges).
+func (wi *wordIndex) flatten() ([]flatEntry, []kg.EdgeID) {
+	flat := make([]flatEntry, 0, wi.n)
+	var e flatEntry
+	for gi := range wi.patGroups {
+		pg := &wi.patGroups[gi]
+		prev := kg.NodeID(-1)
+		off := pg.RootOff
+		for k := pg.RunStart; k < pg.RunEnd; k++ {
+			prev, off = decodeRootDelta(wi.rootBytes, off, prev)
+			for i := wi.runStart(k); i < wi.runEnd[k]; i++ {
+				e = flatEntry{
+					pattern: pg.Pattern,
+					root:    prev,
+					edgeOff: wi.edgeStart[i],
+					edgeLen: wi.edgeStart[i+1] - wi.edgeStart[i],
+					edgeEnd: wi.edgeEndBit(i),
+					terms:   wi.termPool[wi.termRef[i]],
+				}
+				flat = append(flat, e)
+			}
+		}
+	}
+	return flat, wi.edgeBuf
+}
+
+// compact copies s into an exactly-sized backing array, so append slack
+// from construction never lingers in the resident index (and sizeBytes is
+// a true measurement).
+func compact[T any](s []T) []T {
+	if len(s) == cap(s) {
+		return s
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
+// sizeBytes measures the resident size of both views (Figure 6's "Size"):
+// the exact sum of the columnar arenas and group tables.
 func (ix *Index) sizeBytes() int64 {
-	var total int64
+	total := int64(len(ix.words)) * int64(unsafe.Sizeof(wordIndex{}))
 	for i := range ix.words {
-		wi := &ix.words[i]
-		total += int64(len(wi.entries)) * int64(unsafe.Sizeof(Entry{}))
-		total += int64(len(wi.edgeBuf)) * 4
-		total += int64(len(wi.patGroups)) * int64(unsafe.Sizeof(patGroup{}))
-		total += int64(len(wi.pfRuns)) * int64(unsafe.Sizeof(rootRun{}))
-		total += int64(len(wi.typeGroups)) * int64(unsafe.Sizeof(typeGroup{}))
-		total += int64(len(wi.rootOrder)) * 4
-		total += int64(len(wi.rootGroups)) * int64(unsafe.Sizeof(rootGroup{}))
-		total += int64(len(wi.rfRuns)) * int64(unsafe.Sizeof(patRun{}))
-		total += int64(len(wi.roots)) * 4
+		total += ix.words[i].sizeBytes()
 	}
 	return total
+}
+
+// sizeBytes sums this word's columnar arenas exactly.
+func (wi *wordIndex) sizeBytes() int64 {
+	var t int64
+	t += int64(len(wi.termRef)) * 4
+	t += int64(len(wi.edgeStart)) * 4
+	t += int64(len(wi.edgeEnds)) * 8
+	t += int64(len(wi.edgeBuf)) * 4
+	t += int64(len(wi.termPool)) * int64(unsafe.Sizeof(core.ScoreTerms{}))
+	t += int64(len(wi.runEnd)) * 4
+	t += int64(len(wi.rootBytes))
+	t += int64(len(wi.skipRoots)) * 4
+	t += int64(len(wi.skipOffs)) * 4
+	t += int64(len(wi.skipRun)) * 4
+	t += int64(len(wi.patGroups)) * int64(unsafe.Sizeof(patGroup{}))
+	t += int64(len(wi.typeGroups)) * int64(unsafe.Sizeof(typeGroup{}))
+	t += int64(len(wi.rootOrder)) * 4
+	t += int64(len(wi.roots)) * 4
+	t += int64(len(wi.rgEnd)) * 4
+	t += int64(len(wi.rgRunEnd)) * 4
+	t += int64(len(wi.rfPat)) * 4
+	t += int64(len(wi.rfEnd)) * 4
+	return t
 }

@@ -61,8 +61,9 @@ type DeltaStats struct {
 // Scoring terms stay exact: with UniformPR every node scores 1 and nothing
 // needs refreshing; otherwise PageRank is recomputed on the new snapshot
 // (it is a global property, so edits anywhere shift it everywhere) and the
-// PR term of every surviving entry is rewritten in one linear pass —
-// still far cheaper than re-running the DFS enumeration.
+// PR term of every surviving entry is rewritten — the term pool and the
+// per-group PR bounds are rebuilt in the same pass, so PatternBounds stays
+// a sound envelope for the streaming executor's pruning.
 func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, error) {
 	start := time.Now()
 	var ds DeltaStats
@@ -143,7 +144,7 @@ func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, e
 	words := make([]wordIndex, nWords)
 	for w := 0; w < nWords; w++ {
 		var old *wordIndex
-		if w < len(ix.words) && len(ix.words[w].entries) > 0 {
+		if w < len(ix.words) && ix.words[w].n > 0 {
 			old = &ix.words[w]
 		}
 		var fresh *postings
@@ -151,11 +152,13 @@ func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, e
 			fresh = &st.postings[w]
 		}
 
+		// Count the old postings rooted at dirty roots off the root-first
+		// group table — no per-entry scan needed.
 		dirtyOld := 0
 		if old != nil {
-			for i := range old.entries {
-				if dirtySet[old.entries[i].Root] {
-					dirtyOld++
+			for gi, r := range old.roots {
+				if dirtySet[r] {
+					dirtyOld += int(old.rgEnd[gi] - old.rgStart(gi))
 				}
 			}
 		}
@@ -164,17 +167,17 @@ func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, e
 		case old == nil && fresh == nil:
 			continue
 		case fresh == nil && dirtyOld == 0:
-			// Untouched posting list: carry it over. Entries and edge
-			// buffer may still need a mechanical rewrite (edge IDs
-			// shifted, PageRank changed); the group tables are positional
-			// and shared with the old index either way.
+			// Untouched posting list: carry it over. The edge arena may
+			// still need a mechanical rewrite (edge IDs shifted) and the
+			// term pool a PageRank refresh; the per-entry columns and run
+			// tables are positional and shared with the old index either
+			// way.
 			words[w] = *old
-			if !identityEdges || refreshPR {
-				words[w].entries = append([]Entry(nil), old.entries...)
+			if !identityEdges {
 				words[w].edgeBuf = remapEdges(old.edgeBuf, ch.EdgeMap)
-				if refreshPR {
-					refreshEntryPR(newG, &words[w], pr)
-				}
+			}
+			if refreshPR {
+				refreshWordPR(newG, &words[w], pr)
 			}
 		default:
 			// Spliced posting list: surviving entries (dirty roots cut
@@ -183,46 +186,44 @@ func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, e
 			wi := &words[w]
 			surv := 0
 			if old != nil {
-				surv = len(old.entries) - dirtyOld
+				surv = old.numEntries() - dirtyOld
 			}
 			frn, fre := 0, 0
 			if fresh != nil {
 				frn, fre = len(fresh.entries), len(fresh.edgeBuf)
 			}
-			wi.entries = make([]Entry, 0, surv+frn)
-			wi.edgeBuf = make([]kg.EdgeID, 0, fre+surv*2)
+			flat := make([]flatEntry, 0, surv+frn)
+			buf := make([]kg.EdgeID, 0, fre+surv*2)
 			if old != nil {
-				for i := range old.entries {
-					e := old.entries[i]
-					if dirtySet[e.Root] {
+				oldFlat, oldBuf := old.flatten()
+				for _, e := range oldFlat {
+					if dirtySet[e.root] {
 						continue
 					}
-					off := int32(len(wi.edgeBuf))
-					for _, eid := range old.edgeBuf[e.edgeOff : e.edgeOff+int32(e.edgeLen)] {
-						wi.edgeBuf = append(wi.edgeBuf, mapEdge(eid, ch.EdgeMap))
+					off := int32(len(buf))
+					for _, eid := range oldBuf[e.edgeOff : e.edgeOff+e.edgeLen] {
+						buf = append(buf, mapEdge(eid, ch.EdgeMap))
 					}
 					e.edgeOff = off
-					wi.entries = append(wi.entries, e)
+					flat = append(flat, e)
 				}
 			}
 			if fresh != nil {
-				base := int32(len(wi.edgeBuf))
-				wi.edgeBuf = append(wi.edgeBuf, fresh.edgeBuf...)
+				base := int32(len(buf))
+				buf = append(buf, fresh.edgeBuf...)
 				for _, e := range fresh.entries {
 					e.edgeOff += base
-					wi.entries = append(wi.entries, e)
+					flat = append(flat, e)
 				}
 			}
 			if refreshPR {
-				refreshEntryPR(newG, wi, pr)
+				refreshFlatPR(newG, flat, buf, pr)
 			}
-			if len(wi.entries) == 0 {
-				// The word vanished from the corpus; leave an empty slot
-				// (lookups treat it as no postings).
-				*wi = wordIndex{}
-			} else {
-				finishWord(wi, patRootType)
+			if len(flat) > 0 {
+				finishWord(wi, flat, buf, patRootType)
 			}
+			// A word that vanished from the corpus leaves an empty slot
+			// (lookups treat it as no postings).
 			ds.EntriesRemoved += int64(dirtyOld)
 			ds.EntriesAdded += int64(frn)
 			ds.WordsTouched++
@@ -233,7 +234,7 @@ func (ix *Index) ApplyDelta(ch *kg.Changed, opts Options) (*Index, DeltaStats, e
 
 	nix := &Index{g: newG, d: ix.d, dict: dict, pt: pt, words: words}
 	for w := range words {
-		nix.stats.NumEntries += int64(len(words[w].entries))
+		nix.stats.NumEntries += int64(words[w].numEntries())
 	}
 	nix.stats.D = ix.d
 	nix.stats.NumPatterns = pt.Len()
@@ -277,22 +278,74 @@ func remapEdges(buf []kg.EdgeID, edgeMap []kg.EdgeID) []kg.EdgeID {
 	return out
 }
 
-// refreshEntryPR rewrites every entry's PageRank term against the new
-// snapshot's PR vector. The node carrying f(w) is recovered from the path:
-// the end node for node matches, the matched edge's source for edge
-// matches, the root for zero-edge paths.
-func refreshEntryPR(g *kg.Graph, wi *wordIndex, pr []float64) {
-	for i := range wi.entries {
-		e := &wi.entries[i]
-		v := e.Root
-		if e.edgeLen > 0 {
-			last := g.Edge(wi.edgeBuf[e.edgeOff+int32(e.edgeLen)-1])
-			if e.edgeEnd {
-				v = last.Src
-			} else {
-				v = last.Dst
+// matchNodeOf recovers the node carrying f(w) from a path: the end node
+// for node matches, the matched edge's source for edge matches, the root
+// for zero-edge paths.
+func matchNodeOf(g *kg.Graph, root kg.NodeID, edges []kg.EdgeID, edgeEnd bool) kg.NodeID {
+	if len(edges) == 0 {
+		return root
+	}
+	last := g.Edge(edges[len(edges)-1])
+	if edgeEnd {
+		return last.Src
+	}
+	return last.Dst
+}
+
+// refreshWordPR rewrites a carried-over word's PageRank terms against the
+// new snapshot's PR vector, without disturbing the shared positional
+// columns: the term pool and term references are rebuilt (copy-on-write),
+// and each pattern group's PR bounds are recomputed in the same pass so
+// PatternBounds never under-approximates the refreshed scores. wi must be
+// a shallow copy of the old word; its edgeBuf must already be remapped.
+func refreshWordPR(g *kg.Graph, wi *wordIndex, pr []float64) {
+	n := int(wi.n)
+	newRef := make([]uint32, n)
+	var newPool []core.ScoreTerms
+	pool := make(map[core.ScoreTerms]uint32)
+	groups := make([]patGroup, len(wi.patGroups))
+	copy(groups, wi.patGroups)
+	for gi := range groups {
+		pg := &groups[gi]
+		prev := kg.NodeID(-1)
+		off := pg.RootOff
+		first := true
+		var minPR, maxPR float64
+		for k := pg.RunStart; k < pg.RunEnd; k++ {
+			prev, off = decodeRootDelta(wi.rootBytes, off, prev)
+			for i := wi.runStart(k); i < wi.runEnd[k]; i++ {
+				t := wi.termPool[wi.termRef[i]]
+				lo, hi := wi.edgeStart[i], wi.edgeStart[i+1]
+				t.PR = pr[matchNodeOf(g, prev, wi.edgeBuf[lo:hi], wi.edgeEndBit(i))]
+				ref, ok := pool[t]
+				if !ok {
+					ref = uint32(len(newPool))
+					pool[t] = ref
+					newPool = append(newPool, t)
+				}
+				newRef[i] = ref
+				if first || t.PR < minPR {
+					minPR = t.PR
+				}
+				if first || t.PR > maxPR {
+					maxPR = t.PR
+				}
+				first = false
 			}
 		}
-		e.Terms.PR = pr[v]
+		pg.bounds.minPR, pg.bounds.maxPR = minPR, maxPR
+	}
+	wi.termRef = newRef
+	wi.termPool = compact(newPool)
+	wi.patGroups = groups
+}
+
+// refreshFlatPR rewrites every flat entry's PageRank term against the new
+// snapshot's PR vector before the splice re-derives the views.
+func refreshFlatPR(g *kg.Graph, flat []flatEntry, buf []kg.EdgeID, pr []float64) {
+	for i := range flat {
+		e := &flat[i]
+		edges := buf[e.edgeOff : e.edgeOff+e.edgeLen]
+		e.terms.PR = pr[matchNodeOf(g, e.root, edges, e.edgeEnd)]
 	}
 }

@@ -30,25 +30,26 @@ func canonical(ix *Index) map[string][]entryDesc {
 	out := make(map[string][]entryDesc)
 	for w := range ix.words {
 		wi := &ix.words[w]
-		if len(wi.entries) == 0 {
+		if wi.n == 0 {
 			continue
 		}
 		surface := ix.dict.Word(text.WordID(w))
-		descs := make([]entryDesc, 0, len(wi.entries))
-		for i := range wi.entries {
-			e := &wi.entries[i]
+		flat, buf := wi.flatten()
+		descs := make([]entryDesc, 0, len(flat))
+		for i := range flat {
+			e := &flat[i]
 			edges := ""
-			for _, eid := range wi.edgeBuf[e.edgeOff : e.edgeOff+int32(e.edgeLen)] {
+			for _, eid := range buf[e.edgeOff : e.edgeOff+e.edgeLen] {
 				edges += fmt.Sprintf("%d,", eid)
 			}
 			descs = append(descs, entryDesc{
-				PatKey:  ix.pt.Get(e.Pattern).Key(),
-				Root:    e.Root,
+				PatKey:  ix.pt.Get(e.pattern).Key(),
+				Root:    e.root,
 				Edges:   edges,
 				EdgeEnd: e.edgeEnd,
-				Len:     e.Terms.Len,
-				PR:      e.Terms.PR,
-				Sim:     e.Terms.Sim,
+				Len:     e.terms.Len,
+				PR:      e.terms.PR,
+				Sim:     e.terms.Sim,
 			})
 		}
 		sort.Slice(descs, func(i, j int) bool {

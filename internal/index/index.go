@@ -11,6 +11,16 @@
 // Entries carry the precomputed score terms |T(w)|, PR(f(w)) and
 // sim(w,f(w)) so that online scoring is a constant-time fold per path
 // (Section 3, last paragraph before Theorem 2).
+//
+// Storage is columnar (struct-of-arrays): instead of an []Entry slice the
+// posting lists are parallel per-entry arrays — a term-pool reference, a
+// cumulative edge offset, and an edge-end bit — plus per-(pattern, root)
+// run tables whose roots are delta-varint compressed per pattern group.
+// The score terms (|T(w)|, PR, sim) repeat heavily (PR is per-node, sim is
+// per-text), so each word stores the distinct triples once in a value pool
+// and entries hold a 4-byte reference. Both views iterate over cache-dense
+// arrays and the resident cost is ~12 bytes per posting instead of the ~48
+// of the former array-of-structs layout.
 package index
 
 import (
@@ -59,16 +69,18 @@ type Options struct {
 	DirtyRoots []kg.NodeID
 }
 
-// Entry is one indexed path for one word: the path from Root following
-// Pattern to a node/edge containing the word, plus precomputed score terms.
-// The edge sequence lives in the per-word shared buffer (see wordIndex).
+// Entry is one indexed path for one word, materialized from the columnar
+// storage: the path from Root following Pattern to a node/edge containing
+// the word, plus precomputed score terms. Accessors fill a caller- or
+// iterator-owned Entry per posting; the edge slice aliases the immutable
+// per-word edge arena, so a Path derived from it stays valid after the
+// Entry is reused.
 type Entry struct {
 	Pattern core.PatternID
 	Root    kg.NodeID
-	edgeOff int32
-	edgeLen uint8
-	edgeEnd bool
 	Terms   core.ScoreTerms
+	edges   []kg.EdgeID
+	edgeEnd bool
 }
 
 // patGroup is a run of entries with the same pattern (pattern-first order).
@@ -76,12 +88,14 @@ type patGroup struct {
 	Pattern    core.PatternID
 	RootType   kg.TypeID
 	Start, End int32 // entry range
-	RunStart   int32 // range in pfRuns
+	RunStart   int32 // range in runEnd (global run indexes)
 	RunEnd     int32
+	RootOff    int32 // byte offset of the group's delta-varint roots in rootBytes
+	SkipStart  int32 // range in skipRoots/skipOffs/skipRun
+	SkipEnd    int32
 	// bounds summarize the group's score terms for the streaming
-	// executor's pruning; derived in finishWord alongside the group scan,
-	// so every construction path (build, delta, load) carries them without
-	// a wire-format change.
+	// executor's pruning; derived alongside the group scan on every
+	// construction path (build, delta, load).
 	bounds patBounds
 }
 
@@ -94,49 +108,152 @@ type patBounds struct {
 	maxRun         int32
 }
 
-// rootRun is a run of entries with the same (pattern, root).
-type rootRun struct {
-	Root       kg.NodeID
-	Start, End int32 // entry range
-}
-
 // typeGroup is a run of patGroups sharing a root type.
 type typeGroup struct {
 	Type       kg.TypeID
 	Start, End int32 // patGroup range
 }
 
-// rootGroup is a run of the root-first permutation with the same root.
-type rootGroup struct {
-	Root       kg.NodeID
-	Start, End int32 // range in rootOrder
-	RunStart   int32 // range in rfRuns
-	RunEnd     int32
-}
+// rootSkipInterval is the skip-table stride over a pattern group's
+// delta-varint root list: every rootSkipInterval-th run records its decoded
+// root and resume offset, so a root lookup binary-searches the skips and
+// decodes at most rootSkipInterval-1 varints.
+const rootSkipInterval = 32
 
-// patRun is a run of rootOrder positions with the same pattern under one root.
-type patRun struct {
-	Pattern    core.PatternID
-	Start, End int32 // range in rootOrder
-}
-
-// wordIndex holds both index views for one canonical word.
+// wordIndex holds both index views for one canonical word, as parallel
+// columns over the pattern-first entry order (root type, pattern, root,
+// path).
 type wordIndex struct {
-	entries []Entry     // sorted by (root type, pattern, root, path)
-	edgeBuf []kg.EdgeID // backing storage for entry edge sequences
+	n int32 // number of postings
 
-	// Pattern-first view.
+	// Per-entry columns.
+	termRef   []uint32    // -> termPool
+	edgeStart []int32     // len n+1: cumulative edge offsets into edgeBuf
+	edgeEnds  []uint64    // bitset: entry i matched an edge's attribute type
+	edgeBuf   []kg.EdgeID // concatenated edge sequences, entry order
+
+	// termPool holds the distinct (Len, PR, Sim) triples of this word's
+	// entries, in first-seen entry order (deterministic).
+	termPool []core.ScoreTerms
+
+	// Pattern-first view. Entries partition into (pattern, root) runs that
+	// are contiguous across the whole word: run k spans
+	// [runEnd[k-1], runEnd[k]). Run roots are stored delta-varint encoded
+	// per pattern group in rootBytes with a skip table every
+	// rootSkipInterval runs.
+	runEnd     []int32
+	rootBytes  []byte
+	skipRoots  []kg.NodeID
+	skipOffs   []int32 // byte offset in rootBytes just after the skip run's delta
+	skipRun    []int32 // global run index of the skip point
 	patGroups  []patGroup
-	pfRuns     []rootRun
 	typeGroups []typeGroup
 
-	// Root-first view: a permutation of entries sorted by (root, pattern).
-	rootOrder  []int32
-	rootGroups []rootGroup
-	rfRuns     []patRun
+	// Root-first view: a permutation of entries sorted by (root, pattern),
+	// partitioned per distinct root (rgEnd) into per-pattern runs
+	// (rfPat/rfEnd, both indexing rootOrder).
+	rootOrder []int32
+	roots     []kg.NodeID // sorted distinct roots (root-first Roots(w))
+	rgEnd     []int32     // per root: end position in rootOrder
+	rgRunEnd  []int32     // per root: end run index in rfPat/rfEnd
+	rfPat     []core.PatternID
+	rfEnd     []int32
+}
 
-	// roots is the sorted distinct root list (root-first Roots(w)).
-	roots []kg.NodeID
+// numEntries returns the posting count.
+func (wi *wordIndex) numEntries() int { return int(wi.n) }
+
+// runStart returns the first entry of global run k.
+func (wi *wordIndex) runStart(k int32) int32 {
+	if k == 0 {
+		return 0
+	}
+	return wi.runEnd[k-1]
+}
+
+// rfStart returns the first rootOrder position of root-first run k.
+func (wi *wordIndex) rfStart(k int32) int32 {
+	if k == 0 {
+		return 0
+	}
+	return wi.rfEnd[k-1]
+}
+
+// rgStart returns the first rootOrder position of root group gi.
+func (wi *wordIndex) rgStart(gi int) int32 {
+	if gi == 0 {
+		return 0
+	}
+	return wi.rgEnd[gi-1]
+}
+
+// rgRunStart returns the first root-first run of root group gi.
+func (wi *wordIndex) rgRunStart(gi int) int32 {
+	if gi == 0 {
+		return 0
+	}
+	return wi.rgRunEnd[gi-1]
+}
+
+// edgeEndBit reports whether entry idx matched an edge's attribute type.
+func (wi *wordIndex) edgeEndBit(idx int32) bool {
+	return wi.edgeEnds[idx>>6]&(1<<uint(idx&63)) != 0
+}
+
+// fill materializes entry idx into e. pat and root come from the run the
+// caller is iterating (they are not stored per entry).
+func (wi *wordIndex) fill(e *Entry, idx int32, pat core.PatternID, root kg.NodeID) {
+	lo, hi := wi.edgeStart[idx], wi.edgeStart[idx+1]
+	e.Pattern = pat
+	e.Root = root
+	e.Terms = wi.termPool[wi.termRef[idx]]
+	e.edges = wi.edgeBuf[lo:hi:hi]
+	e.edgeEnd = wi.edgeEndBit(idx)
+}
+
+// decodeRootDelta reads one delta-varint from b, advancing prev. The first
+// delta of a group is encoded against prev = -1, so deltas are always >= 1.
+func decodeRootDelta(b []byte, off int32, prev kg.NodeID) (kg.NodeID, int32) {
+	var d uint64
+	var shift uint
+	for {
+		c := b[off]
+		off++
+		d |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	return prev + kg.NodeID(d), off
+}
+
+// groupRoot locates root r's run within pattern group pg: binary search the
+// skip table, then decode forward at most rootSkipInterval-1 deltas.
+// Returns the global run index, or false when no run for r exists.
+func (wi *wordIndex) groupRoot(pg *patGroup, r kg.NodeID) (int32, bool) {
+	skips := wi.skipRoots[pg.SkipStart:pg.SkipEnd]
+	// Last skip point with root <= r.
+	i := sort.Search(len(skips), func(i int) bool { return skips[i] > r }) - 1
+	if i < 0 {
+		return 0, false
+	}
+	si := pg.SkipStart + int32(i)
+	if wi.skipRoots[si] == r {
+		return wi.skipRun[si], true
+	}
+	prev := wi.skipRoots[si]
+	off := wi.skipOffs[si]
+	for k := wi.skipRun[si] + 1; k < pg.RunEnd; k++ {
+		prev, off = decodeRootDelta(wi.rootBytes, off, prev)
+		if prev == r {
+			return k, true
+		}
+		if prev > r {
+			return 0, false
+		}
+	}
+	return 0, false
 }
 
 // Index is the pair of path-pattern indexes over a knowledge graph.
@@ -153,15 +270,24 @@ type Index struct {
 // Stats reports construction cost, the quantities of the paper's Figure 6.
 type Stats struct {
 	BuildTime   time.Duration
-	Bytes       int64 // approximate resident size of the two indexes
+	Bytes       int64 // exact resident size of the columnar posting arenas
 	NumEntries  int64 // total (word, path) postings
 	NumPatterns int   // distinct path patterns interned
 	D           int
 }
 
+// BytesPerEntry is the resident posting cost: Bytes averaged over the
+// entries (0 when the index is empty).
+func (s Stats) BytesPerEntry() float64 {
+	if s.NumEntries == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.NumEntries)
+}
+
 func (s Stats) String() string {
-	return fmt.Sprintf("index{d=%d time=%v size=%.1fMB entries=%d patterns=%d}",
-		s.D, s.BuildTime.Round(time.Millisecond), float64(s.Bytes)/(1<<20), s.NumEntries, s.NumPatterns)
+	return fmt.Sprintf("index{d=%d time=%v size=%.1fMB entries=%d (%.1fB/entry) patterns=%d}",
+		s.D, s.BuildTime.Round(time.Millisecond), float64(s.Bytes)/(1<<20), s.NumEntries, s.BytesPerEntry(), s.NumPatterns)
 }
 
 // Graph returns the indexed graph.
@@ -181,12 +307,7 @@ func (ix *Index) Stats() Stats { return ix.stats }
 
 // Path materializes the concrete path of an entry.
 func (ix *Index) Path(w text.WordID, e *Entry) core.Path {
-	wi := &ix.words[w]
-	return core.Path{
-		Root:    e.Root,
-		Edges:   wi.edgeBuf[e.edgeOff : e.edgeOff+int32(e.edgeLen) : e.edgeOff+int32(e.edgeLen)],
-		EdgeEnd: e.edgeEnd,
-	}
+	return core.Path{Root: e.Root, Edges: e.edges, EdgeEnd: e.edgeEnd}
 }
 
 // word returns the posting structure for w, or nil when w has no postings.
@@ -195,7 +316,7 @@ func (ix *Index) word(w text.WordID) *wordIndex {
 		return nil
 	}
 	wi := &ix.words[w]
-	if len(wi.entries) == 0 {
+	if wi.n == 0 {
 		return nil
 	}
 	return wi
@@ -258,30 +379,65 @@ func (ix *Index) RootsOf(w text.WordID, p core.PatternID) []kg.NodeID {
 		return nil
 	}
 	out := make([]kg.NodeID, 0, pg.RunEnd-pg.RunStart)
-	for i := pg.RunStart; i < pg.RunEnd; i++ {
-		out = append(out, wi.pfRuns[i].Root)
+	prev := kg.NodeID(-1)
+	off := pg.RootOff
+	for k := pg.RunStart; k < pg.RunEnd; k++ {
+		prev, off = decodeRootDelta(wi.rootBytes, off, prev)
+		out = append(out, prev)
 	}
 	return out
 }
 
-// PathsPF returns the entries with pattern p starting at root r
-// (pattern-first Paths(w, P, r)). The returned slice is shared; callers
-// must not modify it.
-func (ix *Index) PathsPF(w text.WordID, p core.PatternID, r kg.NodeID) []Entry {
+// PathSet is a borrowed view of one (word, pattern, root) posting run. It
+// is valid as long as the index is; At fills a caller-owned Entry so hot
+// loops iterate without allocating.
+type PathSet struct {
+	wi   *wordIndex
+	pat  core.PatternID
+	root kg.NodeID
+	lo   int32
+	hi   int32
+}
+
+// Len returns the number of paths in the run.
+func (ps *PathSet) Len() int { return int(ps.hi - ps.lo) }
+
+// At materializes the k-th path of the run into e.
+func (ps *PathSet) At(k int, e *Entry) {
+	ps.wi.fill(e, ps.lo+int32(k), ps.pat, ps.root)
+}
+
+// FindPathsPF locates the run of entries with pattern p starting at root r
+// (pattern-first Paths(w, P, r)). ok is false when the run is empty.
+func (ix *Index) FindPathsPF(w text.WordID, p core.PatternID, r kg.NodeID) (PathSet, bool) {
 	wi := ix.word(w)
 	if wi == nil {
-		return nil
+		return PathSet{}, false
 	}
 	pg, ok := findPatGroup(wi.patGroups, ix.pt, p)
 	if !ok {
+		return PathSet{}, false
+	}
+	k, ok := wi.groupRoot(&pg, r)
+	if !ok {
+		return PathSet{}, false
+	}
+	return PathSet{wi: wi, pat: p, root: r, lo: wi.runStart(k), hi: wi.runEnd[k]}, true
+}
+
+// PathsPF materializes the entries with pattern p starting at root r into a
+// fresh slice. Prefer FindPathsPF on hot paths; this is the convenience
+// form.
+func (ix *Index) PathsPF(w text.WordID, p core.PatternID, r kg.NodeID) []Entry {
+	ps, ok := ix.FindPathsPF(w, p, r)
+	if !ok {
 		return nil
 	}
-	runs := wi.pfRuns[pg.RunStart:pg.RunEnd]
-	i := sort.Search(len(runs), func(i int) bool { return runs[i].Root >= r })
-	if i == len(runs) || runs[i].Root != r {
-		return nil
+	out := make([]Entry, ps.Len())
+	for k := range out {
+		ps.At(k, &out[k])
 	}
-	return wi.entries[runs[i].Start:runs[i].End]
+	return out
 }
 
 // PatternBounds summarizes one (word, pattern) posting group: the closed
@@ -338,14 +494,13 @@ func (ix *Index) PatternsAt(w text.WordID, r kg.NodeID) []core.PatternID {
 	if wi == nil {
 		return nil
 	}
-	rg, ok := findRootGroup(wi.rootGroups, r)
+	gi, ok := findRoot(wi.roots, r)
 	if !ok {
 		return nil
 	}
-	out := make([]core.PatternID, 0, rg.RunEnd-rg.RunStart)
-	for i := rg.RunStart; i < rg.RunEnd; i++ {
-		out = append(out, wi.rfRuns[i].Pattern)
-	}
+	lo, hi := wi.rgRunStart(gi), wi.rgRunEnd[gi]
+	out := make([]core.PatternID, hi-lo)
+	copy(out, wi.rfPat[lo:hi])
 	return out
 }
 
@@ -356,56 +511,76 @@ func (ix *Index) NumPathsAt(w text.WordID, r kg.NodeID) int {
 	if wi == nil {
 		return 0
 	}
-	rg, ok := findRootGroup(wi.rootGroups, r)
+	gi, ok := findRoot(wi.roots, r)
 	if !ok {
 		return 0
 	}
-	return int(rg.End - rg.Start)
+	return int(wi.rgEnd[gi] - wi.rgStart(gi))
 }
 
 // PathsAt invokes fn for every entry rooted at r (root-first Paths(w, r)),
-// in (pattern, path) order.
+// in (pattern, path) order. The *Entry passed to fn is reused across
+// invocations; callers must copy what they keep (paths derived via Path
+// stay valid — their edge slice aliases the immutable edge arena).
 func (ix *Index) PathsAt(w text.WordID, r kg.NodeID, fn func(*Entry)) {
 	wi := ix.word(w)
 	if wi == nil {
 		return
 	}
-	rg, ok := findRootGroup(wi.rootGroups, r)
+	gi, ok := findRoot(wi.roots, r)
 	if !ok {
 		return
 	}
-	for i := rg.Start; i < rg.End; i++ {
-		fn(&wi.entries[wi.rootOrder[i]])
+	var e Entry
+	for k := wi.rgRunStart(gi); k < wi.rgRunEnd[gi]; k++ {
+		pat := wi.rfPat[k]
+		for i := wi.rfStart(k); i < wi.rfEnd[k]; i++ {
+			wi.fill(&e, wi.rootOrder[i], pat, r)
+			fn(&e)
+		}
 	}
 }
 
-// PathsRF returns the entries rooted at r with pattern p (root-first
-// Paths(w, r, P)) as entry indices resolved through the permutation; fn is
-// called once per entry.
+// PathsRF invokes fn for every entry rooted at r with pattern p (root-first
+// Paths(w, r, P)). The *Entry is reused across invocations, as in PathsAt.
 func (ix *Index) PathsRF(w text.WordID, r kg.NodeID, p core.PatternID, fn func(*Entry)) {
-	wi := ix.word(w)
-	if wi == nil {
-		return
-	}
-	rg, ok := findRootGroup(wi.rootGroups, r)
+	wi, k, ok := ix.findRF(w, r, p)
 	if !ok {
 		return
 	}
-	runs := wi.rfRuns[rg.RunStart:rg.RunEnd]
-	i := sort.Search(len(runs), func(i int) bool { return runs[i].Pattern >= p })
-	if i == len(runs) || runs[i].Pattern != p {
-		return
-	}
-	for j := runs[i].Start; j < runs[i].End; j++ {
-		fn(&wi.entries[wi.rootOrder[j]])
+	var e Entry
+	for i := wi.rfStart(k); i < wi.rfEnd[k]; i++ {
+		wi.fill(&e, wi.rootOrder[i], p, r)
+		fn(&e)
 	}
 }
 
 // CountPathsRF returns |Paths(w, r, P)|.
 func (ix *Index) CountPathsRF(w text.WordID, r kg.NodeID, p core.PatternID) int {
-	n := 0
-	ix.PathsRF(w, r, p, func(*Entry) { n++ })
-	return n
+	wi, k, ok := ix.findRF(w, r, p)
+	if !ok {
+		return 0
+	}
+	return int(wi.rfEnd[k] - wi.rfStart(k))
+}
+
+// findRF locates the root-first run for (w, r, p).
+func (ix *Index) findRF(w text.WordID, r kg.NodeID, p core.PatternID) (*wordIndex, int32, bool) {
+	wi := ix.word(w)
+	if wi == nil {
+		return nil, 0, false
+	}
+	gi, ok := findRoot(wi.roots, r)
+	if !ok {
+		return nil, 0, false
+	}
+	lo, hi := wi.rgRunStart(gi), wi.rgRunEnd[gi]
+	runs := wi.rfPat[lo:hi]
+	i := sort.Search(len(runs), func(i int) bool { return runs[i] >= p })
+	if i == len(runs) || runs[i] != p {
+		return nil, 0, false
+	}
+	return wi, lo + int32(i), true
 }
 
 // --- binary searches over the group tables ---
@@ -434,12 +609,13 @@ func findPatGroup(pgs []patGroup, pt *core.PatternTable, p core.PatternID) (patG
 	return pgs[i], true
 }
 
-func findRootGroup(rgs []rootGroup, r kg.NodeID) (rootGroup, bool) {
-	i := sort.Search(len(rgs), func(i int) bool { return rgs[i].Root >= r })
-	if i == len(rgs) || rgs[i].Root != r {
-		return rootGroup{}, false
+// findRoot locates r in the sorted distinct-root list.
+func findRoot(roots []kg.NodeID, r kg.NodeID) (int, bool) {
+	i := sort.Search(len(roots), func(i int) bool { return roots[i] >= r })
+	if i == len(roots) || roots[i] != r {
+		return 0, false
 	}
-	return rgs[i], true
+	return i, true
 }
 
 // defaultWorkers resolves the worker count.

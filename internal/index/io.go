@@ -18,12 +18,19 @@ import (
 // rebuilt on load (they are derived data and sort faster than DFS).
 //
 // WireVersion is the index wire-format version this build writes.
-// Version 0 (files written before the durable snapshot store existed)
-// is identical on the wire — the field simply decodes to zero — so
-// Load accepts 0 and WireVersion and refuses anything newer with a
-// clear error instead of gob soup. Bump it when the entry layout
-// changes, and regenerate the snapshot fixture (make snapshot-fixture).
-const WireVersion = 1
+//
+//   - Versions 0 and 1 are the legacy gob container (version 0 predates
+//     the durable snapshot store; the field simply decodes to zero).
+//   - Version 2 is the binary columnar container of wire2.go:
+//     length-prefixed CRC-32C-framed sections encoded and decoded with
+//     per-word parallelism.
+//
+// Load sniffs the container (v2 files start with the wireMagic bytes,
+// gob streams cannot) and reads all of 0/1/2; Encode always writes the
+// current version and anything newer is refused with a clear error
+// instead of gob soup. Bump WireVersion when the posting layout changes,
+// and regenerate the snapshot fixture (make snapshot-fixture).
+const WireVersion = 2
 
 type entryWire struct {
 	Pattern core.PatternID
@@ -52,14 +59,22 @@ type indexWire struct {
 	Nodes, Edges int
 }
 
-// Encode serializes the index. The graph itself is not included; pair the
-// index file with the graph file it was built from (Load verifies node and
-// edge counts).
+// Encode serializes the index in the current wire format (WireVersion).
+// The graph itself is not included; pair the index file with the graph
+// file it was built from (Load verifies node and edge counts).
 func (ix *Index) Encode(w io.Writer) error {
+	return ix.encodeV2(w)
+}
+
+// EncodeLegacyGob serializes the index in the legacy v1 gob container.
+// Retained so the backward-compat fixture can be regenerated and so the
+// benchmark suite can measure the v2 format against the gob baseline it
+// replaced; new snapshots should use Encode.
+func (ix *Index) EncodeLegacyGob(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := gob.NewEncoder(bw)
 	wire := indexWire{
-		Version:  WireVersion,
+		Version:  1,
 		D:        ix.d,
 		Dict:     ix.dict.Snapshot(),
 		Patterns: ix.pt.Snapshot(),
@@ -69,18 +84,22 @@ func (ix *Index) Encode(w io.Writer) error {
 	}
 	for i := range ix.words {
 		wi := &ix.words[i]
-		ww := wordWire{EdgeBuf: wi.edgeBuf}
-		ww.Entries = make([]entryWire, len(wi.entries))
-		for j, e := range wi.entries {
+		if wi.n == 0 {
+			continue
+		}
+		flat, buf := wi.flatten()
+		ww := wordWire{EdgeBuf: buf}
+		ww.Entries = make([]entryWire, len(flat))
+		for j, e := range flat {
 			ww.Entries[j] = entryWire{
-				Pattern: e.Pattern,
-				Root:    e.Root,
+				Pattern: e.pattern,
+				Root:    e.root,
 				EdgeOff: e.edgeOff,
-				EdgeLen: e.edgeLen,
+				EdgeLen: uint8(e.edgeLen),
 				EdgeEnd: e.edgeEnd,
-				Len:     uint8(e.Terms.Len),
-				PR:      e.Terms.PR,
-				Sim:     e.Terms.Sim,
+				Len:     uint8(e.terms.Len),
+				PR:      e.terms.PR,
+				Sim:     e.terms.Sim,
 			}
 		}
 		wire.Words[i] = ww
@@ -91,11 +110,22 @@ func (ix *Index) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads an index written by Encode and re-derives the two access
-// views against the supplied graph.
+// Load reads an index written by any supported wire version (v2 binary or
+// the legacy v0/v1 gob container) and re-derives the two access views
+// against the supplied graph.
 func Load(r io.Reader, g *kg.Graph) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(wireMagic))
+	if err == nil && string(head) == wireMagic {
+		return loadV2(br, g)
+	}
+	return loadGob(br, g)
+}
+
+// loadGob reads the legacy v0/v1 gob container.
+func loadGob(br *bufio.Reader, g *kg.Graph) (*Index, error) {
 	start := time.Now()
-	dec := gob.NewDecoder(bufio.NewReader(r))
+	dec := gob.NewDecoder(br)
 	var wire indexWire
 	if err := dec.Decode(&wire); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)
@@ -127,9 +157,7 @@ func Load(r io.Reader, g *kg.Graph) (*Index, error) {
 		if len(ww.Entries) == 0 {
 			continue
 		}
-		wi := &ix.words[i]
-		wi.edgeBuf = ww.EdgeBuf
-		wi.entries = make([]Entry, len(ww.Entries))
+		flat := make([]flatEntry, len(ww.Entries))
 		for j, e := range ww.Entries {
 			if int(e.Pattern) >= ix.pt.Len() || e.Pattern < 0 {
 				return nil, fmt.Errorf("index: entry references unknown pattern %d", e.Pattern)
@@ -137,26 +165,53 @@ func Load(r io.Reader, g *kg.Graph) (*Index, error) {
 			if int(e.Root) >= g.NumNodes() || e.Root < 0 {
 				return nil, fmt.Errorf("index: entry references node %d out of range", e.Root)
 			}
-			if int(e.EdgeOff)+int(e.EdgeLen) > len(ww.EdgeBuf) {
+			if int(e.EdgeOff)+int(e.EdgeLen) > len(ww.EdgeBuf) || e.EdgeOff < 0 {
 				return nil, fmt.Errorf("index: entry edge range out of bounds")
 			}
-			wi.entries[j] = Entry{
-				Pattern: e.Pattern,
-				Root:    e.Root,
+			flat[j] = flatEntry{
+				pattern: e.Pattern,
+				root:    e.Root,
 				edgeOff: e.EdgeOff,
-				edgeLen: e.EdgeLen,
+				edgeLen: int32(e.EdgeLen),
 				edgeEnd: e.EdgeEnd,
-				Terms:   core.ScoreTerms{Len: int(e.Len), PR: e.PR, Sim: e.Sim},
+				terms:   core.ScoreTerms{Len: int(e.Len), PR: e.PR, Sim: e.Sim},
 			}
 		}
-		finishWord(wi, patRootType)
-		ix.stats.NumEntries += int64(len(wi.entries))
+		finishWord(&ix.words[i], flat, ww.EdgeBuf, patRootType)
+		ix.stats.NumEntries += int64(len(ww.Entries))
 	}
 	ix.stats.D = wire.D
 	ix.stats.NumPatterns = ix.pt.Len()
 	ix.stats.Bytes = ix.sizeBytes()
 	ix.stats.BuildTime = time.Since(start) // load time; cheaper than DFS
 	return ix, nil
+}
+
+// SniffWireVersion reports the wire version of an encoded index stream
+// from its first bytes: WireVersion (2) for the binary container, 1 for
+// anything else (the legacy gob container does not distinguish 0 from 1
+// without a full decode). It consumes nothing beyond r's internal
+// buffering. Used by cold-start harnesses to assert which format a
+// recovery actually read.
+func SniffWireVersion(r io.Reader) (int, error) {
+	head := make([]byte, len(wireMagic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, fmt.Errorf("index: sniff: %w", err)
+	}
+	if string(head) == wireMagic {
+		return WireVersion, nil
+	}
+	return 1, nil
+}
+
+// FileWireVersion is SniffWireVersion over a file.
+func FileWireVersion(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("index: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return SniffWireVersion(f)
 }
 
 // SaveFile writes the index to path.

@@ -295,21 +295,33 @@ type pathTerm struct {
 
 // pathsPF fetches Paths(w, P, r) from the pattern-first index as pathTerms.
 func pathsPF(ix *index.Index, w text.WordID, p core.PatternID, r kg.NodeID) []pathTerm {
-	es := ix.PathsPF(w, p, r)
-	out := make([]pathTerm, len(es))
-	for i := range es {
-		out[i] = pathTerm{path: ix.Path(w, &es[i]), terms: es[i].Terms}
+	ps, ok := ix.FindPathsPF(w, p, r)
+	if !ok {
+		return nil
+	}
+	out := make([]pathTerm, ps.Len())
+	var e index.Entry
+	for k := range out {
+		ps.At(k, &e)
+		out[k] = pathTerm{path: ix.Path(w, &e), terms: e.Terms}
 	}
 	return out
 }
 
 // appendPathsPF is pathsPF into a caller-owned buffer: the streaming
 // executor fetches every (pattern, root) run into per-worker scratch that
-// is truncated and refilled instead of reallocated.
+// is truncated and refilled instead of reallocated. The PathSet cursor
+// materializes postings one at a time from the columnar arrays, so the
+// run itself is never allocated.
 func appendPathsPF(dst []pathTerm, ix *index.Index, w text.WordID, p core.PatternID, r kg.NodeID) []pathTerm {
-	es := ix.PathsPF(w, p, r)
-	for i := range es {
-		dst = append(dst, pathTerm{path: ix.Path(w, &es[i]), terms: es[i].Terms})
+	ps, ok := ix.FindPathsPF(w, p, r)
+	if !ok {
+		return dst
+	}
+	var e index.Entry
+	for k, n := 0, ps.Len(); k < n; k++ {
+		ps.At(k, &e)
+		dst = append(dst, pathTerm{path: ix.Path(w, &e), terms: e.Terms})
 	}
 	return dst
 }

@@ -94,6 +94,10 @@ func TestServeDurableUpdateAndRecovery(t *testing.T) {
 	if hr.Durability == nil || hr.Durability.DataDir != dir {
 		t.Fatalf("healthz durability block missing: %+v", hr.Durability)
 	}
+	if hr.Index == nil || hr.Index.Bytes <= 0 || hr.Index.Entries <= 0 ||
+		hr.Index.BytesPerEntry <= 0 || hr.Index.BytesPerEntry > 1024 {
+		t.Fatalf("healthz index footprint block missing or implausible: %+v", hr.Index)
+	}
 	if hr.Durability.WALSeq != 0 || hr.Durability.SnapshotSeq != 0 {
 		t.Fatalf("fresh store healthz: %+v", hr.Durability)
 	}

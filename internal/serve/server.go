@@ -513,6 +513,22 @@ type ShardHealth struct {
 	Entries []int64  `json:"entries,omitempty"`
 }
 
+// IndexHealth is the /healthz view of the resident index footprint:
+// exact columnar-arena bytes (summed across shards) and the bytes/entry
+// figure the footprint benchmarks track.
+type IndexHealth struct {
+	Bytes         int64   `json:"bytes"`
+	BytesPerEntry float64 `json:"bytes_per_entry"`
+	Entries       int64   `json:"entries"`
+	Patterns      int     `json:"patterns"`
+	D             int     `json:"d"`
+}
+
+// indexStatser is the optional engine facet exposing footprint stats.
+type indexStatser interface {
+	IndexStats() kbtable.IndexStats
+}
+
 // PlannerHealth aggregates the Auto planner's decisions since startup.
 type PlannerHealth struct {
 	// AutoRequests counts searches that asked for "auto".
@@ -633,6 +649,7 @@ type HealthResponse struct {
 	Cache         CacheStats        `json:"cache"`
 	Planner       PlannerHealth     `json:"planner"`
 	Serving       ServingHealth     `json:"serving"`
+	Index         *IndexHealth      `json:"index,omitempty"`
 	Shards        *ShardHealth      `json:"shards,omitempty"`
 	Durability    *DurabilityHealth `json:"durability,omitempty"`
 }
@@ -1505,6 +1522,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Serving.InFlight, resp.Serving.QueueDepth = s.gate.depth()
 		resp.Serving.ShedQueueFull = s.gate.shedFull.Load()
 		resp.Serving.ShedQueueTimeout = s.gate.shedTimeout.Load()
+	}
+	if is, ok := st.eng.(indexStatser); ok {
+		ixs := is.IndexStats()
+		resp.Index = &IndexHealth{
+			Bytes:         ixs.Bytes,
+			BytesPerEntry: ixs.BytesPerEntry,
+			Entries:       ixs.Entries,
+			Patterns:      ixs.Patterns,
+			D:             ixs.D,
+		}
 	}
 	if st.shards != nil {
 		info := st.shards.ShardInfo()

@@ -41,6 +41,13 @@ var ErrNoSnapshot = errors.New("store: no snapshot")
 type Manifest struct {
 	// FormatVersion is the snapshot format (see FormatVersion).
 	FormatVersion int `json:"format_version"`
+	// IndexWireVersion records the index wire format the snapshot's
+	// index files were written in (index.WireVersion at checkpoint
+	// time; 0 in manifests from builds that predate the field). The
+	// store treats it as opaque metadata — index.Load sniffs the actual
+	// container — but recovery tooling and the fixture gate use it to
+	// assert which format a snapshot actually carries.
+	IndexWireVersion int `json:"index_wire_version,omitempty"`
 	// Seq is the last WAL sequence number reflected in the snapshot
 	// (0 = the initial state, before any logged update).
 	Seq uint64 `json:"seq"`

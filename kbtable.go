@@ -355,10 +355,15 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 // IndexStats describe the built index (the quantities of Figure 6).
 type IndexStats struct {
 	BuildSeconds float64
-	SizeMB       float64
-	Entries      int64
-	Patterns     int
-	D            int
+	// Bytes is the exact resident size of the columnar posting arenas
+	// (summed across shards); SizeMB is the same quantity in MB.
+	Bytes  int64
+	SizeMB float64
+	// BytesPerEntry is Bytes / Entries, the headline footprint figure.
+	BytesPerEntry float64
+	Entries       int64
+	Patterns      int
+	D             int
 }
 
 // IndexStats returns construction statistics. For a sharded engine the
@@ -372,19 +377,25 @@ func (e *Engine) IndexStats() IndexStats {
 			if bs := s.BuildTime.Seconds(); bs > out.BuildSeconds {
 				out.BuildSeconds = bs
 			}
-			out.SizeMB += float64(s.Bytes) / (1 << 20)
+			out.Bytes += s.Bytes
 			out.Entries += s.NumEntries
 			out.Patterns += s.NumPatterns
+		}
+		out.SizeMB = float64(out.Bytes) / (1 << 20)
+		if out.Entries > 0 {
+			out.BytesPerEntry = float64(out.Bytes) / float64(out.Entries)
 		}
 		return out
 	}
 	s := e.ix.Stats()
 	return IndexStats{
-		BuildSeconds: s.BuildTime.Seconds(),
-		SizeMB:       float64(s.Bytes) / (1 << 20),
-		Entries:      s.NumEntries,
-		Patterns:     s.NumPatterns,
-		D:            s.D,
+		BuildSeconds:  s.BuildTime.Seconds(),
+		Bytes:         s.Bytes,
+		SizeMB:        float64(s.Bytes) / (1 << 20),
+		BytesPerEntry: s.BytesPerEntry(),
+		Entries:       s.NumEntries,
+		Patterns:      s.NumPatterns,
+		D:             s.D,
 	}
 }
 

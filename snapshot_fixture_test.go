@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"kbtable/internal/index"
 	"kbtable/internal/store"
 )
 
@@ -116,6 +117,22 @@ func TestSnapshotFixture(t *testing.T) {
 	if sn.Manifest.FormatVersion != store.FormatVersion {
 		t.Fatalf("fixture has manifest format %d, this build writes %d — regenerate with `make snapshot-fixture`",
 			sn.Manifest.FormatVersion, store.FormatVersion)
+	}
+	if sn.Manifest.IndexWireVersion != index.WireVersion {
+		t.Fatalf("fixture snapshot carries index wire version %d, this build writes %d — regenerate with `make snapshot-fixture`",
+			sn.Manifest.IndexWireVersion, index.WireVersion)
+	}
+	// The manifest claim must match the bytes on disk: every index file
+	// in the fixture snapshot must sniff as the current wire format.
+	for si := 0; si < max(sn.Manifest.Shards, 1); si++ {
+		v, err := index.FileWireVersion(filepath.Join(sn.Dir, store.IndexFileName(si)))
+		if err != nil {
+			t.Fatalf("sniff fixture index %d: %v", si, err)
+		}
+		if v != index.WireVersion {
+			t.Fatalf("fixture index file %d is wire version %d, want %d — regenerate with `make snapshot-fixture`",
+				si, v, index.WireVersion)
+		}
 	}
 
 	eng, st, rs, err := OpenDir(fixtureDir, EngineOptions{})
