@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan bench-footprint serve clean ci-local cold-start snapshot-fixture load-soak
+.PHONY: build test race bench fmt vet check cover fuzz golden bench-json bench-plan bench-footprint serve clean ci-local cold-start snapshot-fixture load-soak cluster-soak
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,14 @@ load-soak:
 	status=$$?; kill -TERM $$(cat /tmp/kbload-serve.pid) 2>/dev/null; exit $$status
 	./bin/kbbench -json -bench-entities 2500 -bench-queries 8 \
 	  -load-report kbload-report.json -json-out BENCH_kbtable.json
+
+# The multi-node cluster soak (the CI `cluster-soak` job): coordinator +
+# 2 shard owners + WAL-shipped replica as real processes, kbload through
+# the coordinator, all 20 golden answer files byte-diffed against the
+# single-node goldens, one owner SIGKILLed (answers must not change),
+# then the coordinator killed with the replica required to keep serving.
+cluster-soak:
+	KBTABLE_CLUSTER=1 $(GO) test -run TestClusterSoak -v -timeout 15m .
 
 # Regenerate the checked-in snapshot fixture (testdata/snapshot) after
 # an intentional snapshot/WAL/index wire-format change. Bump

@@ -56,7 +56,11 @@ func main() {
 	jsonOut := flag.String("json-out", "BENCH_kbtable.json", "output path for -json")
 	benchEntities := flag.Int("bench-entities", 4000, "-json: SynthWiki entities")
 	benchQueries := flag.Int("bench-queries", 12, "-json: workload queries per op")
-	loadReport := flag.String("load-report", "", "-json: kbload report to ingest as serve_latency/group_commit rows")
+	var loadReports []string
+	flag.Func("load-report", "-json: kbload report to ingest as serve_latency/group_commit rows (repeatable; a cluster soak adds its cluster_scatter row alongside the single-node soak's)", func(v string) error {
+		loadReports = append(loadReports, v)
+		return nil
+	})
 	compare := flag.Bool("compare", false, "compare two BENCH json files (args: old.json new.json); exit 1 on regression")
 	threshold := flag.Float64("threshold", bench.DefaultRegressionThreshold, "-compare: fractional regression that fails the gate")
 	footprint := flag.String("footprint", "", "measure the index footprint of a saved knowledge base (kbgen output) and print the row")
@@ -87,8 +91,8 @@ func main() {
 		if report.ColdStart, err = runColdStartBench(cfg.WikiGraph()); err != nil {
 			log.Fatal(err)
 		}
-		if *loadReport != "" {
-			lr, err := bench.ReadLoadReport(*loadReport)
+		for _, path := range loadReports {
+			lr, err := bench.ReadLoadReport(path)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -27,8 +27,7 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,9 +39,10 @@ import (
 	"time"
 
 	"kbtable"
+	"kbtable/internal/api"
 	"kbtable/internal/bench"
+	"kbtable/internal/client"
 	"kbtable/internal/dataset"
-	"kbtable/internal/serve"
 )
 
 func main() {
@@ -61,6 +61,7 @@ func main() {
 	algo := flag.String("algo", "", "search algorithm to request (empty = server default)")
 	priority := flag.String("priority", "", "X-KB-Priority header for searches (high, normal, low)")
 	reqTimeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	searchOp := flag.String("search-op", "search", "op name for the search latency row in the report (cluster soaks use cluster_scatter so kbbench -compare folds them separately)")
 	out := flag.String("out", "", "write the JSON report here (empty = stdout table only)")
 	maxErrRate := flag.Float64("max-error-rate", -1, "exit 1 when errors/requests exceeds this (negative disables)")
 	maxP99 := flag.Duration("max-p99", 0, "exit 1 when any op's p99 exceeds this (0 disables)")
@@ -76,8 +77,8 @@ func main() {
 	vocab := harvestVocab(texts)
 	log.Printf("workload: %d query texts, %d vocabulary words", len(texts), len(vocab))
 
-	client := &http.Client{Timeout: *reqTimeout}
-	before, err := scrapeHealth(client, *addr)
+	cl := client.New(*addr, client.Config{HTTPClient: &http.Client{Timeout: *reqTimeout}})
+	before, err := scrapeHealth(cl)
 	if err != nil {
 		log.Fatalf("target not healthy: %v", err)
 	}
@@ -91,7 +92,7 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			results[w] = runWorker(workerConfig{
-				client: client, addr: *addr, deadline: deadline,
+				client: cl, deadline: deadline,
 				texts: texts, vocab: vocab,
 				rng:       rand.New(rand.NewSource(*seed + int64(w)*7919)),
 				readRatio: *readRatio, zipfS: *zipfS, k: *k,
@@ -102,12 +103,12 @@ func main() {
 	wg.Wait()
 	wall := time.Since(start)
 
-	after, err := scrapeHealth(client, *addr)
+	after, err := scrapeHealth(cl)
 	if err != nil {
 		log.Printf("post-soak /healthz scrape failed: %v", err)
 	}
 
-	report := buildReport(*addr, wall, *concurrency, *readRatio, results, before, after)
+	report := buildReport(*addr, *searchOp, wall, *concurrency, *readRatio, results, before, after)
 	fmt.Print(report.String())
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -174,8 +175,7 @@ type workerStats struct {
 }
 
 type workerConfig struct {
-	client    *http.Client
-	addr      string
+	client    *client.Client
 	deadline  time.Time
 	texts     []string
 	vocab     []string
@@ -213,36 +213,12 @@ func runWorker(cfg workerConfig) workerStats {
 }
 
 func doSearch(cfg workerConfig, st *workerStats, query string) {
-	body, _ := json.Marshal(serve.SearchRequest{Query: query, K: cfg.k, Algorithm: cfg.algo})
-	req, err := http.NewRequest(http.MethodPost, cfg.addr+"/search", bytes.NewReader(body))
-	if err != nil {
-		st.searchErrs++
-		return
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if cfg.priority != "" {
-		req.Header.Set("X-KB-Priority", cfg.priority)
-	}
 	t0 := time.Now()
-	resp, err := cfg.client.Do(req)
-	if err != nil {
-		st.searchErrs++
-		return
-	}
-	defer resp.Body.Close()
+	sr, err := cfg.client.Search(context.Background(), &api.SearchRequest{
+		Query: query, K: cfg.k, Algorithm: cfg.algo, Priority: cfg.priority,
+	})
 	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		st.searchShed++
-		drain(resp)
-	case resp.StatusCode != http.StatusOK:
-		st.searchErrs++
-		drain(resp)
-	default:
-		var sr serve.SearchResponse
-		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-			st.searchErrs++
-			return
-		}
+	case err == nil:
 		st.searchLat = append(st.searchLat, time.Since(t0))
 		if sr.Coalesced {
 			st.searchCoalesced++
@@ -250,6 +226,11 @@ func doSearch(cfg workerConfig, st *workerStats, query string) {
 		if sr.Cached {
 			st.searchCached++
 		}
+	case client.IsShed(err):
+		// 429 is the server shedding load on purpose, not a failure.
+		st.searchShed++
+	default:
+		st.searchErrs++
 	}
 }
 
@@ -263,54 +244,28 @@ func doUpdate(cfg workerConfig, st *workerStats, seq int) {
 	e := u.AddEntity("LoadEntity", fmt.Sprintf("%s %s w%d-%d", word(), word(), cfg.worker, seq))
 	u.AddTextAttr(e, "Note", word()+" "+word())
 	u.AddTextAttr(e, "Origin", fmt.Sprintf("kbload worker %d", cfg.worker))
-	body, _ := json.Marshal(serve.UpdateRequest{Ops: u.Ops})
 	t0 := time.Now()
-	resp, err := cfg.client.Post(cfg.addr+"/update", "application/json", bytes.NewReader(body))
-	if err != nil {
-		st.updateErrs++
-		return
-	}
-	defer resp.Body.Close()
+	_, err := cfg.client.Update(context.Background(), &api.UpdateRequest{Ops: u.Ops})
 	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		st.updateShed++
-	case resp.StatusCode != http.StatusOK:
-		st.updateErrs++
-	default:
+	case err == nil:
 		st.updateLat = append(st.updateLat, time.Since(t0))
-	}
-	drain(resp)
-}
-
-// drain discards the rest of a response body so the connection is
-// reusable.
-func drain(resp *http.Response) {
-	var sink [512]byte
-	for {
-		if _, err := resp.Body.Read(sink[:]); err != nil {
-			return
-		}
+	case client.IsShed(err):
+		st.updateShed++
+	default:
+		st.updateErrs++
 	}
 }
 
-func scrapeHealth(client *http.Client, addr string) (*serve.HealthResponse, error) {
-	resp, err := client.Get(addr + "/healthz")
+func scrapeHealth(cl *client.Client) (*api.HealthResponse, error) {
+	h, err := cl.Health(context.Background())
 	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
-		return nil, fmt.Errorf("/healthz: %s", resp.Status)
-	}
-	var h serve.HealthResponse
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return nil, fmt.Errorf("/healthz: %w", err)
 	}
-	return &h, nil
+	return h, nil
 }
 
-func buildReport(addr string, wall time.Duration, concurrency int, readRatio float64,
-	results []workerStats, before, after *serve.HealthResponse) *bench.LoadReport {
+func buildReport(addr, searchOp string, wall time.Duration, concurrency int, readRatio float64,
+	results []workerStats, before, after *api.HealthResponse) *bench.LoadReport {
 	var merged workerStats
 	for _, r := range results {
 		merged.searchLat = append(merged.searchLat, r.searchLat...)
@@ -322,7 +277,7 @@ func buildReport(addr string, wall time.Duration, concurrency int, readRatio flo
 		merged.searchCoalesced += r.searchCoalesced
 		merged.searchCached += r.searchCached
 	}
-	search := bench.Percentiles("search", merged.searchLat, wall, merged.searchErrs, merged.searchShed)
+	search := bench.Percentiles(searchOp, merged.searchLat, wall, merged.searchErrs, merged.searchShed)
 	search.Coalesced = merged.searchCoalesced
 	search.CacheHits = merged.searchCached
 	update := bench.Percentiles("update", merged.updateLat, wall, merged.updateErrs, merged.updateShed)

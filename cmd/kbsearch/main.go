@@ -8,6 +8,11 @@
 //	kbsearch -kb wiki.kb -shards 4  # partitioned indexes, scatter-gather
 //	kbsearch -kb wiki.kb -algo auto -explain "city population"
 //	kbsearch -kind fig1 "database software company revenue"
+//
+// With -server it queries a running kbserve (or cluster coordinator)
+// over the typed /v1 client instead of building a local engine:
+//
+//	kbsearch -server http://localhost:8080 "city population"
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"strings"
 	"time"
 
+	"kbtable/internal/api"
+	"kbtable/internal/client"
 	"kbtable/internal/core"
 	"kbtable/internal/dataset"
 	"kbtable/internal/index"
@@ -44,7 +51,13 @@ func main() {
 	rho := flag.Float64("rho", 0.1, "LETopK sampling rate ρ")
 	autoBias := flag.Float64("auto-bias", 0, "-algo auto: planner PE preference multiplier (0 = default 1; larger favors PE)")
 	repeat := flag.Int("repeat", 1, "re-execute each query this many times through a prepared handle (prepare once, run enumerate/aggregate/rank per iteration) and report cold vs prepared timings")
+	server := flag.String("server", "", "query a running kbserve at this base URL over the /v1 API instead of building a local engine")
 	flag.Parse()
+
+	if *server != "" {
+		runRemote(*server, *k, *algo, *rows, *autoBias, *explain)
+		return
+	}
 
 	var g *kg.Graph
 	var err error
@@ -233,6 +246,61 @@ func main() {
 		}
 	}
 
+	if flag.NArg() > 0 {
+		run(strings.Join(flag.Args(), " "))
+		return
+	}
+	fmt.Println("enter keyword queries, one per line (ctrl-D to exit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		run(q)
+	}
+}
+
+// runRemote drives queries through the typed /v1 client against a
+// running server, one-shot or interactively.
+func runRemote(base string, k int, algo string, rows int, autoBias float64, explain bool) {
+	cl := client.New(base)
+	wireAlgo := map[string]string{"pe": "patternenum", "le": "linearenum"}[algo]
+	if wireAlgo == "" {
+		wireAlgo = algo
+	}
+	run := func(q string) {
+		resp, err := cl.Search(context.Background(), &api.SearchRequest{
+			Query: q, K: k, Algorithm: wireAlgo, MaxRows: rows, AutoBias: autoBias,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cached := ""
+		if resp.Cached {
+			cached = " (cached)"
+		}
+		fmt.Printf("\n%d answers in %.3fms, epoch %d, algorithm %s%s\n",
+			len(resp.Answers), resp.ElapsedMS, resp.Epoch, resp.Algorithm, cached)
+		if explain && resp.Plan != nil {
+			p := resp.Plan
+			fmt.Printf("plan: algorithm=%s auto=%t\n", p.Algorithm, p.Auto)
+			if p.Reason != "" {
+				fmt.Printf("      %s\n", p.Reason)
+			}
+			fmt.Printf("      candidate_roots=%d root_types=%d pattern_space=%d frontier=%d\n",
+				p.CandidateRoots, p.RootTypes, p.PatternSpace, p.Frontier)
+			fmt.Printf("stages: prepare=%.3fms enumerate=%.3fms aggregate=%.3fms rank=%.3fms\n",
+				p.PrepareMS, p.EnumerateMS, p.AggregateMS, p.RankMS)
+		}
+		for _, a := range resp.Answers {
+			fmt.Printf("\n#%d  score=%.4f  rows=%d\n%s\n", a.Rank, a.Score, a.NumRows, a.Pattern)
+			fmt.Println(strings.Join(a.Columns, " | "))
+			for _, row := range a.Rows {
+				fmt.Println(strings.Join(row, " | "))
+			}
+		}
+	}
 	if flag.NArg() > 0 {
 		run(strings.Join(flag.Args(), " "))
 		return

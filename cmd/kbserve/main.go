@@ -24,14 +24,26 @@
 //	kbserve -demo                            # built-in Figure 1 KB
 //	kbserve -demo -readonly                  # disable POST /update
 //
-// Endpoints:
+// Cluster mode (-role) splits one logical server across processes over
+// the same /v1 API. The coordinator holds the full engine and the WAL,
+// scatters per-shard query legs to owner nodes, and ships committed WAL
+// records to every follower; answers are bit-identical to standalone:
 //
-//	POST /search  {"query":"database software company revenue","k":5,
-//	               "algorithm":"patternenum","d":3}
-//	POST /update  {"ops":[{"op":"add_entity","type":"Software",
-//	               "text":"Postgres"},
-//	               {"op":"add_attr","src":-1,"attr":"Genre","dst":1}]}
-//	GET  /healthz
+//	kbserve -kb wiki.kb -shards 4 -data-dir ./data \
+//	        -role coordinator -node-id c0 -cluster members.txt
+//	kbserve -kb wiki.kb -shards 4 -role node -node-id n0 \
+//	        -shard-range 0-1 -source http://coord:8080
+//	kbserve -kb wiki.kb -shards 4 -role replica -node-id r0 \
+//	        -source http://coord:8080
+//
+// Endpoints (under /v1; unversioned aliases remain for one release):
+//
+//	POST /v1/search  {"query":"database software company revenue","k":5,
+//	                  "algorithm":"patternenum","d":3}
+//	POST /v1/update  {"ops":[{"op":"add_entity","type":"Software",
+//	                  "text":"Postgres"},
+//	                  {"op":"add_attr","src":-1,"attr":"Genre","dst":1}]}
+//	GET  /v1/healthz
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
@@ -48,6 +60,7 @@ import (
 	"time"
 
 	"kbtable"
+	"kbtable/internal/cluster"
 	"kbtable/internal/serve"
 )
 
@@ -75,6 +88,12 @@ func main() {
 	gcBatch := flag.Int("group-commit-batch", 0, "WAL group commit: records per fsync batch (0 = default 128)")
 	gcDelay := flag.Duration("group-commit-delay", 0, "WAL group commit: hold a non-full batch open this long for stragglers (0 = commit immediately)")
 	adaptiveBias := flag.Bool("adaptive-bias", false, "learn the auto planner's PE/LE crossover bias from observed stage timings (applies to auto requests without an explicit auto_bias; answers are unchanged)")
+	role := flag.String("role", "standalone", "cluster role: standalone, coordinator (scatter legs to owners, ship WAL), node (host -shard-range, serve legs), or replica (full engine fed by WAL shipping)")
+	nodeID := flag.String("node-id", "", "this process's member id in cluster mode")
+	shardRange := flag.String("shard-range", "", "shards a node role hosts: lo-hi or a,b,c (requires -shards for the partition size)")
+	clusterSpec := flag.String("cluster", "", "coordinator membership: a file path or an inline \"id addr shards=lo-hi; id addr replica\" list")
+	source := flag.String("source", "", "follower roles: the coordinator's base URL to pull committed WAL records from")
+	pullInterval := flag.Duration("pull-interval", 500*time.Millisecond, "follower WAL pull interval")
 	flag.Parse()
 
 	// With -data-dir, the snapshot manifest is authoritative for the
@@ -88,6 +107,46 @@ func main() {
 	var err error
 	opts := kbtable.EngineOptions{D: *d, Workers: *workers, Shards: *shards}
 	t0 := time.Now()
+
+	switch *role {
+	case "standalone", "coordinator", "node", "replica":
+	default:
+		log.Fatalf("-role %q: want standalone, coordinator, node, or replica", *role)
+	}
+	if *role != "standalone" && *nodeID == "" {
+		log.Fatalf("-role %s requires -node-id", *role)
+	}
+	if *role == "coordinator" {
+		if *clusterSpec == "" {
+			log.Fatal("-role coordinator requires -cluster (the member table)")
+		}
+		if *dataDir == "" {
+			log.Fatal("-role coordinator requires -data-dir (followers replay its WAL)")
+		}
+		// Followers bootstrap by replaying the WAL from sequence 0, so the
+		// coordinator keeps its full history unless the operator explicitly
+		// opted into checkpoint truncation.
+		if !explicit["checkpoint-every"] {
+			*ckptEvery = -1
+		}
+	}
+	if *role == "node" || *role == "replica" {
+		if *source == "" {
+			log.Fatalf("-role %s requires -source (the coordinator's URL)", *role)
+		}
+		if *dataDir != "" {
+			log.Fatal("-data-dir is for standalone/coordinator roles; followers replicate the coordinator's WAL instead")
+		}
+	}
+	if *role == "node" {
+		if *shardRange == "" {
+			log.Fatal("-role node requires -shard-range")
+		}
+		opts.OwnedShards, err = cluster.ParseShardRange(*shardRange)
+		if err != nil {
+			log.Fatalf("-shard-range: %v", err)
+		}
+	}
 
 	if *dataDir != "" {
 		if *ixPath != "" {
@@ -162,14 +221,14 @@ func main() {
 	if _, _, err := serve.ParseAlgorithm(*defaultAlgo); err != nil {
 		log.Fatalf("-default-algo: %v", err)
 	}
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Engine:           eng,
 		D:                st.D,
 		CacheSize:        *cacheSize,
 		Timeout:          *timeout,
 		MaxK:             *maxK,
 		MaxRows:          *maxRows,
-		ReadOnly:         *readOnly,
+		ReadOnly:         *readOnly || *role == "node" || *role == "replica",
 		DefaultAlgorithm: *defaultAlgo,
 		Store:            store,
 		CheckpointEvery:  *ckptEvery,
@@ -177,7 +236,29 @@ func main() {
 		MaxQueue:         *maxQueue,
 		QueueTimeout:     *queueTimeout,
 		AdaptiveBias:     *adaptiveBias,
-	})
+	}
+	var srv *serve.Server
+	switch *role {
+	case "coordinator":
+		members, err := loadMembers(*clusterSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		router := cluster.NewRouter(*nodeID, members)
+		router.SeqFn = func() uint64 { return store.Stats().LastSeq }
+		cfg.Distributor = router
+		cfg.Cluster = router.Health
+		srv = serve.New(cfg)
+		log.Printf("coordinator %s: %d members, scattering legs over /v1", *nodeID, len(members.Members))
+	case "node", "replica":
+		node := cluster.NewNode(cfg, *role, *nodeID)
+		srv = node.Server()
+		node.StartReplication(*source, *pullInterval)
+		defer node.StopReplication()
+		log.Printf("%s %s: replicating WAL from %s every %v", *role, *nodeID, *source, *pullInterval)
+	default:
+		srv = serve.New(cfg)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -214,6 +295,15 @@ func main() {
 		}
 		log.Print("drained")
 	}
+}
+
+// loadMembers reads -cluster: a membership file when the path exists,
+// otherwise an inline "id addr shards=lo-hi; id addr replica" list.
+func loadMembers(spec string) (*cluster.Membership, error) {
+	if _, err := os.Stat(spec); err == nil {
+		return cluster.LoadMembership(spec)
+	}
+	return cluster.ParseMembership(spec)
 }
 
 // mustGraph loads the knowledge base from -kb or builds the demo.

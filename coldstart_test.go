@@ -291,7 +291,15 @@ type kbProc struct {
 // startKBServe launches kbserve on a fresh port and waits for /healthz.
 func startKBServe(t *testing.T, bin string, args ...string) *kbProc {
 	t.Helper()
-	addr := freeAddr(t)
+	return startKBServeAt(t, bin, freeAddr(t), args...)
+}
+
+// startKBServeAt launches kbserve on a caller-chosen address — cluster
+// tests pick every member's port up front so the coordinator's
+// membership file and the followers' -source flag can reference peers
+// that have not started yet.
+func startKBServeAt(t *testing.T, bin, addr string, args ...string) *kbProc {
+	t.Helper()
 	logf := filepath.Join(t.TempDir(), "kbserve.log")
 	lf, err := os.Create(logf)
 	if err != nil {

@@ -161,6 +161,51 @@ type walRecord struct {
 	Ops []UpdateOp `json:"ops"`
 }
 
+// ErrWALGap reports that a WAL read cursor points at history the store
+// no longer holds: a checkpoint GC'd the segments past the cursor, so a
+// follower at that position cannot catch up incrementally and must be
+// reseeded from a snapshot.
+var ErrWALGap = errors.New("kbtable: wal history gap")
+
+// WALRecord is one committed update batch read back from the WAL — the
+// unit of replication a cluster follower pulls and replays through
+// ApplyUpdate (the exact path the coordinator applied it through).
+type WALRecord struct {
+	Seq uint64     `json:"seq"`
+	Ops []UpdateOp `json:"ops"`
+}
+
+// ReadWAL returns up to max committed records with sequence > after, in
+// order (max <= 0 means a default batch of 512). Safe to call while the
+// store is appending: the scan stops cleanly before any record that is
+// still in flight. Returns ErrWALGap when records past the cursor were
+// checkpointed away.
+func (s *Store) ReadWAL(after uint64, max int) ([]WALRecord, error) {
+	if max <= 0 {
+		max = 512
+	}
+	var out []WALRecord
+	errLimit := errors.New("kbtable: wal read limit")
+	st, err := s.s.Replay(after, func(seq uint64, payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("kbtable: decode wal record %d: %w", seq, err)
+		}
+		out = append(out, WALRecord{Seq: seq, Ops: rec.Ops})
+		if len(out) >= max {
+			return errLimit
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errLimit) {
+		return nil, err
+	}
+	if st.Torn && st.Records == 0 && after < s.s.Stats().SnapshotSeq {
+		return nil, fmt.Errorf("%w: records after seq %d were checkpointed away", ErrWALGap, after)
+	}
+	return out, nil
+}
+
 // ApplyLogged is ApplyUpdate plus durability: the batch is validated
 // and applied in memory first, and only an accepted batch is appended
 // to the write-ahead log (fsync) before ApplyLogged returns — so the

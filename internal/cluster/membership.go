@@ -1,0 +1,153 @@
+// Package cluster turns single-process kbtable servers into a static
+// multi-node deployment: a coordinator that scatters the planner probe
+// and the per-shard enumerate→aggregate legs to owner nodes over the
+// /v1 API and gathers their partials with the engine's canonical
+// Theorem-5 fold (internal/shard), owner nodes that host a subset of
+// the shard partition, and read replicas that replay the coordinator's
+// WAL through the full serving pipeline. Everything exactness-critical
+// lives in the engine (kbtable.SearchDistributed); this package is only
+// membership, transport, and replication plumbing — which is why a
+// cluster answer is bit-identical to a single-node one.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Member is one process in a static cluster membership.
+type Member struct {
+	// ID names the node (unique within the membership).
+	ID string
+	// Addr is the node's base URL ("http://" is assumed when no scheme
+	// is given).
+	Addr string
+	// Replica marks a read replica: a node hosting the complete engine,
+	// fed by WAL shipping, eligible as a fallback for any shard leg.
+	Replica bool
+	// Shards are the owned shards of an owner node, ascending.
+	Shards []int
+}
+
+// Membership is a parsed static member table.
+type Membership struct {
+	Members []Member
+}
+
+// ParseMembership parses a membership spec: one entry per line (or
+// separated by ',' / ';'), each
+//
+//	<id> <addr> shards=<lo>-<hi>   — an owner hosting shards lo..hi
+//	<id> <addr> shards=<a>,<b>,…   — an owner hosting an explicit list
+//	<id> <addr> replica            — a read replica (complete engine)
+//
+// '#' starts a comment. Within an entry, fields are whitespace-
+// separated; shard lists use ',' inside the shards= value, which is
+// why ';' (or a newline) separates entries in inline specs.
+func ParseMembership(spec string) (*Membership, error) {
+	m := &Membership{}
+	seen := map[string]bool{}
+	for _, line := range strings.FieldsFunc(spec, func(r rune) bool { return r == '\n' || r == ';' }) {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("cluster: bad member %q (want \"id addr shards=lo-hi\" or \"id addr replica\")", strings.TrimSpace(line))
+		}
+		mem := Member{ID: fields[0], Addr: normalizeAddr(fields[1])}
+		if seen[mem.ID] {
+			return nil, fmt.Errorf("cluster: duplicate member id %q", mem.ID)
+		}
+		seen[mem.ID] = true
+		switch {
+		case fields[2] == "replica":
+			mem.Replica = true
+		case strings.HasPrefix(fields[2], "shards="):
+			shards, err := parseShardSet(strings.TrimPrefix(fields[2], "shards="))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: member %q: %w", mem.ID, err)
+			}
+			mem.Shards = shards
+		default:
+			return nil, fmt.Errorf("cluster: member %q: unknown role %q (want shards=… or replica)", mem.ID, fields[2])
+		}
+		m.Members = append(m.Members, mem)
+	}
+	if len(m.Members) == 0 {
+		return nil, fmt.Errorf("cluster: empty membership")
+	}
+	return m, nil
+}
+
+// LoadMembership reads a membership file (ParseMembership syntax).
+func LoadMembership(path string) (*Membership, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	return ParseMembership(string(b))
+}
+
+// ParseShardRange parses the -shard-range flag value: "lo-hi" or an
+// explicit "a,b,c" list, as in a membership entry's shards= field.
+func ParseShardRange(s string) ([]int, error) {
+	return parseShardSet(s)
+}
+
+func parseShardSet(s string) ([]int, error) {
+	var out []int
+	if lo, hi, ok := strings.Cut(s, "-"); ok {
+		a, err1 := strconv.Atoi(lo)
+		b, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || a < 0 || b < a {
+			return nil, fmt.Errorf("bad shard range %q", s)
+		}
+		for si := a; si <= b; si++ {
+			out = append(out, si)
+		}
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad shard list %q", s)
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+func normalizeAddr(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// Owners returns the members hosting shard si in membership order,
+// owners first, then replicas (which host every shard) as fallbacks.
+func (m *Membership) Owners(si int) []Member {
+	var out []Member
+	for _, mem := range m.Members {
+		for _, s := range mem.Shards {
+			if s == si {
+				out = append(out, mem)
+				break
+			}
+		}
+	}
+	for _, mem := range m.Members {
+		if mem.Replica {
+			out = append(out, mem)
+		}
+	}
+	return out
+}

@@ -101,15 +101,8 @@ func (c *LRU[V]) Len() int {
 	return c.ll.Len()
 }
 
-// CacheStats is a point-in-time snapshot of cache effectiveness.
-type CacheStats struct {
-	Size     int    `json:"size"`
-	Capacity int    `json:"capacity"`
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-}
-
-// Stats snapshots size and hit/miss counters.
+// Stats snapshots size and hit/miss counters. CacheStats is aliased
+// from internal/api — it appears verbatim in the /v1/healthz reply.
 func (c *LRU[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"kbtable/internal/api"
 )
 
 // GET /metrics: Prometheus text exposition (version 0.0.4), hand-rolled
@@ -128,7 +130,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.Handler {
 // handleMetrics renders GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET only")
 		return
 	}
 	var b bytes.Buffer

@@ -8,12 +8,14 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kbtable"
+	"kbtable/internal/api"
 )
 
 // Searcher is the query surface the server needs. *kbtable.Engine
@@ -90,6 +92,23 @@ type planCacheStatser interface {
 	PlanCacheStats() kbtable.PlanCacheStats
 }
 
+// distributedSearcher is the cluster-coordinator surface: scatter the
+// planner probe and the per-shard enumerate→aggregate legs through a
+// kbtable.ShardExecutor, gather exactly. *kbtable.Engine implements it
+// for complete sharded engines; it engages only when Config.Distributor
+// is set.
+type distributedSearcher interface {
+	PlanDistributed(ctx context.Context, exec kbtable.ShardExecutor, query string, opts kbtable.SearchOptions) (kbtable.PlanInfo, error)
+	SearchDistributed(ctx context.Context, exec kbtable.ShardExecutor, query string, opts kbtable.SearchOptions) ([]kbtable.Answer, kbtable.PlanInfo, error)
+}
+
+// shardOwner describes which slice of the shard partition the engine
+// hosts, for GET /v1/shards. *kbtable.Engine implements it.
+type shardOwner interface {
+	OwnedShards() []int
+	Complete() bool
+}
+
 // Config configures a Server.
 type Config struct {
 	// Engine answers the queries. Required.
@@ -141,6 +160,19 @@ type Config struct {
 	// an explicit auto_bias. Off by default; the learned bias steers
 	// only the PE/LE choice, never the answer bytes.
 	AdaptiveBias bool
+	// Distributor, when non-nil, turns leader executions into cluster
+	// scatter-gather: each shard's planner probe and enumerate→aggregate
+	// leg is routed through the executor (internal/cluster's Router) to
+	// remote owner nodes, and the partials gather on the local engine.
+	// Legs that fail re-run locally inside the engine, so answers stay
+	// bit-identical to single-node execution regardless of node health.
+	// Requires an Engine exposing SearchDistributed (a complete sharded
+	// *kbtable.Engine); ignored otherwise.
+	Distributor kbtable.ShardExecutor
+	// Cluster, when non-nil, is consulted per /healthz and /v1/shards
+	// request for this process's cluster role, identity, and
+	// replication position.
+	Cluster func() *api.ClusterHealth
 }
 
 func (c Config) withDefaults() Config {
@@ -183,13 +215,14 @@ func (c Config) withDefaults() Config {
 // next epoch.
 type engineState struct {
 	eng      Searcher
-	upd      Updater            // nil if the engine cannot apply updates
-	words    wordResolver       // nil if the engine cannot resolve query words
-	shards   shardInfoer        // nil if the engine cannot describe its shards
-	plans    planner            // nil if the engine cannot resolve plans
-	preps    preparer           // nil if the engine cannot prepare queries
-	dur      durableEngine      // nil if the engine cannot log/checkpoint
-	durAsync asyncDurableEngine // nil if the engine cannot pipeline durable updates
+	upd      Updater             // nil if the engine cannot apply updates
+	words    wordResolver        // nil if the engine cannot resolve query words
+	shards   shardInfoer         // nil if the engine cannot describe its shards
+	plans    planner             // nil if the engine cannot resolve plans
+	preps    preparer            // nil if the engine cannot prepare queries
+	dur      durableEngine       // nil if the engine cannot log/checkpoint
+	durAsync asyncDurableEngine  // nil if the engine cannot pipeline durable updates
+	dist     distributedSearcher // nil if the engine cannot scatter-gather
 	epoch    uint64
 }
 
@@ -302,15 +335,17 @@ func New(cfg Config) *Server {
 		s.gate = newGate(cfg.MaxConcurrent, cfg.MaxQueue)
 	}
 	st := &engineState{eng: cfg.Engine, epoch: 0}
-	if !cfg.ReadOnly {
-		st.upd, _ = cfg.Engine.(Updater)
-	}
+	// ReadOnly gates only the HTTP handler, not the facet: the
+	// replication path (Apply) must keep writing through a server whose
+	// own /update endpoint is closed to clients.
+	st.upd, _ = cfg.Engine.(Updater)
 	st.words, _ = cfg.Engine.(wordResolver)
 	st.shards, _ = cfg.Engine.(shardInfoer)
 	st.plans, _ = cfg.Engine.(planner)
 	st.preps, _ = cfg.Engine.(preparer)
 	st.dur, _ = cfg.Engine.(durableEngine)
 	st.durAsync, _ = cfg.Engine.(asyncDurableEngine)
+	st.dist, _ = cfg.Engine.(distributedSearcher)
 	s.cur.Store(st)
 	// A server recovered with a long WAL suffix should not wait for the
 	// next update to reclaim it: evaluate the checkpoint lag once at
@@ -329,16 +364,45 @@ func New(cfg Config) *Server {
 // custom middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/search", s.instrument("search", s.handleSearch))
-	mux.Handle("/prepare", s.instrument("prepare", s.handlePrepare))
-	mux.Handle("/update", s.instrument("update", s.handleUpdate))
-	mux.Handle("/healthz", s.instrument("healthz", s.handleHealthz))
-	mux.Handle("/metrics", s.instrument("metrics", s.handleMetrics))
+	// Every endpoint lives under /v1; the historical unversioned paths
+	// remain aliases for one release and serve identical bytes.
+	route := func(path, name string, h http.HandlerFunc) {
+		mux.Handle("/"+api.Version+path, s.instrument(name, h))
+		mux.Handle(path, s.instrument(name, h))
+	}
+	route("/search", "search", s.handleSearch)
+	route("/prepare", "prepare", s.handlePrepare)
+	route("/update", "update", s.handleUpdate)
+	route("/healthz", "healthz", s.handleHealthz)
+	route("/metrics", "metrics", s.handleMetrics)
+	mux.Handle("/"+api.Version+"/shards", s.instrument("shards", s.handleShards))
+	mux.Handle("/"+api.Version+"/wal/segments", s.instrument("wal_segments", s.handleWALSegments))
+	// Unknown paths answer the JSON envelope, not net/http's text 404.
+	mux.Handle("/", s.instrument("notfound", s.handleNotFound))
 	return mux
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, api.CodeNotFound,
+		fmt.Sprintf("no such endpoint %q (the API lives under /%s)", r.URL.Path, api.Version))
+}
+
+// CurrentEngine returns the currently published engine snapshot and its
+// epoch. Cluster node handlers execute shard legs against exactly this
+// pinned pair, so a concurrently applied update can never mix epochs
+// inside one scattered query.
+func (s *Server) CurrentEngine() (Searcher, uint64) {
+	st := s.cur.Load()
+	return st.eng, st.epoch
 }
 
 // Epoch returns the currently published epoch number.
 func (s *Server) Epoch() uint64 { return s.cur.Load().epoch }
+
+// SetHandler replaces what ListenAndServe serves (a cluster node wraps
+// Handler with the coordinator-facing leg endpoints). Call it before
+// ListenAndServe.
+func (s *Server) SetHandler(h http.Handler) { s.hs.Handler = h }
 
 // ListenAndServe blocks serving on addr until Shutdown or a listener
 // error; it returns nil after a clean shutdown.
@@ -357,101 +421,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
-// SearchRequest is the POST /search body.
-type SearchRequest struct {
-	// Query is the keyword query, e.g. "database software company revenue".
-	Query string `json:"query"`
-	// K is the number of table answers; default 10.
-	K int `json:"k,omitempty"`
-	// Algorithm is "patternenum"/"pe" (default), "linearenum"/"le",
-	// "baseline", or "auto" (the cost-based planner picks patternenum or
-	// linearenum per query; answers are bit-identical to requesting the
-	// resolved algorithm explicitly).
-	Algorithm string `json:"algorithm,omitempty"`
-	// D must be 0 or the engine's height threshold.
-	D int `json:"d,omitempty"`
-	// MaxRows caps materialized rows per answer; default Config.MaxRows.
-	MaxRows int `json:"max_rows,omitempty"`
-	// AutoBias overrides the planner's PATTERNENUM preference for "auto"
-	// requests (0 = default; larger favors patternenum). It steers only
-	// the choice, never the answer bytes, so it does not participate in
-	// the cache key — the resolved algorithm it influenced does.
-	AutoBias float64 `json:"auto_bias,omitempty"`
-	// Priority is the admission-control class: "high", "normal"
-	// (default), or "low". The X-KB-Priority header takes precedence.
-	// Priority orders only queue admission under load; it never changes
-	// the answer bytes and does not participate in the cache key.
-	Priority string `json:"priority,omitempty"`
-	// PreparedID executes a handle from POST /prepare instead of
-	// planning from scratch: query/k/algorithm/d/max_rows come from the
-	// prepare-time request (and must be omitted here), only auto_bias
-	// and priority may be set per execution. A handle whose epoch has
-	// been superseded by an update answers 410 Gone — re-prepare.
-	PreparedID string `json:"prepared_id,omitempty"`
-}
+// The wire types live in internal/api — the versioned /v1 contract
+// shared with internal/client and internal/cluster — and are aliased
+// here so server code (and its tests) keep their historical names.
+type (
+	SearchRequest   = api.SearchRequest
+	SearchAnswer    = api.SearchAnswer
+	SearchResponse  = api.SearchResponse
+	PlanOut         = api.PlanOut
+	PrepareRequest  = api.PrepareRequest
+	PrepareResponse = api.PrepareResponse
+	UpdateRequest   = api.UpdateRequest
+	UpdateResponse  = api.UpdateResponse
 
-// SearchAnswer is one ranked table answer on the wire.
-type SearchAnswer struct {
-	Rank    int        `json:"rank"`
-	Score   float64    `json:"score"`
-	NumRows int        `json:"num_rows"`
-	Pattern string     `json:"pattern"`
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-}
-
-// SearchResponse is the POST /search reply. Epoch names the KB snapshot
-// that computed the answers: every response is consistent with exactly
-// that published epoch (cached responses keep the epoch they were
-// computed under — they are only retained while still valid).
-type SearchResponse struct {
-	Query string `json:"query"`
-	K     int    `json:"k"`
-	// Algorithm is the algorithm that computed (or would compute) the
-	// answers — for "auto" requests, the planner's resolution, never
-	// "auto" itself.
-	Algorithm string `json:"algorithm"`
-	D         int    `json:"d"`
-	Epoch     uint64 `json:"epoch"`
-	Cached    bool   `json:"cached"`
-	// Coalesced reports that this response shares an execution with an
-	// identical concurrent request (same normalized query, options, and
-	// epoch) instead of having run the search itself.
-	Coalesced bool `json:"coalesced,omitempty"`
-	// PreparedID echoes the handle a prepared execution ran (prepared
-	// searches bypass the result cache; Epoch is the handle's).
-	PreparedID string  `json:"prepared_id,omitempty"`
-	ElapsedMS  float64 `json:"elapsed_ms"`
-	// Plan reports the resolved execution plan and per-stage timings
-	// (omitted when the engine does not expose plans). On cache hits the
-	// stage timings are those of the run that populated the entry.
-	Plan    *PlanOut       `json:"plan,omitempty"`
-	Answers []SearchAnswer `json:"answers"`
-}
-
-// PlanOut is the wire form of a resolved execution plan.
-type PlanOut struct {
-	// Algorithm is the resolved algorithm's wire name.
-	Algorithm string `json:"algorithm"`
-	// Auto reports that the planner (not the request) chose Algorithm.
-	Auto bool `json:"auto"`
-	// Reason is the planner's cost rationale (auto only).
-	Reason string `json:"reason,omitempty"`
-	// CandidateRoots is -1 when the plan did not need the intersection.
-	CandidateRoots int   `json:"candidate_roots"`
-	RootTypes      int   `json:"root_types"`
-	PatternSpace   int64 `json:"pattern_space"`
-	Frontier       int64 `json:"frontier"`
-	// Per-stage wall clock of the staged executor, in milliseconds.
-	PrepareMS   float64 `json:"prepare_ms"`
-	EnumerateMS float64 `json:"enumerate_ms"`
-	AggregateMS float64 `json:"aggregate_ms"`
-	RankMS      float64 `json:"rank_ms"`
-	// BoundPruned counts enumeration units the executor's top-k bound
-	// pushdown cut before materialization (0 when pruning was off or
-	// never fired).
-	BoundPruned int64 `json:"bound_pruned"`
-}
+	CacheStats         = api.CacheStats
+	ShardHealth        = api.ShardHealth
+	IndexHealth        = api.IndexHealth
+	PlannerHealth      = api.PlannerHealth
+	PlanCacheHealth    = api.PlanCacheHealth
+	AdaptiveBiasHealth = api.AdaptiveBiasHealth
+	PreparedHealth     = api.PreparedHealth
+	DurabilityHealth   = api.DurabilityHealth
+	ServingHealth      = api.ServingHealth
+	HealthResponse     = api.HealthResponse
+)
 
 // planOut converts a facade PlanInfo to the wire form.
 func planOut(pi kbtable.PlanInfo) *PlanOut {
@@ -472,190 +465,9 @@ func planOut(pi kbtable.PlanInfo) *PlanOut {
 	}
 }
 
-// UpdateRequest is the POST /update body: an atomic batch of mutations
-// (see kbtable.UpdateOp for the op schema).
-type UpdateRequest struct {
-	Ops []kbtable.UpdateOp `json:"ops"`
-}
-
-// UpdateResponse is the POST /update reply.
-type UpdateResponse struct {
-	// Epoch is the newly published epoch; searches answered after this
-	// reply reflect the update (or carry an older epoch from cache only
-	// if the update could not have changed them).
-	Epoch uint64 `json:"epoch"`
-	// NewEntities resolves this batch's add_entity back-references.
-	NewEntities []int64 `json:"new_entities,omitempty"`
-	Entities    int     `json:"entities"`
-	Attributes  int     `json:"attributes"`
-	// DirtyRoots / entry counts describe the incremental index splice.
-	EntriesRemoved int64 `json:"entries_removed"`
-	EntriesAdded   int64 `json:"entries_added"`
-	DirtyRoots     int   `json:"dirty_roots"`
-	// TouchedWords and InvalidatedCache size the blast radius: how many
-	// posting lists changed and how many cached results were dropped.
-	TouchedWords     int `json:"touched_words"`
-	InvalidatedCache int `json:"invalidated_cache"`
-	// AffectedShards counts shards whose postings the update touched
-	// (0 on unsharded engines).
-	AffectedShards int     `json:"affected_shards,omitempty"`
-	ElapsedMS      float64 `json:"elapsed_ms"`
-}
-
-// ShardHealth is the /healthz view of the engine's shard layout.
-type ShardHealth struct {
-	Count int `json:"count"`
-	// Epochs / Roots / Entries are per-shard (absent on unsharded
-	// engines): the shard's update epoch, live owned roots, and index
-	// postings.
-	Epochs  []uint64 `json:"epochs,omitempty"`
-	Roots   []int    `json:"roots,omitempty"`
-	Entries []int64  `json:"entries,omitempty"`
-}
-
-// IndexHealth is the /healthz view of the resident index footprint:
-// exact columnar-arena bytes (summed across shards) and the bytes/entry
-// figure the footprint benchmarks track.
-type IndexHealth struct {
-	Bytes         int64   `json:"bytes"`
-	BytesPerEntry float64 `json:"bytes_per_entry"`
-	Entries       int64   `json:"entries"`
-	Patterns      int     `json:"patterns"`
-	D             int     `json:"d"`
-}
-
 // indexStatser is the optional engine facet exposing footprint stats.
 type indexStatser interface {
 	IndexStats() kbtable.IndexStats
-}
-
-// PlannerHealth aggregates the Auto planner's decisions since startup.
-type PlannerHealth struct {
-	// AutoRequests counts searches that asked for "auto".
-	AutoRequests uint64 `json:"auto_requests"`
-	// ChosePatternEnum / ChoseLinearEnum split the resolutions.
-	ChosePatternEnum uint64 `json:"chose_patternenum"`
-	ChoseLinearEnum  uint64 `json:"chose_linearenum"`
-	// PlanCache reports the engine chain's plan cache (absent when the
-	// engine does not expose one): repeat query shapes resolve their
-	// Auto plan from cached statistics instead of re-probing.
-	PlanCache *PlanCacheHealth `json:"plan_cache,omitempty"`
-	// AdaptiveBias reports the learned planner bias (absent when
-	// Config.AdaptiveBias is off).
-	AdaptiveBias *AdaptiveBiasHealth `json:"adaptive_bias,omitempty"`
-	// Prepared reports prepared-query traffic.
-	Prepared PreparedHealth `json:"prepared"`
-}
-
-// PlanCacheHealth is the /healthz view of the engine's plan cache.
-type PlanCacheHealth struct {
-	Size     int `json:"size"`
-	Capacity int `json:"capacity"`
-	// Epoch is the cache's invalidation epoch — it advances on every
-	// applied update, fencing superseded snapshots out of the cache.
-	Epoch       uint64 `json:"epoch"`
-	Hits        uint64 `json:"hits"`
-	Misses      uint64 `json:"misses"`
-	Invalidated uint64 `json:"invalidated"`
-}
-
-// AdaptiveBiasHealth is the /healthz view of the adaptive planner
-// feedback accumulator.
-type AdaptiveBiasHealth struct {
-	// Base is the static bias the learned scale applies to; Effective
-	// is the bias "auto" requests without an explicit auto_bias run
-	// under right now (== Base until both algorithms were observed).
-	Base      float64 `json:"base"`
-	Effective float64 `json:"effective"`
-	// PEObservations / LEObservations count folded executions, and the
-	// NsPerUnit pair is the learned cost-model exchange rate.
-	PEObservations uint64  `json:"pe_observations"`
-	LEObservations uint64  `json:"le_observations"`
-	PENsPerUnit    float64 `json:"pe_ns_per_unit"`
-	LENsPerUnit    float64 `json:"le_ns_per_unit"`
-}
-
-// PreparedHealth is the /healthz view of the prepared-query registry.
-type PreparedHealth struct {
-	// Live counts handles valid on the current epoch.
-	Live int `json:"live"`
-	// Prepares / Searches / Expired count handles created, prepared
-	// executions served, and handles invalidated by epoch swaps.
-	Prepares uint64 `json:"prepares"`
-	Searches uint64 `json:"searches"`
-	Expired  uint64 `json:"expired"`
-}
-
-// DurabilityHealth is the /healthz view of the snapshot + WAL store.
-type DurabilityHealth struct {
-	// DataDir is the store's directory.
-	DataDir string `json:"data_dir"`
-	// WALSeq is the last durable WAL sequence; SnapshotSeq is the WAL
-	// position of the newest snapshot. PendingRecords = WALSeq −
-	// SnapshotSeq is how many update batches a cold start would replay.
-	WALSeq         uint64 `json:"wal_seq"`
-	SnapshotSeq    uint64 `json:"snapshot_seq"`
-	PendingRecords uint64 `json:"wal_pending_records"`
-	// WALBytes is the live WAL size on disk.
-	WALBytes int64 `json:"wal_bytes"`
-	// Checkpoints / CheckpointErrors count completed and failed
-	// checkpoints since startup; CheckpointEvery is the trigger
-	// threshold (-1 = automatic checkpoints disabled).
-	Checkpoints      uint64 `json:"checkpoints"`
-	CheckpointErrors uint64 `json:"checkpoint_errors,omitempty"`
-	CheckpointEvery  int    `json:"checkpoint_every"`
-	// LastCheckpointUnix is the wall-clock second of the last completed
-	// checkpoint (0 = none since startup).
-	LastCheckpointUnix int64 `json:"last_checkpoint_unix,omitempty"`
-	// TornOnOpen reports that this process found (and truncated) a torn
-	// WAL suffix when it opened the store — evidence of a crash.
-	TornOnOpen bool `json:"torn_on_open,omitempty"`
-	// WALBroken reports a failed WAL append: the server now rejects
-	// every update (503) until restarted. The top-level status turns
-	// "degraded" so health probes catch it.
-	WALBroken bool `json:"wal_broken,omitempty"`
-	// Group-commit batching: GroupCommitBatches fsyncs covered
-	// GroupCommitRecords WAL records (their ratio is the average batch
-	// size; 1.0 means updates never overlapped), and the largest batch.
-	GroupCommitBatches  uint64 `json:"group_commit_batches"`
-	GroupCommitRecords  uint64 `json:"group_commit_records"`
-	GroupCommitMaxBatch int    `json:"group_commit_max_batch"`
-}
-
-// ServingHealth is the /healthz view of the serving path: read
-// coalescing and admission control.
-type ServingHealth struct {
-	// Coalesced counts searches that joined another identical in-flight
-	// execution instead of running the search themselves.
-	Coalesced uint64 `json:"coalesced"`
-	// MaxConcurrent is the execution-slot bound (0 = gate disabled).
-	MaxConcurrent int `json:"max_concurrent"`
-	// InFlight / QueueDepth are the gate's current occupancy.
-	InFlight   int `json:"in_flight"`
-	QueueDepth int `json:"queue_depth"`
-	// ShedQueueFull / ShedQueueTimeout count 429s by cause.
-	ShedQueueFull    uint64 `json:"shed_queue_full"`
-	ShedQueueTimeout uint64 `json:"shed_queue_timeout"`
-}
-
-// HealthResponse is the GET /healthz reply.
-type HealthResponse struct {
-	Status        string            `json:"status"`
-	UptimeSeconds float64           `json:"uptime_seconds"`
-	Requests      uint64            `json:"requests"`
-	Epoch         uint64            `json:"epoch"`
-	Updates       uint64            `json:"updates"`
-	Updatable     bool              `json:"updatable"`
-	Cache         CacheStats        `json:"cache"`
-	Planner       PlannerHealth     `json:"planner"`
-	Serving       ServingHealth     `json:"serving"`
-	Index         *IndexHealth      `json:"index,omitempty"`
-	Shards        *ShardHealth      `json:"shards,omitempty"`
-	Durability    *DurabilityHealth `json:"durability,omitempty"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
 }
 
 // ParseAlgorithm maps a wire name ("pe", "patternenum", "le",
@@ -768,13 +580,16 @@ func cacheKey(query, algo string, k, d, maxRows int) string {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	if !requireJSON(w, r) {
 		return
 	}
 	var req SearchRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if req.PreparedID != "" {
@@ -782,12 +597,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if msg, status := s.normalizeRequest(&req); status != 0 {
-		writeError(w, status, msg)
+		writeError(w, status, api.CodeBadRequest, msg)
 		return
 	}
 	algo, algoName, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	prioName := r.Header.Get("X-KB-Priority")
@@ -796,7 +611,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	prio, err := parsePriority(prioName)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 
@@ -807,10 +622,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if err := s.gate.acquire(r.Context(), prio, s.cfg.QueueTimeout); err != nil {
 			switch {
 			case errors.Is(err, errShedFull), errors.Is(err, errShedTimeout):
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, err.Error())
+				writeShed(w, err.Error())
 			default:
-				writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+				writeError(w, http.StatusServiceUnavailable, api.CodeCanceled, "request canceled while queued")
 			}
 			return
 		}
@@ -851,7 +665,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			opts.AutoBias = s.abias.Effective()
 		}
 		if st.plans != nil {
-			pi, err := st.plans.Plan(ctx, req.Query, opts)
+			var pi kbtable.PlanInfo
+			var err error
+			if dist := s.distributor(st); dist != nil {
+				// Coordinator mode: the prepare-stage probe scatters to
+				// the owner nodes (a plan-cache hit skips it entirely).
+				pi, err = st.dist.PlanDistributed(s.pinSeq(ctx, st), dist, req.Query, opts)
+			} else {
+				pi, err = st.plans.Plan(ctx, req.Query, opts)
+			}
 			if err != nil {
 				s.writeSearchError(w, err)
 				return
@@ -897,7 +719,25 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		var answers []kbtable.Answer
 		var plan *PlanOut
 		var lerr error
-		if st.plans != nil {
+		if dist := s.distributor(st); dist != nil {
+			// Coordinator mode: scatter the per-shard legs to owner
+			// nodes and gather their partials on the local engine —
+			// bit-identical to SearchPlan by the Theorem-5 fold, with
+			// failed legs re-executed locally inside the engine.
+			var pi kbtable.PlanInfo
+			answers, pi, lerr = st.dist.SearchDistributed(s.pinSeq(lctx, st), dist, req.Query, opts)
+			if lerr == nil {
+				if chosen != nil {
+					pi.Auto, pi.Reason = true, chosen.Reason
+					pi.CandidateRoots = chosen.CandidateRoots
+					pi.RootTypes = chosen.RootTypes
+					pi.PatternSpace = chosen.PatternSpace
+					pi.Frontier = chosen.Frontier
+				}
+				s.observePlan(pi)
+				plan = planOut(pi)
+			}
+		} else if st.plans != nil {
 			var pi kbtable.PlanInfo
 			answers, pi, lerr = st.plans.SearchPlan(lctx, req.Query, opts)
 			if lerr == nil {
@@ -980,15 +820,36 @@ func wireAnswers(answers []kbtable.Answer) []SearchAnswer {
 	out := make([]SearchAnswer, 0, len(answers))
 	for _, a := range answers {
 		out = append(out, SearchAnswer{
-			Rank:    a.Rank,
-			Score:   a.Score,
-			NumRows: a.NumRows,
-			Pattern: a.Pattern,
-			Columns: a.Columns,
-			Rows:    a.Rows,
+			Rank:        a.Rank,
+			Score:       a.Score,
+			NumRows:     a.NumRows,
+			Pattern:     a.Pattern,
+			Columns:     a.Columns,
+			FullColumns: a.FullColumns,
+			Rows:        a.Rows,
 		})
 	}
 	return out
+}
+
+// distributor returns the configured cluster executor when this engine
+// state can scatter-gather through it, nil otherwise.
+func (s *Server) distributor(st *engineState) kbtable.ShardExecutor {
+	if s.cfg.Distributor == nil || st.dist == nil {
+		return nil
+	}
+	return s.cfg.Distributor
+}
+
+// pinSeq stamps the pinned engine state's WAL position onto ctx so the
+// cluster transport can demand owner nodes at exactly that position
+// (api.SeqFrom on the other side), keeping every scattered leg on the
+// same snapshot this request is answering from.
+func (s *Server) pinSeq(ctx context.Context, st *engineState) context.Context {
+	if st.dur != nil {
+		return api.WithSeq(ctx, st.dur.Seq())
+	}
+	return ctx
 }
 
 // observePlan folds one executed query's plan into the server's
@@ -1002,48 +863,21 @@ func (s *Server) observePlan(pi kbtable.PlanInfo) {
 	}
 }
 
-// PrepareRequest is the POST /prepare body: the search shape to retain.
-// The fields mirror SearchRequest (auto_bias here becomes the handle's
-// default bias; baseline cannot be prepared — it has no prepare stage).
-type PrepareRequest struct {
-	Query     string  `json:"query"`
-	K         int     `json:"k,omitempty"`
-	Algorithm string  `json:"algorithm,omitempty"`
-	D         int     `json:"d,omitempty"`
-	MaxRows   int     `json:"max_rows,omitempty"`
-	AutoBias  float64 `json:"auto_bias,omitempty"`
-}
-
-// PrepareResponse is the POST /prepare reply: the handle to pass as
-// prepared_id to POST /search. Handles are bound to the epoch that
-// prepared them and expire on the next update (410 Gone).
-type PrepareResponse struct {
-	ID        string `json:"id"`
-	Epoch     uint64 `json:"epoch"`
-	Query     string `json:"query"`
-	K         int    `json:"k"`
-	Algorithm string `json:"algorithm"`
-	D         int    `json:"d"`
-	MaxRows   int    `json:"max_rows"`
-	// Plan is the plan the handle would execute right now (stage
-	// timings zero — nothing has run). An "auto" handle re-resolves it
-	// per execution, so a later search may legally run the other
-	// algorithm if the adaptive bias drifted across the crossover.
-	Plan *PlanOut `json:"plan,omitempty"`
-}
-
 // handlePrepare runs the prepare stage for a query and registers a
 // handle for repeated execution via /search {"prepared_id": ...}.
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	if !requireJSON(w, r) {
 		return
 	}
 	var preq PrepareRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(r.Body).Decode(&preq); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	req := SearchRequest{
@@ -1055,23 +889,23 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		AutoBias:  preq.AutoBias,
 	}
 	if msg, status := s.normalizeRequest(&req); status != 0 {
-		writeError(w, status, msg)
+		writeError(w, status, api.CodeBadRequest, msg)
 		return
 	}
 	algo, algoName, err := parseAlgorithm(req.Algorithm)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	if algo == kbtable.Baseline {
-		writeError(w, http.StatusBadRequest, "baseline has no prepare stage and cannot be prepared")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "baseline has no prepare stage and cannot be prepared")
 		return
 	}
 	req.Algorithm = algoName
 
 	st := s.cur.Load()
 	if st.preps == nil {
-		writeError(w, http.StatusNotImplemented, "this engine does not support prepared queries")
+		writeError(w, http.StatusNotImplemented, api.CodeNotImplemented, "this engine does not support prepared queries")
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
@@ -1094,7 +928,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	s.preparedMu.Lock()
 	if s.cur.Load().epoch != st.epoch {
 		s.preparedMu.Unlock()
-		writeError(w, http.StatusConflict, "knowledge base updated during prepare; retry")
+		writeError(w, http.StatusConflict, api.CodeStaleEpoch, "knowledge base updated during prepare; retry")
 		return
 	}
 	s.preparedSeq++
@@ -1127,11 +961,11 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 // execution IS the fast path). Admission control still applies.
 func (s *Server) servePrepared(w http.ResponseWriter, r *http.Request, req *SearchRequest) {
 	if req.Query != "" || req.Algorithm != "" || req.K != 0 || req.D != 0 || req.MaxRows != 0 {
-		writeError(w, http.StatusBadRequest, "prepared_id fixes query/k/algorithm/d/max_rows at prepare time; only auto_bias and priority may accompany it")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "prepared_id fixes query/k/algorithm/d/max_rows at prepare time; only auto_bias and priority may accompany it")
 		return
 	}
 	if msg := checkAutoBias(req.AutoBias); msg != "" {
-		writeError(w, http.StatusBadRequest, msg)
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, msg)
 		return
 	}
 	prioName := r.Header.Get("X-KB-Priority")
@@ -1140,17 +974,16 @@ func (s *Server) servePrepared(w http.ResponseWriter, r *http.Request, req *Sear
 	}
 	prio, err := parsePriority(prioName)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	if s.gate != nil {
 		if err := s.gate.acquire(r.Context(), prio, s.cfg.QueueTimeout); err != nil {
 			switch {
 			case errors.Is(err, errShedFull), errors.Is(err, errShedTimeout):
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, err.Error())
+				writeShed(w, err.Error())
 			default:
-				writeError(w, http.StatusServiceUnavailable, "request canceled while queued")
+				writeError(w, http.StatusServiceUnavailable, api.CodeCanceled, "request canceled while queued")
 			}
 			return
 		}
@@ -1161,7 +994,7 @@ func (s *Server) servePrepared(w http.ResponseWriter, r *http.Request, req *Sear
 	h := s.preparedByID[req.PreparedID]
 	s.preparedMu.Unlock()
 	if h == nil {
-		writeError(w, http.StatusGone, fmt.Sprintf("unknown or expired prepared query %q: POST /prepare again on the current epoch", req.PreparedID))
+		writeError(w, http.StatusGone, api.CodePreparedGone, fmt.Sprintf("unknown or expired prepared query %q: POST /prepare again on the current epoch", req.PreparedID))
 		return
 	}
 
@@ -1216,11 +1049,11 @@ func (s *Server) dropPrepared() {
 func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "query timed out")
+		writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "query timed out")
 	case errors.Is(err, context.Canceled):
-		writeError(w, http.StatusServiceUnavailable, "request canceled")
+		writeError(w, http.StatusServiceUnavailable, api.CodeCanceled, "request canceled")
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 	}
 }
 
@@ -1245,24 +1078,68 @@ func (s *Server) cachePut(epoch uint64, key string, ent *cacheEntry) {
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST only")
+		return
+	}
+	if !requireJSON(w, r) {
+		return
+	}
+	if s.cfg.ReadOnly {
+		writeError(w, http.StatusNotImplemented, api.CodeReadOnly, "this server is read-only")
 		return
 	}
 	var req UpdateRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: "+err.Error())
 		return
 	}
 	if len(req.Ops) == 0 {
-		writeError(w, http.StatusBadRequest, "update has no ops")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "update has no ops")
 		return
 	}
 	if len(req.Ops) > s.cfg.MaxUpdateOps {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("update has %d ops, limit is %d", len(req.Ops), s.cfg.MaxUpdateOps))
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("update has %d ops, limit is %d", len(req.Ops), s.cfg.MaxUpdateOps))
 		return
 	}
 
+	resp, err := s.applyUpdate(kbtable.Update{Ops: req.Ops})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errEngineReadOnly):
+		writeError(w, http.StatusNotImplemented, api.CodeReadOnly, err.Error())
+	case errors.Is(err, kbtable.ErrDurability):
+		// The batch was valid but could not be persisted; nothing was
+		// published, and the store refuses further appends.
+		writeError(w, http.StatusServiceUnavailable, api.CodeDurability, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+	}
+}
+
+// errEngineReadOnly reports an apply on an engine without an update
+// surface (distinct from Config.ReadOnly, which gates only the handler).
+var errEngineReadOnly = errors.New("this engine does not support updates")
+
+// Apply applies one update batch through the full serving pipeline —
+// in-order epoch publish, word-precise cache invalidation, prepared
+// handle expiry, durability when configured — exactly like POST
+// /v1/update, and returns the newly published epoch. It is the
+// replication entry point: a follower node replays WAL records shipped
+// from its coordinator through Apply so every serving invariant holds
+// on followers too. Config.ReadOnly does not gate Apply.
+func (s *Server) Apply(u kbtable.Update) (uint64, error) {
+	resp, err := s.applyUpdate(u)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// applyUpdate is the shared update pipeline behind POST /v1/update and
+// Apply.
+func (s *Server) applyUpdate(u kbtable.Update) (*UpdateResponse, error) {
 	// Apply in memory on the newest state in the chain — published or
 	// not. applyMu serializes only the (fast, copy-on-write) apply and
 	// the WAL enqueue; the fsync happens after it is released, so
@@ -1275,8 +1152,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	if base.upd == nil {
 		s.applyMu.Unlock()
-		writeError(w, http.StatusNotImplemented, "this server is read-only")
-		return
+		return nil, errEngineReadOnly
 	}
 	t0 := time.Now()
 	var newEng *kbtable.Engine
@@ -1291,26 +1167,19 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// commit.Wait() below resolves before publication — so by the
 		// time any search can observe this update, a crash can no
 		// longer lose it. The wait just no longer serializes fsyncs.
-		newEng, res, commit, err = base.durAsync.ApplyLoggedAsync(s.cfg.Store, kbtable.Update{Ops: req.Ops})
+		newEng, res, commit, err = base.durAsync.ApplyLoggedAsync(s.cfg.Store, u)
 	case durable:
 		// Serial durable fallback (engines exposing only ApplyLogged):
 		// apply + fsync under applyMu, exactly the pre-group-commit path.
-		newEng, res, err = base.dur.ApplyLogged(s.cfg.Store, kbtable.Update{Ops: req.Ops})
+		newEng, res, err = base.dur.ApplyLogged(s.cfg.Store, u)
 	default:
-		newEng, res, err = base.upd.ApplyUpdate(kbtable.Update{Ops: req.Ops})
+		newEng, res, err = base.upd.ApplyUpdate(u)
 	}
 	if err != nil {
 		s.applyMu.Unlock()
-		if errors.Is(err, kbtable.ErrDurability) {
-			// The batch was valid but could not be persisted; nothing was
-			// published, and the store refuses further appends.
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		}
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
-	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, preps: newEng, epoch: base.epoch + 1}
+	next := &engineState{eng: newEng, upd: newEng, words: newEng, shards: newEng, plans: newEng, preps: newEng, dist: newEng, epoch: base.epoch + 1}
 	if base.dur != nil {
 		// Durability stays engaged only when the whole chain was durable:
 		// an engine wrapped by a non-durable fake produced an unlogged
@@ -1334,8 +1203,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			s.applyMu.Lock()
 			s.tail = nil
 			s.applyMu.Unlock()
-			writeError(w, http.StatusServiceUnavailable, err.Error())
-			return
+			return nil, err
 		}
 	}
 
@@ -1382,7 +1250,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for _, id := range res.NewEntities {
 		ids = append(ids, int64(id))
 	}
-	writeJSON(w, http.StatusOK, &UpdateResponse{
+	return &UpdateResponse{
 		Epoch:            next.epoch,
 		NewEntities:      ids,
 		Entities:         res.Entities,
@@ -1394,7 +1262,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		InvalidatedCache: invalidated,
 		AffectedShards:   res.AffectedShards,
 		ElapsedMS:        float64(time.Since(t0).Microseconds()) / 1000,
-	})
+	}, nil
 }
 
 // maybeCheckpoint starts a background checkpoint when the WAL has
@@ -1469,7 +1337,7 @@ func (s *Server) CheckpointNow() error {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET only")
 		return
 	}
 	st := s.cur.Load()
@@ -1479,7 +1347,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Requests:      s.requests.Load(),
 		Epoch:         st.epoch,
 		Updates:       s.updates.Load(),
-		Updatable:     st.upd != nil,
+		Updatable:     st.upd != nil && !s.cfg.ReadOnly,
 		Cache:         s.cache.Stats(),
 		Planner: PlannerHealth{
 			AutoRequests:     s.autoRequests.Load(),
@@ -1564,6 +1432,97 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			resp.Status = "degraded"
 		}
 	}
+	if s.cfg.Cluster != nil {
+		resp.Cluster = s.cfg.Cluster()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleShards reports which shards this node hosts and at what WAL
+// sequence — the membership probe a coordinator or operator uses to
+// check a node's role and replication progress. v1-only (no legacy
+// alias: the endpoint postdates the unversioned API).
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.cur.Load()
+	resp := &api.ShardsResponse{Epoch: st.epoch, Role: "standalone"}
+	if so, ok := st.eng.(shardOwner); ok {
+		resp.Owned = so.OwnedShards()
+		resp.Complete = so.Complete()
+	}
+	if st.shards != nil {
+		resp.Shards = st.shards.ShardInfo().Count
+	}
+	if st.dur != nil {
+		resp.Seq = st.dur.Seq()
+	}
+	if s.cfg.Cluster != nil {
+		if ch := s.cfg.Cluster(); ch != nil {
+			resp.Role, resp.NodeID = ch.Role, ch.NodeID
+			if ch.Seq > resp.Seq {
+				resp.Seq = ch.Seq
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWALSegments streams committed WAL records after a sequence
+// cursor — the replication pull a follower replays through Apply.
+// Responses are bounded (max records per pull) and More tells the
+// follower to pull again immediately instead of sleeping. A cursor
+// older than the retained history (checkpoint truncated it away)
+// answers 410 wal_gap: the follower must reseed from a snapshot.
+func (s *Server) handleWALSegments(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusNotImplemented, api.CodeNotImplemented, "this server has no write-ahead log")
+		return
+	}
+	q := r.URL.Query()
+	var after uint64
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad after cursor: "+err.Error())
+			return
+		}
+		after = n
+	}
+	max := 256
+	if v := q.Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad max: must be a positive integer")
+			return
+		}
+		max = n
+	}
+	recs, err := s.cfg.Store.ReadWAL(after, max)
+	if err != nil {
+		if errors.Is(err, kbtable.ErrWALGap) {
+			writeError(w, http.StatusGone, api.CodeWALGap, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return
+	}
+	if recs == nil {
+		recs = []kbtable.WALRecord{}
+	}
+	resp := &api.WALSegmentsResponse{After: after, Records: recs}
+	if len(recs) > 0 {
+		resp.LastSeq = recs[len(recs)-1].Seq
+		resp.More = resp.LastSeq < s.cfg.Store.Stats().LastSeq
+	} else {
+		resp.LastSeq = after
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -1580,6 +1539,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+// writeError writes the structured error envelope: a stable machine
+// code (api.Code*) plus human-readable detail.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.ErrorResponse{Error: api.ErrorBody{Code: code, Message: msg}})
+}
+
+// writeShed writes the 429 shed envelope with its retry hint in both
+// the Retry-After header (seconds) and the body (milliseconds).
+func writeShed(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, api.ErrorResponse{
+		Error: api.ErrorBody{Code: api.CodeShed, Message: msg, RetryAfterMS: 1000},
+	})
+}
+
+// requireJSON rejects a POST whose declared Content-Type is something
+// other than JSON (an absent header is accepted for curl-friendliness).
+// Returns false after writing the 415 envelope.
+func requireJSON(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt := strings.TrimSpace(strings.ToLower(strings.SplitN(ct, ";", 2)[0]))
+	if mt == "application/json" || strings.HasSuffix(mt, "+json") {
+		return true
+	}
+	writeError(w, http.StatusUnsupportedMediaType, api.CodeBadRequest,
+		fmt.Sprintf("unsupported content type %q: use application/json", ct))
+	return false
 }

@@ -111,7 +111,7 @@ func TestShardedConcurrentSearchAndUpdateConsistency(t *testing.T) {
 			for _, a := range answers {
 				was = append(was, SearchAnswer{
 					Rank: a.Rank, Score: a.Score, NumRows: a.NumRows,
-					Pattern: a.Pattern, Columns: a.Columns, Rows: a.Rows,
+					Pattern: a.Pattern, Columns: a.Columns, FullColumns: a.FullColumns, Rows: a.Rows,
 				})
 			}
 			expected[ep][key] = was

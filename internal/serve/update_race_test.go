@@ -72,7 +72,7 @@ func TestConcurrentSearchAndUpdateConsistency(t *testing.T) {
 			for _, a := range answers {
 				was = append(was, SearchAnswer{
 					Rank: a.Rank, Score: a.Score, NumRows: a.NumRows,
-					Pattern: a.Pattern, Columns: a.Columns, Rows: a.Rows,
+					Pattern: a.Pattern, Columns: a.Columns, FullColumns: a.FullColumns, Rows: a.Rows,
 				})
 			}
 			expected[ep][key] = was

@@ -1,0 +1,381 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"kbtable/internal/core"
+	"kbtable/internal/index"
+	"kbtable/internal/kg"
+	"kbtable/internal/rank"
+	"kbtable/internal/search"
+)
+
+// Cluster scatter/gather: one shard's contribution to a query in a
+// shard-table-independent wire form, plus partial engines that host only
+// a subset of a cluster's shards.
+//
+// Exactness across process boundaries follows the same Theorem-5 argument
+// as the in-process scatter: a shard's contribution is fully described by
+// its per-pattern per-root partial aggregates (search.RootAgg) keyed by
+// pattern CONTENT (the path patterns' type/attr sequences), never by
+// shard-local interned PatternIDs. A coordinator holding content-identical
+// per-shard indexes interns the wire paths into its own tables and re-runs
+// the canonical gather fold — answers are bit-identical to a single-node
+// run. Scores travel as float64 and Go's encoding/json round-trips float64
+// exactly, so serialization adds no drift.
+
+// WirePath is one root-to-keyword path pattern in content form
+// (core.PathPattern without the interning table).
+type WirePath struct {
+	Types   []int32 `json:"types"`
+	Attrs   []int32 `json:"attrs,omitempty"`
+	EdgeEnd bool    `json:"edge_end,omitempty"`
+}
+
+// WireRootAgg is one candidate root's partial aggregate of a pattern:
+// the exact per-root decomposition of the pattern score (Theorem 5).
+type WireRootAgg struct {
+	Root  int64   `json:"root"`
+	Sum   float64 `json:"sum"`
+	Max   float64 `json:"max"`
+	Count int     `json:"count"`
+}
+
+// WirePattern is one tree pattern discovered on one shard: its member
+// path patterns (index i matches query keyword i) and its per-root
+// partial aggregates in ascending root order.
+type WirePattern struct {
+	Paths    []WirePath    `json:"paths"`
+	RootAggs []WireRootAgg `json:"root_aggs,omitempty"`
+}
+
+// WirePlanStats is search.PlanStats in wire form: the prepare-stage
+// statistics a shard's planner probe produced. Per-shard stats merge in
+// ascending shard order exactly as the in-process probe merges them.
+type WirePlanStats struct {
+	CandidateRoots int   `json:"candidate_roots"`
+	RootTypes      int   `json:"root_types"`
+	PatternSpace   int64 `json:"pattern_space"`
+	Frontier       int64 `json:"frontier"`
+	PostingRoots   []int `json:"posting_roots,omitempty"`
+}
+
+// WirePartial is one shard's complete scatter output: every pattern the
+// shard discovered (retention is unbounded during a scatter — the global
+// cut happens at the gather) plus the per-shard statistics the gather
+// folds.
+type WirePartial struct {
+	Shard    int           `json:"shard"`
+	Patterns []WirePattern `json:"patterns"`
+
+	// QueryStats counters the gather sums across shards.
+	CandidateRoots int   `json:"candidate_roots"`
+	SampledRoots   int   `json:"sampled_roots,omitempty"`
+	TreesFound     int64 `json:"trees_found"`
+	EmptyChecked   int64 `json:"empty_checked,omitempty"`
+	BoundPruned    int64 `json:"bound_pruned,omitempty"`
+	// PrepareNS is the shard's own prepare-stage wall clock; the gather
+	// charges the slowest shard's prepare to the merged Prepare stage.
+	PrepareNS int64 `json:"prepare_ns,omitempty"`
+	// PlanStats are the shard's prepare statistics, folded into the
+	// result plan for observability (non-Auto plans only).
+	PlanStats WirePlanStats `json:"plan_stats"`
+}
+
+// toWirePlanStats lowers planner-probe statistics to wire form.
+func toWirePlanStats(st search.PlanStats) WirePlanStats {
+	return WirePlanStats{
+		CandidateRoots: st.CandidateRoots,
+		RootTypes:      st.RootTypes,
+		PatternSpace:   st.PatternSpace,
+		Frontier:       st.Frontier,
+		PostingRoots:   st.PostingRoots,
+	}
+}
+
+// FromWirePlanStats restores planner-probe statistics from wire form.
+func FromWirePlanStats(w WirePlanStats) search.PlanStats {
+	return search.PlanStats{
+		CandidateRoots: w.CandidateRoots,
+		RootTypes:      w.RootTypes,
+		PatternSpace:   w.PatternSpace,
+		Frontier:       w.Frontier,
+		PostingRoots:   w.PostingRoots,
+	}
+}
+
+// MergeWirePlanStats folds per-shard probe statistics in ascending shard
+// order — the exact merge PlanStats performs in process, so a plan chosen
+// from scattered probes equals the local planner's choice.
+func MergeWirePlanStats(parts []WirePlanStats) WirePlanStats {
+	var merged search.PlanStats
+	for i, p := range parts {
+		if i == 0 {
+			merged = FromWirePlanStats(p)
+			continue
+		}
+		merged.Merge(FromWirePlanStats(p))
+	}
+	return toWirePlanStats(merged)
+}
+
+// resident returns shard si's unit or an error when this engine does not
+// host it.
+func (e *Engine) resident(si int) (*unit, error) {
+	if si < 0 || si >= e.n {
+		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", si, e.n)
+	}
+	u := e.units[si]
+	if u == nil {
+		return nil, fmt.Errorf("shard: shard %d is not resident on this engine", si)
+	}
+	return u, nil
+}
+
+// AnyIndex returns the first resident shard's index — the dictionary
+// and tokenizer source for facade surfaces on partial engines (every
+// shard shares the full corpus dictionary).
+func (e *Engine) AnyIndex() *index.Index {
+	for _, u := range e.units {
+		if u != nil {
+			return u.ix
+		}
+	}
+	return nil
+}
+
+// Resident reports whether shard si's index is hosted by this engine.
+func (e *Engine) Resident(si int) bool {
+	return si >= 0 && si < e.n && e.units[si] != nil
+}
+
+// Complete reports whether every shard is resident (a full engine, able
+// to search and gather; partial engines only serve per-shard legs).
+func (e *Engine) Complete() bool {
+	for _, u := range e.units {
+		if u == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// NewPartialEngine builds an engine hosting only the owned subset of an
+// n-shard partition — a cluster owner node's view. The ownership hash,
+// PageRank vector and per-shard root filters are computed over the full
+// graph exactly as NewEngine computes them, so each resident shard's
+// index is content-identical to the corresponding shard of a full n-way
+// engine over the same graph.
+func NewPartialEngine(g *kg.Graph, n int, owned []int, opts index.Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	if n < 1 || n > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1,%d]", n, MaxShards)
+	}
+	if opts.RootFilter != nil || opts.DirtyRoots != nil || opts.PageRank != nil {
+		return nil, fmt.Errorf("shard: RootFilter/DirtyRoots/PageRank are managed by the shard layer")
+	}
+	if len(owned) == 0 {
+		return nil, fmt.Errorf("shard: partial engine owns no shards")
+	}
+	seen := map[int]bool{}
+	for _, si := range owned {
+		if si < 0 || si >= n {
+			return nil, fmt.Errorf("shard: owned shard %d out of range [0,%d)", si, n)
+		}
+		if seen[si] {
+			return nil, fmt.Errorf("shard: owned shard %d listed twice", si)
+		}
+		seen[si] = true
+	}
+	if opts.D == 0 {
+		opts.D = 3
+	}
+	owner := make([]uint8, g.NumNodes())
+	for v := range owner {
+		owner[v] = ownerOf(g.Type(kg.NodeID(v)), kg.NodeID(v), n)
+	}
+	e := &Engine{g: g, n: n, opts: opts, owner: owner}
+	if !opts.UniformPR {
+		e.pr = rank.PageRank(g, rank.Options{})
+	}
+	perShard := e.splitWorkers(opts.Workers)
+	e.units = make([]*unit, n)
+	errs := make([]error, len(owned))
+	done := make(chan struct{})
+	for i, si := range owned {
+		go func(i, si int) {
+			defer func() { done <- struct{}{} }()
+			so := opts
+			so.Workers = perShard
+			so.RootFilter = e.filter(si)
+			so.PageRank = e.pr
+			ix, err := index.Build(g, so)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			e.units[si] = &unit{ix: ix}
+		}(i, si)
+	}
+	for range owned {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// ProbeShard runs the prepare-only planner probe on one resident shard
+// and returns its statistics in wire form — one leg of a scattered
+// cluster probe.
+func (e *Engine) ProbeShard(ctx context.Context, si int, query string, opts search.Options) (WirePlanStats, error) {
+	u, err := e.resident(si)
+	if err != nil {
+		return WirePlanStats{}, err
+	}
+	st, err := search.PlanProbe(ctx, u.ix, query, opts)
+	if err != nil {
+		return WirePlanStats{}, err
+	}
+	return toWirePlanStats(st), nil
+}
+
+// ScatterShard runs one resident shard's leg of a resolved-algorithm
+// scatter and returns it in wire form. The options lowering is exactly
+// the in-process scatter's (unbounded retention, CollectRootAggs, split
+// worker budget), so the partial a remote owner produces is the partial
+// the coordinator's own scatter would have produced for that shard.
+// Baseline queries gather concrete trees, not per-root aggregates, and
+// stay in-process; Auto must be resolved by the coordinator first.
+func (e *Engine) ScatterShard(ctx context.Context, si int, algo Algo, query string, opts search.Options) (*WirePartial, error) {
+	if algo == Auto {
+		return nil, fmt.Errorf("shard: scatter requires a resolved algorithm, not Auto")
+	}
+	if algo == Baseline {
+		return nil, fmt.Errorf("shard: the baseline gathers trees in process and cannot scatter over the wire")
+	}
+	if _, err := e.resident(si); err != nil {
+		return nil, err
+	}
+	so := e.scatterOptions(algo, opts)
+	out := e.searchShard(ctx, si, algo, query, so)
+	if out.err != nil {
+		return nil, out.err
+	}
+	p := &WirePartial{
+		Shard:          si,
+		Patterns:       make([]WirePattern, 0, len(out.patterns)),
+		CandidateRoots: out.stats.CandidateRoots,
+		SampledRoots:   out.stats.SampledRoots,
+		TreesFound:     out.stats.TreesFound,
+		EmptyChecked:   out.stats.EmptyChecked,
+		BoundPruned:    out.stats.BoundPruned,
+		PrepareNS:      int64(out.stats.Stages.Prepare),
+		PlanStats:      toWirePlanStats(out.plan.Stats),
+	}
+	for _, rp := range out.patterns {
+		wp := WirePattern{
+			Paths:    make([]WirePath, len(rp.Pattern.Paths)),
+			RootAggs: make([]WireRootAgg, len(rp.RootAggs)),
+		}
+		for i, pid := range rp.Pattern.Paths {
+			pp := out.table.Get(pid)
+			w := WirePath{EdgeEnd: pp.EdgeEnd, Types: make([]int32, len(pp.Types))}
+			for j, t := range pp.Types {
+				w.Types[j] = int32(t)
+			}
+			if len(pp.Attrs) > 0 {
+				w.Attrs = make([]int32, len(pp.Attrs))
+				for j, a := range pp.Attrs {
+					w.Attrs[j] = int32(a)
+				}
+			}
+			wp.Paths[i] = w
+		}
+		for i, ra := range rp.RootAggs {
+			wp.RootAggs[i] = WireRootAgg{Root: int64(ra.Root), Sum: ra.Agg.Sum, Max: ra.Agg.Max, Count: ra.Agg.Count}
+		}
+		p.Patterns = append(p.Patterns, wp)
+	}
+	return p, nil
+}
+
+// GatherPartials reassembles per-shard wire partials — one per shard, in
+// any mix of remote and locally produced — and runs the canonical gather
+// fold plus the local tree-materialization pass. The receiver must be a
+// complete engine whose per-shard indexes are content-identical to the
+// producers' (same graph snapshot, same shard count): wire paths are
+// interned into the coordinator's own per-shard pattern tables, and
+// winner trees come from the coordinator's indexes. plan must already be
+// resolved (never Auto); start/probed bound the stage accounting.
+func (e *Engine) GatherPartials(ctx context.Context, start, probed time.Time, plan search.Plan, query string, partials []*WirePartial, opts search.Options) (*Result, error) {
+	algo := fromSearchAlgo(plan.Algo)
+	if algo == Auto || algo == Baseline {
+		return nil, fmt.Errorf("shard: gather requires a resolved non-baseline plan")
+	}
+	if len(partials) != e.n {
+		return nil, fmt.Errorf("shard: gather needs %d partials, got %d", e.n, len(partials))
+	}
+	outs := make([]shardOut, e.n)
+	for si := 0; si < e.n; si++ {
+		p := partials[si]
+		if p == nil {
+			return nil, fmt.Errorf("shard: missing partial for shard %d", si)
+		}
+		if p.Shard != si {
+			return nil, fmt.Errorf("shard: partial %d labeled shard %d", si, p.Shard)
+		}
+		u, err := e.resident(si)
+		if err != nil {
+			return nil, err
+		}
+		table := u.ix.PatternTable()
+		patterns := make([]search.RankedPattern, len(p.Patterns))
+		for i, wp := range p.Patterns {
+			tp := core.TreePattern{Paths: make([]core.PatternID, len(wp.Paths))}
+			for j, w := range wp.Paths {
+				pp := core.PathPattern{EdgeEnd: w.EdgeEnd, Types: make([]kg.TypeID, len(w.Types))}
+				for x, t := range w.Types {
+					pp.Types[x] = kg.TypeID(t)
+				}
+				if len(w.Attrs) > 0 {
+					pp.Attrs = make([]kg.AttrID, len(w.Attrs))
+					for x, a := range w.Attrs {
+						pp.Attrs[x] = kg.AttrID(a)
+					}
+				}
+				tp.Paths[j] = table.Intern(pp)
+			}
+			aggs := make([]search.RootAgg, len(wp.RootAggs))
+			for x, ra := range wp.RootAggs {
+				aggs[x] = search.RootAgg{Root: kg.NodeID(ra.Root), Agg: core.PatternScore{Sum: ra.Sum, Max: ra.Max, Count: ra.Count}}
+			}
+			patterns[i] = search.RankedPattern{Pattern: tp, RootAggs: aggs}
+		}
+		words, surfaces := search.ResolveQuery(u.ix, query)
+		outs[si] = shardOut{
+			patterns: patterns,
+			table:    table,
+			stats: search.QueryStats{
+				Surfaces:       surfaces,
+				Words:          words,
+				CandidateRoots: p.CandidateRoots,
+				SampledRoots:   p.SampledRoots,
+				TreesFound:     p.TreesFound,
+				EmptyChecked:   p.EmptyChecked,
+				BoundPruned:    p.BoundPruned,
+				Stages:         search.StageTimings{Prepare: time.Duration(p.PrepareNS)},
+			},
+			plan:  search.Plan{Algo: plan.Algo, Stats: FromWirePlanStats(p.PlanStats)},
+			words: words,
+		}
+	}
+	return e.gather(ctx, start, probed, plan, algo, outs, opts)
+}

@@ -26,10 +26,11 @@ func (e *Engine) Owners() []uint8 {
 
 // EncodeShard serializes shard si's index in the index wire format.
 func (e *Engine) EncodeShard(si int, w io.Writer) error {
-	if si < 0 || si >= e.n {
-		return fmt.Errorf("shard: shard %d out of range [0,%d)", si, e.n)
+	u, err := e.resident(si)
+	if err != nil {
+		return err
 	}
-	return e.units[si].ix.Encode(w)
+	return u.ix.Encode(w)
 }
 
 // FromParts reassembles an engine from persisted state: the graph, the

@@ -168,8 +168,14 @@ func (e *Engine) Graph() *kg.Graph { return e.g }
 // D returns the height threshold shared by every shard.
 func (e *Engine) D() int { return e.opts.D }
 
-// Index returns shard si's path index (read-only).
-func (e *Engine) Index(si int) *index.Index { return e.units[si].ix }
+// Index returns shard si's path index (read-only), or nil when the
+// shard is not resident on this engine (partial engines).
+func (e *Engine) Index(si int) *index.Index {
+	if u := e.units[si]; u != nil {
+		return u.ix
+	}
+	return nil
+}
 
 // Owner returns the shard owning node v.
 func (e *Engine) Owner(v kg.NodeID) int { return int(e.owner[v]) }
@@ -179,7 +185,9 @@ func (e *Engine) Owner(v kg.NodeID) int { return int(e.owner[v]) }
 func (e *Engine) Epochs() []uint64 {
 	out := make([]uint64, e.n)
 	for i, u := range e.units {
-		out[i] = u.epoch
+		if u != nil {
+			out[i] = u.epoch
+		}
 	}
 	return out
 }
@@ -195,6 +203,9 @@ type ShardStat struct {
 func (e *Engine) Stats() []ShardStat {
 	out := make([]ShardStat, e.n)
 	for si, u := range e.units {
+		if u == nil {
+			continue // not resident (partial engine)
+		}
 		out[si].Entries = u.ix.Stats().NumEntries
 		out[si].Epoch = u.epoch
 	}
@@ -209,6 +220,9 @@ func (e *Engine) Stats() []ShardStat {
 // baseline returns shard si's lazily built baseline index.
 func (e *Engine) baseline(si int) (*search.BaselineIndex, error) {
 	u := e.units[si]
+	if u == nil {
+		return nil, fmt.Errorf("shard: shard %d is not resident on this engine", si)
+	}
 	u.blOnce.Do(func() {
 		u.bl, u.blErr = search.NewBaseline(e.g, search.BaselineOptions{
 			D:          e.opts.D,

@@ -86,6 +86,9 @@ func (e *Engine) ApplyDelta(ch *kg.Changed) (*Engine, UpdateStats, error) {
 		go func(si int) {
 			defer wg.Done()
 			u := e.units[si]
+			if u == nil {
+				return // not resident (partial engine): nothing to splice
+			}
 			if ownedDirty[si] == 0 && identityEdges && !refreshPR {
 				// Untouched shard: same postings, new snapshot.
 				ne.units[si] = &unit{ix: u.ix.Rebind(ch.New), epoch: u.epoch}
@@ -122,6 +125,9 @@ func (e *Engine) ApplyDelta(ch *kg.Changed) (*Engine, UpdateStats, error) {
 	words := map[string]struct{}{}
 	for si := range stats {
 		ds := &stats[si]
+		if ne.units[si] == nil {
+			continue // not resident on either snapshot
+		}
 		if ne.units[si].epoch != e.units[si].epoch {
 			us.AffectedShards++
 		}

@@ -209,6 +209,14 @@ type EngineOptions struct {
 	// Λ/ρ sampling becomes shard-local (still unbiased, no longer
 	// bit-identical to unsharded sampling); exact queries are unaffected.
 	Shards int
+	// OwnedShards restricts a sharded engine (Shards > 1) to building
+	// only the listed shards' indexes — a cluster owner node's view. The
+	// ownership hash, PageRank and root filters still span the full
+	// graph, so each resident shard is content-identical to the same
+	// shard of a full engine. Partial engines only serve per-shard
+	// cluster legs (ScatterShard / ProbeShard) and updates; whole-query
+	// Search returns ErrPartialEngine. Empty means all shards.
+	OwnedShards []int
 }
 
 // SearchOptions configure one query beyond the basic top-k.
@@ -339,11 +347,20 @@ func NewEngine(g *Graph, opts EngineOptions) (*Engine, error) {
 		Workers:   opts.Workers,
 	}
 	if opts.Shards > 1 {
-		sh, err := shard.NewEngine(g.g, opts.Shards, iopts)
+		var sh *shard.Engine
+		var err error
+		if len(opts.OwnedShards) > 0 {
+			sh, err = shard.NewPartialEngine(g.g, opts.Shards, opts.OwnedShards, iopts)
+		} else {
+			sh, err = shard.NewEngine(g.g, opts.Shards, iopts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("kbtable: %w", err)
 		}
 		return &Engine{g: g, sh: sh, o: opts, plans: search.NewPlanCache(0)}, nil
+	}
+	if len(opts.OwnedShards) > 0 {
+		return nil, errors.New("kbtable: OwnedShards requires Shards > 1")
 	}
 	ix, err := index.Build(g.g, iopts)
 	if err != nil {
@@ -373,7 +390,11 @@ func (e *Engine) IndexStats() IndexStats {
 	if e.sh != nil {
 		out := IndexStats{D: e.o.D}
 		for i := 0; i < e.sh.NumShards(); i++ {
-			s := e.sh.Index(i).Stats()
+			ix := e.sh.Index(i)
+			if ix == nil { // unowned shard of a partial engine
+				continue
+			}
+			s := ix.Stats()
 			if bs := s.BuildTime.Seconds(); bs > out.BuildSeconds {
 				out.BuildSeconds = bs
 			}
@@ -476,6 +497,9 @@ func (e *Engine) searchOptions(opts SearchOptions) search.Options {
 func (e *Engine) SearchPlan(ctx context.Context, query string, opts SearchOptions) ([]Answer, PlanInfo, error) {
 	so := e.searchOptions(opts)
 	if e.sh != nil {
+		if !e.sh.Complete() {
+			return nil, PlanInfo{}, ErrPartialEngine
+		}
 		algo, err := shardAlgo(opts.Algorithm)
 		if err != nil {
 			return nil, PlanInfo{}, err
@@ -905,7 +929,7 @@ func (e *Engine) ApplyUpdate(u Update) (*Engine, UpdateResult, error) {
 // order, so the dictionaries agree on canonical words.
 func (e *Engine) dict() *text.Dict {
 	if e.sh != nil {
-		return e.sh.Index(0).Dict()
+		return e.sh.AnyIndex().Dict()
 	}
 	return e.ix.Dict()
 }
@@ -913,7 +937,7 @@ func (e *Engine) dict() *text.Dict {
 // resolveIndex returns an index suitable for query-word resolution.
 func (e *Engine) resolveIndex() *index.Index {
 	if e.sh != nil {
-		return e.sh.Index(0)
+		return e.sh.AnyIndex()
 	}
 	return e.ix
 }
